@@ -1,0 +1,37 @@
+"""Ablation: app-tier balancer policy (round-robin vs least-connections).
+
+mod_jk's round-robin is the deployed default; with homogeneous app
+servers and exponential demands, least-connections buys little — which
+is why the paper's scale-out results don't hinge on the policy.
+"""
+
+from repro.experiments.ablations import (
+    balancer_policies,
+    deployed_rubis_system,
+    render_rows,
+)
+from repro.experiments.figures import FigureResult
+
+
+def _factory(users):
+    return deployed_rubis_system(apps=4, dbs=1, users=users)
+
+
+def run_ablation():
+    rows = balancer_policies(_factory, [400, 800, 950])
+    rendered = render_rows(
+        "Ablation: balancer policy at the app tier (4 JOnAS servers)",
+        rows,
+        ["users", "rr_rt_ms", "least_rt_ms", "rr_x", "least_x"],
+    )
+    return FigureResult("ablation_balancer", "Balancer policy", rows,
+                        rendered)
+
+
+def test_bench_ablation_balancer(once, emit):
+    fig = once(run_ablation)
+    emit(fig)
+    rows = {row["users"]: row for row in fig.data}
+    # Equivalent throughput at every load level.
+    for users, row in rows.items():
+        assert abs(row["rr_x"] - row["least_x"]) < 0.1 * row["rr_x"]

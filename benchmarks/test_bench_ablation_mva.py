@@ -1,0 +1,44 @@
+"""Ablation: observation vs the analytical (MVA) baseline.
+
+The paper argues that queueing models struggle with n-tier systems'
+saturation behaviour (Sections I/VI).  This bench runs exact MVA with
+the same calibrated demands against simulated observations: the two
+agree below the knee, then diverge as the real system sheds load via
+timeouts — behaviour outside the product-form assumptions.
+"""
+
+from repro.experiments.ablations import (
+    deployed_rubis_system,
+    mva_vs_observation,
+    render_rows,
+)
+from repro.experiments.figures import FigureResult
+
+
+def _factory(users):
+    return deployed_rubis_system(apps=1, dbs=1, users=users)
+
+
+def run_ablation():
+    rows = mva_vs_observation(_factory, [50, 150, 250, 400, 700])
+    rendered = render_rows(
+        "Ablation: observed (simulated) vs exact MVA, RUBiS 1-1-1 wr=15%",
+        rows,
+        ["users", "observed_rt_ms", "mva_rt_ms", "observed_x", "mva_x",
+         "observed_errors"],
+    )
+    return FigureResult("ablation_mva", "Observation vs MVA", rows,
+                        rendered)
+
+
+def test_bench_ablation_mva(once, emit):
+    fig = once(run_ablation)
+    emit(fig)
+    rows = {row["users"]: row for row in fig.data}
+    # Agreement below the knee.
+    assert abs(rows[150]["observed_x"] - rows[150]["mva_x"]) \
+        < 0.1 * rows[150]["mva_x"]
+    # Divergence past it: the observed system times requests out, which
+    # MVA cannot represent at all.
+    assert rows[700]["observed_errors"] > 0.1
+    assert rows[700]["mva_rt_ms"] > rows[700]["observed_rt_ms"]

@@ -1,0 +1,44 @@
+"""Ablation: RAIDb-1 write replication vs idealized linear DB scaling.
+
+The paper's 1700 -> ~2900 user crossover from one to two databases is
+sublinear because RAIDb-1 executes every write on every replica.  This
+bench measures actual throughput against both the RAIDb-1 analytical
+capacity and the idealized linear capacity.
+"""
+
+from repro.experiments.ablations import (
+    deployed_rubis_system,
+    raidb_scaling,
+    render_rows,
+)
+from repro.experiments.figures import FigureResult
+
+
+def _factory(dbs, users, write_ratio):
+    return deployed_rubis_system(apps=12, dbs=dbs, users=users,
+                                 write_ratio=write_ratio)
+
+
+def run_ablation():
+    rows = raidb_scaling(_factory, workload=2600, replica_counts=(1, 2, 3))
+    rendered = render_rows(
+        "Ablation: RAIDb-1 scaling at 2600 users, wr=15% "
+        "(throughput req/s vs capacities)",
+        rows,
+        ["replicas", "throughput", "raidb_capacity", "linear_capacity",
+         "error_ratio"],
+    )
+    return FigureResult("ablation_raidb", "RAIDb-1 vs linear scaling",
+                        rows, rendered)
+
+
+def test_bench_ablation_raidb(once, emit):
+    fig = once(run_ablation)
+    emit(fig)
+    rows = {row["replicas"]: row for row in fig.data}
+    # RAIDb-1 capacity is clearly sublinear at two replicas...
+    assert rows[2]["raidb_capacity"] < 0.9 * rows[2]["linear_capacity"]
+    # ...and the measured throughput tracks the RAIDb-1 capacity, not
+    # the linear one: one DB saturates (~245/s), two carry the load.
+    assert rows[1]["throughput"] < 260
+    assert rows[2]["throughput"] > 320

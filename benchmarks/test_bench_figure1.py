@@ -1,0 +1,16 @@
+"""Figure 1: RUBiS on JOnAS baseline response-time surface (IV.A).
+
+Paper shape: response time grows monotonically with users, a bottleneck
+appears past ~250 users for write ratios below 30%, and high write
+ratios keep response time short (the inversion).
+"""
+
+from repro.experiments.figures import figure1
+
+
+def test_bench_figure1(once, emit):
+    fig = once(figure1)
+    emit(fig)
+    surface = fig.data
+    assert surface[(250, 0.0)] > 4 * surface[(50, 0.0)]
+    assert surface[(250, 0.9)] < surface[(250, 0.0)] / 3

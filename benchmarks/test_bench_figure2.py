@@ -1,0 +1,15 @@
+"""Figure 2: RUBiS on JOnAS app-server CPU utilization surface (IV.A).
+
+Paper shape: CPU peaks correlate with Figure 1's response-time peaks —
+the application server is the baseline bottleneck.
+"""
+
+from repro.experiments.figures import figure2
+
+
+def test_bench_figure2(once, emit):
+    fig = once(figure2)
+    emit(fig)
+    surface = fig.data
+    assert surface[(250, 0.0)] > 85.0       # saturated corner
+    assert surface[(50, 0.9)] < 35.0        # idle corner

@@ -1,0 +1,18 @@
+"""Figure 3: RUBiS on Weblogic baseline response-time surface (IV.B).
+
+Paper shape: same bottleneck structure as Figure 1, but the Weblogic/
+Warp configuration supports about twice as many users at saturation
+(carried by the dual-CPU Warp nodes).
+"""
+
+from repro.experiments.figures import figure3
+
+
+def test_bench_figure3(once, emit):
+    fig = once(figure3, workload_step=100)
+    emit(fig)
+    surface = fig.data
+    # Still comfortable at 400 users / wr 15% where JOnAS saturated at 250.
+    assert surface[(400, 0.2)] < 500.0
+    # Saturation appears toward 600 users at low write ratios.
+    assert surface[(600, 0.0)] > 3 * surface[(300, 0.0)]

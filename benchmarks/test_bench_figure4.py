@@ -1,0 +1,17 @@
+"""Figure 4: RUBBoS baseline response time, 100% read vs 85/15 (IV.C).
+
+Paper shape: the database is the bottleneck and the read-only setting
+reaches it at a much lower workload than the read/write mix.
+"""
+
+from repro.experiments.figures import figure4
+
+
+def test_bench_figure4(once, emit):
+    fig = once(figure4)
+    emit(fig)
+    readonly = dict(fig.data["100% read"])
+    mixed = dict(fig.data["85% read / 15% write"])
+    # Read-only knee ~2000 users; the mix is fine until ~3200.
+    assert readonly[3000] > 3 * mixed[3000]
+    assert readonly[1000] < 400.0

@@ -1,0 +1,24 @@
+"""Figure 5: RUBiS scale-out response time, 2-8 app x 1-3 db (V.B).
+
+Paper shape: the 1-2-1/1-2-2/1-2-3 lines overlap (the DB is not the
+bottleneck below 1700 users); each added app server buys roughly 250
+users of capacity.
+"""
+
+from repro.experiments.figures import figure5
+from repro.results import analysis
+
+
+def test_bench_figure5(once, emit):
+    fig = once(figure5)
+    emit(fig)
+    results = fig.results
+    # DB replicas are near-irrelevant here: 1-2-1 vs 1-2-3 overlap.
+    rt_121 = dict(analysis.response_time_series(results, "1-2-1"))
+    rt_123 = dict(analysis.response_time_series(results, "1-2-3"))
+    assert abs(rt_121[300] - rt_123[300]) < 0.3 * max(rt_121[300], 50)
+    # Adding app servers moves the knee: 1-5-1 handles 1200 users that
+    # swamp 1-3-1 (capacities ~1225 vs ~735).
+    rt_131 = dict(analysis.response_time_series(results, "1-3-1"))
+    rt_151 = dict(analysis.response_time_series(results, "1-5-1"))
+    assert rt_151[1200] < rt_131[1200] / 3

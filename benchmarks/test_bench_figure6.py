@@ -1,0 +1,24 @@
+"""Figure 6: RUBiS scale-out response time, 8-12 app x 1-3 db (V.B).
+
+Paper shape: past 1700 users the single-DB configurations saturate; the
+1-8-Y, 1-9-Y, 1-10-Y curves (Y >= 2) overlap because with two or three
+DBs the database is no longer the bottleneck.
+"""
+
+from repro.experiments.figures import figure6
+from repro.results import analysis
+
+
+def test_bench_figure6(once, emit):
+    fig = once(figure6)
+    emit(fig)
+    results = fig.results
+    # With 12 app servers the app tier (capacity ~2940) is out of the
+    # way: the single-DB knee at ~1700 users shows cleanly.
+    rt_12_1 = dict(analysis.response_time_series(results, "1-12-1"))
+    rt_12_2 = dict(analysis.response_time_series(results, "1-12-2"))
+    assert rt_12_2[2500] < rt_12_1[2500] / 4
+    # Two vs three DBs overlap below the ~2950-user two-DB knee.
+    rt_182 = dict(analysis.response_time_series(results, "1-8-2"))
+    rt_183 = dict(analysis.response_time_series(results, "1-8-3"))
+    assert abs(rt_182[2100] - rt_183[2100]) < max(150.0, 0.5 * rt_182[2100])

@@ -1,0 +1,19 @@
+"""Figure 7: response-time differences between DB configurations (V.B).
+
+Paper shape: the 1DB-2DB (8 app) curve is flat on the left with a
+sudden jump at ~1700 users; 2DB-3DB stays small until ~2900 users.
+"""
+
+from repro.experiments.figures import figure7
+
+
+def test_bench_figure7(once, emit):
+    fig = once(figure7)
+    emit(fig)
+    one_two = dict(fig.data["1DB-2DB (8 app)"])
+    two_three_8 = dict(fig.data["2DB-3DB (8 app)"])
+    # Flat before the single-DB knee, jump after it.
+    assert abs(one_two[1100]) < 200.0
+    assert one_two[2000] > 500.0
+    # A third DB buys almost nothing at 8 app servers.
+    assert abs(two_three_8[2000]) < 400.0

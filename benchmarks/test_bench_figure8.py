@@ -1,0 +1,23 @@
+"""Figure 8: DB-tier CPU utilization for 1-8-1, 1-8-2, 1-12-2 (V.B).
+
+Paper shape: gradual CPU saturation at ~1700 users (1 DB) and ~2700
+users (2 DBs); the 1-12-2 configuration's DBs stay below saturation
+until the top of the measured range.
+"""
+
+from repro.experiments.figures import figure8
+
+
+def test_bench_figure8(once, emit):
+    fig = once(figure8)
+    emit(fig)
+    one_db = dict(fig.data["1-8-1"])
+    two_db = dict(fig.data["1-12-2"])
+    three_db = dict(fig.data["1-12-3"])
+    # Single DB saturates by 2000 users (paper: 1700).
+    assert one_db[2000] > 85.0
+    # Two DBs approach saturation near the top of the range (~2700).
+    assert two_db[2000] < 85.0
+    assert two_db[2900] > 85.0
+    # Three DBs never saturate in the measured range.
+    assert three_db[2900] < 80.0

@@ -1,0 +1,22 @@
+"""Table 3: scale of experiments run (III.C).
+
+Regenerates every bundle of the four experiment sets and sums the
+script/config line counts, machine counts and (estimated) collected
+data volume.  Paper shape: generated scripts reach hundreds of
+thousands of lines; data collected is on the order of gigabytes per
+set; the scale-out sets dwarf the baselines.
+"""
+
+from repro.experiments.figures import table3
+
+
+def test_bench_table3(once, emit):
+    fig = once(table3, paper_scale=True)
+    emit(fig)
+    rows = {row["set"]: row for row in fig.data}
+    scaleout = rows["Scale-out RUBiS on JOnAS"]
+    baseline = rows["Baseline RUBiS on JOnAS"]
+    assert scaleout["script_lines"] > 300_000        # "hundreds of KLOC"
+    assert scaleout["machine_count"] > 2000
+    assert scaleout["collected_mb"] > 1000           # gigabytes
+    assert baseline["script_lines"] < scaleout["script_lines"] / 5

@@ -1,0 +1,16 @@
+"""Table 4: examples of generated scripts for the 1-2-2 bundle (III.C)."""
+
+from repro.experiments.figures import table4
+
+
+def test_bench_table4(once, emit):
+    fig = once(table4)
+    emit(fig)
+    entries = dict((name, lines) for name, lines, _c in
+                   fig.data["entries"])
+    # Same family as the paper's Table 4, with install > stop in size.
+    assert entries["run.sh"] > 30
+    assert entries["scripts/TOMCAT1_install.sh"] > \
+        entries["scripts/TOMCAT1_stop.sh"]
+    bundle = fig.data["bundle"]
+    assert bundle.script_line_total() > 400

@@ -1,0 +1,17 @@
+"""Table 6: % response-time improvement from 1-1-1 at 500 users (V.B).
+
+Paper shape: adding one application server yields 84.3% improvement;
+adding one database server only 13% — app servers are where the money
+goes for this workload.
+"""
+
+from repro.experiments.figures import table6
+
+
+def test_bench_table6(once, emit):
+    fig = once(table6)
+    emit(fig)
+    table = fig.data
+    assert table["app"][2] > 60.0
+    assert table["db"][2] < 30.0
+    assert table["app"][2] > 3 * max(table["db"][2], 1.0)

@@ -1,0 +1,22 @@
+"""Table 7: measured average throughput per configuration/load (V.B).
+
+Paper shape: throughput at low loads is identical across configurations
+(software scale-out works); the 1-2-1 configuration fails to complete
+loads beyond ~700 users (missing squares).
+"""
+
+from repro.experiments.figures import table7
+
+
+def test_bench_table7(once, emit):
+    fig = once(table7)
+    emit(fig)
+    table = fig.data
+    # Uniform throughput across configs at 300 users.
+    row = {t: table[t][300] for t in table}
+    values = [v for v in row.values() if v is not None]
+    assert len(values) == len(row)
+    assert max(values) - min(values) < 0.15 * max(values)
+    # Missing squares for the small config at high load.
+    assert table["1-2-1"][1000] is None
+    assert table["1-4-3"][1000] is not None

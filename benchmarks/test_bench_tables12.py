@@ -1,0 +1,17 @@
+"""Tables 1 and 2: software and hardware configuration summaries."""
+
+from repro.experiments.figures import table1, table2
+
+
+def test_bench_table1(once, emit):
+    fig = once(table1)
+    emit(fig)
+    assert "mysql" in fig.rendered
+    assert "jonas" in fig.rendered
+
+
+def test_bench_table2(once, emit):
+    fig = once(table2)
+    emit(fig)
+    assert "emulab" in fig.rendered
+    assert "warp" in fig.rendered

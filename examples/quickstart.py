@@ -1,0 +1,53 @@
+"""Quickstart: one observation campaign from a TBL specification.
+
+Runs the RUBiS baseline sweep (reduced trial periods) on a virtual
+Emulab cluster and queries the resulting performance map — the
+package's whole pipeline in ~30 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ObservationCampaign
+
+TBL = """
+# RUBiS baseline: one server per tier, workload and write-ratio sweep.
+benchmark rubis;
+platform emulab;
+
+experiment "baseline" {
+    topology 1-1-1;
+    workload 50 to 250 step 50;
+    write_ratio 0%, 15%, 50%;
+    think_time 7s;
+    trial { warmup 15s; run 60s; cooldown 5s; }
+    slo { response_time 2000ms; error_ratio 10%; }
+    monitor { interval 1s; metrics cpu, memory, disk, network; }
+}
+"""
+
+
+def main():
+    campaign = ObservationCampaign(TBL, node_count=10)
+    print("Running the baseline campaign (15 trials)...")
+    report = campaign.run(
+        on_result=lambda r: print(
+            f"  {r.topology_label} users={r.workload:<4} "
+            f"wr={r.write_ratio:.0%} -> {r.status:<9} "
+            f"rt={r.response_time_ms():7.1f} ms  "
+            f"x={r.throughput():6.1f}/s  app-cpu={r.tier_cpu('app'):3.0f}%"
+        )
+    )
+    print(f"\n{report.summary()}")
+
+    pmap = campaign.performance_map()
+    print("\nObservation-based characterization queries:")
+    for users in (100, 200, 250):
+        rt = pmap.response_time("1-1-1", users, write_ratio=0.15)
+        print(f"  expected RT at {users} users (wr=15%): {rt * 1000:7.1f} ms")
+    knee = pmap.knee("1-1-1", write_ratio=0.0)
+    print(f"  observed saturation knee at wr=0%: ~{knee} users "
+          f"(paper: bottleneck past ~250 users for wr < 30%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""The paper's bottleneck-driven scale-out strategy (Section V.A).
+
+Starting from 1-1-1, the strategy raises the workload until the SLO
+breaks, reads the sysstat observations to find the saturated tier, adds
+one server there, and repeats — reproducing the exploration that led
+the paper from 1-1-1 to 1-12-2.  Every decision is printed with the
+observation that prompted it.
+
+Run:  python examples/scaleout_strategy.py
+"""
+
+from repro import ScaleOutStrategy
+from repro.experiments.figures import make_runner
+from repro.spec.tbl import ServiceLevelObjective
+
+
+def main():
+    runner = make_runner("emulab", "rubis", node_count=20)
+    strategy = ScaleOutStrategy(runner, "rubis", "emulab", scale=0.1)
+    slo = ServiceLevelObjective(response_time=1.0, error_ratio=0.10)
+
+    print("Exploring RUBiS configurations (SLO: RT <= 1 s, wr = 15%)...\n")
+    outcome = strategy.explore(
+        slo,
+        workload_start=200, workload_step=200, max_workload=2000,
+        max_app=8, max_db=3, max_trials=30,
+    )
+
+    for step in outcome.steps:
+        marker = {"workload+": " ", "stop": "x"}.get(step.action, ">")
+        observed = ""
+        if step.result is not None:
+            observed = (f"  [rt={step.result.response_time_ms():7.1f} ms, "
+                        f"app={step.result.tier_cpu('app'):3.0f}%, "
+                        f"db={step.result.tier_cpu('db'):3.0f}%]")
+        print(f" {marker} {step.topology:>7} @ {step.workload:>5} users: "
+              f"{step.action:<10} {step.reason}{observed}")
+
+    print(f"\nFinal configuration: {outcome.final_topology()}")
+    print(f"Max workload observed within SLO: "
+          f"{outcome.max_supported_workload(slo)} users")
+    print(f"Trials spent: {len(outcome.results)} "
+          f"(the strategy explores, it does not enumerate)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — reproduction of "An Observation-Based Approach to Performance
+Characterization of Distributed n-tier Applications" (IISWC 2007).
+
+The package implements the Elba/Mulini pipeline end to end: CIM/MOF +
+TBL specifications are parsed, Mulini generates the deployment bundle,
+a shell interpreter deploys it onto a virtual cluster, a discrete-event
+simulation plays the benchmark against the deployed system, sysstat
+monitors record host metrics, and results land in a SQLite database the
+characterization/capacity-planning APIs query.
+
+Quickstart::
+
+    from repro import ObservationCampaign
+
+    campaign = ObservationCampaign('''
+        benchmark rubis; platform emulab;
+        experiment "baseline" {
+            topology 1-1-1;
+            workload 50 to 250 step 50;
+            write_ratio 15%;
+            trial { warmup 6s; run 30s; cooldown 6s; }
+        }
+    ''')
+    campaign.run()
+    print(campaign.performance_map().response_time("1-1-1", 200))
+
+See README.md for the architecture tour and examples/ for runnable
+scenarios.
+"""
+
+from repro.core import (
+    CampaignReport,
+    CapacityPlan,
+    CapacityPlanner,
+    ObservationCampaign,
+    PerformanceMap,
+    ScaleOutStrategy,
+    detect_bottleneck,
+)
+from repro.errors import ReproError
+from repro.experiments import ExperimentRunner, TrialResult, build_experiment
+from repro.generator import Bundle, HostPlan, Mulini
+from repro.results import ResultsDatabase
+from repro.spec import Topology
+from repro.vcluster import VirtualCluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignReport",
+    "CapacityPlan",
+    "CapacityPlanner",
+    "ObservationCampaign",
+    "PerformanceMap",
+    "ScaleOutStrategy",
+    "detect_bottleneck",
+    "ReproError",
+    "ExperimentRunner",
+    "TrialResult",
+    "build_experiment",
+    "Bundle",
+    "HostPlan",
+    "Mulini",
+    "ResultsDatabase",
+    "Topology",
+    "VirtualCluster",
+    "__version__",
+]

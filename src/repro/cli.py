@@ -1,0 +1,318 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI is the operator's surface over the library: validate a spec
+pair, materialize a generated bundle to disk, run a campaign into a
+SQLite file, query/export the observations, regenerate a paper figure,
+or inspect the catalogs.
+
+Commands::
+
+    validate  --tbl FILE [--mof FILE]
+    generate  --tbl FILE [--mof FILE] --experiment NAME
+              [--topology W-A-D] [--workload N] [--write-ratio F]
+              [--backend shell|smartfrog] --out DIR
+    run       --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--quiet]
+    report    --db FILE [--experiment NAME] [--topology W-A-D]
+              [--format text|csv|json] [--out FILE]
+    figure    --id ID [--scale F] [--out DIR]    (figure1..8, table1..7)
+    catalog   [--platforms] [--software]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.errors import ReproError
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Observation-based performance characterization of "
+                    "n-tier applications (IISWC 2007 reproduction)",
+    )
+    commands = parser.add_subparsers(metavar="command")
+
+    validate = commands.add_parser(
+        "validate", help="check a TBL (and optional MOF) spec pair")
+    _spec_arguments(validate)
+    validate.set_defaults(handler=cmd_validate)
+
+    generate = commands.add_parser(
+        "generate", help="write a Mulini bundle for one experiment point")
+    _spec_arguments(generate)
+    generate.add_argument("--experiment", required=True)
+    generate.add_argument("--topology", default=None,
+                          help="w-a-d (default: the experiment's first)")
+    generate.add_argument("--workload", type=int, default=None)
+    generate.add_argument("--write-ratio", type=float, default=None)
+    generate.add_argument("--backend", choices=("shell", "smartfrog"),
+                          default="shell")
+    generate.add_argument("--out", required=True,
+                          help="directory to write the bundle into")
+    generate.set_defaults(handler=cmd_generate)
+
+    run = commands.add_parser(
+        "run", help="run every experiment of a TBL spec into a database")
+    _spec_arguments(run)
+    run.add_argument("--db", default="observations.sqlite",
+                     help="SQLite file for the results "
+                          "(default: observations.sqlite)")
+    run.add_argument("--nodes", type=int, default=36,
+                     help="virtual cluster size (default 36)")
+    run.add_argument("--quiet", action="store_true")
+    run.set_defaults(handler=cmd_run)
+
+    report = commands.add_parser(
+        "report", help="render or export observations from a database")
+    report.add_argument("--db", required=True)
+    report.add_argument("--experiment", default=None)
+    report.add_argument("--topology", default=None)
+    report.add_argument("--format", choices=("text", "csv", "json"),
+                        default="text")
+    report.add_argument("--chart", action="store_true",
+                        help="render an ASCII chart of the RT series")
+    report.add_argument("--by-interaction", action="store_true",
+                        help="per-interaction breakdown instead of series")
+    report.add_argument("--out", default=None,
+                        help="write to a file instead of stdout")
+    report.set_defaults(handler=cmd_report)
+
+    figure = commands.add_parser(
+        "figure", help="regenerate one paper figure/table")
+    figure.add_argument("--id", required=True, dest="figure_id",
+                        help="figure1..figure8, table1..table7")
+    figure.add_argument("--scale", type=float, default=None,
+                        help="trial-phase scale (default: bench scale)")
+    figure.add_argument("--out", default=None,
+                        help="directory for the rendering")
+    figure.set_defaults(handler=cmd_figure)
+
+    catalog = commands.add_parser(
+        "catalog", help="print the hardware/software catalogs")
+    catalog.add_argument("--platforms", action="store_true")
+    catalog.add_argument("--software", action="store_true")
+    catalog.set_defaults(handler=cmd_catalog)
+
+    return parser
+
+
+def _spec_arguments(subparser):
+    subparser.add_argument("--tbl", required=True,
+                           help="Testbed Language specification file")
+    subparser.add_argument("--mof", default=None,
+                           help="CIM/MOF resource model file "
+                                "(default: derived from the TBL header)")
+
+
+def _load_specs(args):
+    from repro.spec.mof import load_resource_model, render_resource_mof
+    from repro.spec.tbl import parse as parse_tbl
+
+    tbl_path = pathlib.Path(args.tbl)
+    tbl_text = tbl_path.read_text()
+    spec = parse_tbl(tbl_text, source=str(tbl_path))
+    if args.mof is not None:
+        mof_text = pathlib.Path(args.mof).read_text()
+        mof_source = args.mof
+    else:
+        mof_text = render_resource_mof(spec.benchmark, spec.platform,
+                                       app_server=spec.app_server)
+        mof_source = "<derived>"
+    model = load_resource_model(mof_text, source=mof_source)
+    return spec, model, tbl_text, mof_text
+
+
+def cmd_validate(args):
+    from repro.spec.validation import validate
+
+    spec, model, _tbl, _mof = _load_specs(args)
+    warnings = validate(model, spec)
+    points = sum(e.point_count() for e in spec.experiments)
+    print(f"ok: {len(spec.experiments)} experiment(s), {points} sweep "
+          f"point(s) on platform {model.platform.name!r}")
+    for experiment in spec.experiments:
+        print(f"  {experiment.name}: {len(experiment.topologies)} "
+              f"topologies x {len(experiment.workloads)} workloads x "
+              f"{len(experiment.write_ratios)} write ratios, up to "
+              f"{experiment.max_machine_count()} machines")
+    for warning in warnings:
+        print(f"warning: {warning}")
+    return 0
+
+
+def cmd_generate(args):
+    from repro.generator import Mulini
+    from repro.spec.topology import Topology
+
+    spec, model, _tbl, _mof = _load_specs(args)
+    experiment = spec.experiment(args.experiment)
+    topology = Topology.parse(args.topology) if args.topology \
+        else experiment.topologies[0]
+    workload = args.workload if args.workload is not None \
+        else experiment.workloads[0]
+    write_ratio = args.write_ratio if args.write_ratio is not None \
+        else experiment.write_ratios[0]
+    mulini = Mulini(model, spec)
+    out_dir = pathlib.Path(args.out)
+    if args.backend == "smartfrog":
+        text = mulini.generate(experiment, topology, workload, write_ratio,
+                               backend="smartfrog")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / "deployment.sf"
+        path.write_text(text)
+        print(f"wrote {path}")
+        return 0
+    bundle = mulini.generate(experiment, topology, workload, write_ratio)
+    root = out_dir / bundle.experiment_id
+    for relative, content in sorted(bundle.files.items()):
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    (root / "manifest.txt").write_text(bundle.manifest())
+    print(f"wrote {bundle.file_count() + 1} files under {root}")
+    print(f"  {bundle.script_line_total()} script lines, "
+          f"{bundle.config_line_total()} config lines")
+    return 0
+
+
+def cmd_run(args):
+    from repro.core import ObservationCampaign
+    from repro.results import ResultsDatabase
+
+    _spec, _model, tbl_text, mof_text = _load_specs(args)
+    database = ResultsDatabase(args.db)
+    campaign = ObservationCampaign(tbl_text, mof_text=mof_text,
+                                   database=database,
+                                   node_count=args.nodes,
+                                   tbl_source=args.tbl)
+
+    def progress(result):
+        if not args.quiet:
+            print(f"  {result.experiment_name} {result.topology_label} "
+                  f"u={result.workload} wr={result.write_ratio:.0%} -> "
+                  f"{result.status} rt={result.response_time_ms():.1f}ms "
+                  f"x={result.throughput():.1f}/s")
+
+    report = campaign.run(on_result=progress)
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    print(report.summary())
+    print(f"observations stored in {args.db}")
+    return 0
+
+
+def cmd_report(args):
+    from repro.results import ResultsDatabase, analysis, report
+    from repro.results.export import to_csv, to_json
+
+    with ResultsDatabase(args.db) as database:
+        results = database.query(experiment_name=args.experiment,
+                                 topology=args.topology)
+        if not results:
+            print("no matching trials", file=sys.stderr)
+            return 1
+        if args.format == "csv":
+            output = to_csv(results)
+        elif args.format == "json":
+            output = to_json(results)
+        elif args.by_interaction:
+            sections = []
+            for result in results:
+                if not result.per_state:
+                    continue
+                sections.append(report.render_state_table(
+                    f"{result.topology_label} @ {result.workload} users, "
+                    f"wr={result.write_ratio:.0%} — by interaction",
+                    result.per_state, limit=10,
+                ))
+            if not sections:
+                print("no per-interaction data stored", file=sys.stderr)
+                return 1
+            output = "\n\n".join(sections) + "\n"
+        elif args.chart:
+            series = {
+                topology: analysis.response_time_series(results, topology)
+                for topology in sorted({r.topology_label
+                                        for r in results})
+            }
+            output = report.render_ascii_chart(
+                "mean response time (ms) vs workload", series,
+            ) + "\n"
+        else:
+            sections = []
+            for topology in sorted({r.topology_label for r in results}):
+                for ratio in sorted({round(r.write_ratio, 6)
+                                     for r in results
+                                     if r.topology_label == topology}):
+                    series = analysis.response_time_series(
+                        results, topology, write_ratio=ratio)
+                    sections.append(report.render_series(
+                        f"{topology} @ wr={ratio:.0%} "
+                        f"(mean response time, ms)",
+                        series, y_label="rt_ms",
+                    ))
+            output = "\n\n".join(sections) + "\n"
+    if args.out:
+        pathlib.Path(args.out).write_text(output)
+        print(f"wrote {args.out}")
+    else:
+        print(output, end="")
+    return 0
+
+
+def cmd_figure(args):
+    from repro.experiments.papersuite import (
+        FIGURE_IDS,
+        reproduce,
+        reproduce_all,
+    )
+
+    if args.figure_id == "all":
+        results = reproduce_all(output_dir=args.out, scale=args.scale,
+                                on_progress=print)
+        print(f"reproduced {len(results)} figures/tables"
+              + (f" into {args.out}" if args.out else ""))
+        return 0
+    try:
+        result = reproduce(args.figure_id, scale=args.scale)
+    except KeyError:
+        print(f"error: unknown figure id {args.figure_id!r}; known: "
+              f"all, {', '.join(FIGURE_IDS)}", file=sys.stderr)
+        return 1
+    print(result.rendered)
+    if args.out:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"{result.figure_id}.txt"
+        path.write_text(result.rendered + "\n")
+        print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_catalog(args):
+    from repro.experiments.figures import table1, table2
+
+    show_all = not (args.platforms or args.software)
+    if args.software or show_all:
+        print(table1().rendered)
+    if (args.platforms or show_all):
+        if args.software or show_all:
+            print()
+        print(table2().rendered)
+    return 0

@@ -1,0 +1,33 @@
+"""Core API: campaigns, characterization, capacity planning, scale-out."""
+
+from repro.core.bottleneck import (
+    SATURATION_CPU_PERCENT,
+    detect_bottleneck,
+    diagnose,
+    slo_violated,
+    tier_utilizations,
+)
+from repro.core.campaign import CampaignReport, ObservationCampaign
+from repro.core.capacity import CapacityPlan, CapacityPlanner
+from repro.core.characterization import PerformanceMap
+from repro.core.heuristics import (
+    ScaleOutOutcome,
+    ScaleOutStep,
+    ScaleOutStrategy,
+)
+
+__all__ = [
+    "SATURATION_CPU_PERCENT",
+    "detect_bottleneck",
+    "diagnose",
+    "slo_violated",
+    "tier_utilizations",
+    "CampaignReport",
+    "ObservationCampaign",
+    "CapacityPlan",
+    "CapacityPlanner",
+    "PerformanceMap",
+    "ScaleOutOutcome",
+    "ScaleOutStep",
+    "ScaleOutStrategy",
+]

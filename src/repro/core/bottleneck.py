@@ -1,0 +1,79 @@
+"""Bottleneck detection from observed monitor data.
+
+"When a bottleneck is found (e.g., by the observation of response times
+longer than specified by service level objectives), we use Mulini to
+generate new experiments with larger configurations" (Section II).  The
+detector reads the same per-tier CPU figures the sysstat pipeline
+collected — observation, not modelling.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+
+#: A tier is considered saturated above this mean CPU utilization.
+SATURATION_CPU_PERCENT = 85.0
+
+#: Tiers eligible for scale-out (clients are not a system resource).
+SCALABLE_TIERS = ("web", "app", "db")
+
+
+def tier_utilizations(result):
+    """{tier: mean CPU %} for the scalable tiers of one trial."""
+    return {tier: result.tier_cpu(tier) for tier in SCALABLE_TIERS
+            if any(t == tier for t in result.tier_of_host.values())}
+
+
+def detect_bottleneck(result, threshold=SATURATION_CPU_PERCENT):
+    """The saturated tier of one trial, or None.
+
+    When several tiers exceed the threshold the most utilized one is
+    reported — it is the one whose scale-out moves the knee.
+    """
+    utilizations = tier_utilizations(result)
+    saturated = {tier: cpu for tier, cpu in utilizations.items()
+                 if cpu >= threshold}
+    if not saturated:
+        return None
+    return max(saturated, key=saturated.get)
+
+
+def slo_violated(result, slo):
+    """SLO check on a trial: response time or error budget exceeded."""
+    return (result.metrics.mean_response_s > slo.response_time
+            or result.metrics.error_ratio > slo.error_ratio)
+
+
+def diagnose(result, slo, threshold=SATURATION_CPU_PERCENT):
+    """A structured observation for one trial.
+
+    Returns a dict with the SLO verdict, the saturated tier (if any)
+    and per-tier utilizations — the record the scale-out strategy acts
+    on.
+    """
+    bottleneck = detect_bottleneck(result, threshold)
+    violated = slo_violated(result, slo)
+    return {
+        "topology": result.topology_label,
+        "workload": result.workload,
+        "slo_violated": violated,
+        "bottleneck": bottleneck,
+        "utilizations": tier_utilizations(result),
+        "response_time_ms": result.response_time_ms(),
+        "error_ratio": result.metrics.error_ratio,
+    }
+
+
+def bottleneck_progression(results, slo, threshold=SATURATION_CPU_PERCENT):
+    """Diagnose an increasing-workload series; returns the first
+    violating diagnosis (with its bottleneck) or None if the whole
+    series met the SLO.
+    """
+    ordered = sorted(results, key=lambda r: r.workload)
+    if not ordered:
+        raise ExperimentError("no results to diagnose")
+    for result in ordered:
+        verdict = diagnose(result, slo, threshold)
+        if verdict["slo_violated"]:
+            return verdict
+    return None

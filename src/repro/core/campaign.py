@@ -1,0 +1,98 @@
+"""Observation campaigns: the package's top-level façade.
+
+An :class:`ObservationCampaign` owns the whole pipeline for one TBL
+document: resource MOF -> validation -> per-point generation ->
+deployment -> trial -> results database.  It is the programmatic form of
+the paper's workflow ("we modify Mulini's input specification once, and
+the necessary modifications are propagated automatically").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.characterization import PerformanceMap
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentRunner
+from repro.results.database import ResultsDatabase
+from repro.spec.mof import load_resource_model, render_resource_mof
+from repro.spec.tbl import parse as parse_tbl
+from repro.spec.validation import validate
+from repro.vcluster import VirtualCluster
+
+
+@dataclass
+class CampaignReport:
+    """What one campaign run produced."""
+
+    trials: int = 0
+    completed: int = 0
+    dnf: int = 0
+    experiments: list = field(default_factory=list)
+    warnings: list = field(default_factory=list)
+
+    def summary(self):
+        return (f"{self.trials} trials ({self.completed} completed, "
+                f"{self.dnf} DNF) across {len(self.experiments)} "
+                f"experiments")
+
+
+class ObservationCampaign:
+    """End-to-end campaign bound to one TBL spec and one cluster."""
+
+    def __init__(self, tbl_text, mof_text=None, database=None,
+                 node_count=36, tbl_source="<campaign>"):
+        self.spec = parse_tbl(tbl_text, source=tbl_source)
+        if mof_text is None:
+            mof_text = render_resource_mof(
+                self.spec.benchmark, self.spec.platform,
+                app_server=self.spec.app_server,
+            )
+        self.resource_model = load_resource_model(mof_text)
+        self.validation_warnings = validate(self.resource_model, self.spec)
+        needed = max(e.max_machine_count() for e in self.spec.experiments)
+        if needed > node_count:
+            raise ExperimentError(
+                f"spec needs up to {needed} machines but the campaign "
+                f"cluster has only {node_count} nodes"
+            )
+        self.cluster = VirtualCluster(self.spec.platform,
+                                      node_count=node_count)
+        self.runner = ExperimentRunner(self.cluster, self.resource_model)
+        self.database = database if database is not None \
+            else ResultsDatabase()
+
+    def run(self, experiment_names=None, on_result=None, replace=True):
+        """Run the spec's experiments, storing every trial.
+
+        *experiment_names* restricts to a subset; *on_result* is a
+        progress callback receiving each :class:`TrialResult`.
+        """
+        report = CampaignReport(warnings=list(self.validation_warnings))
+        experiments = self.spec.experiments
+        if experiment_names is not None:
+            experiments = [self.spec.experiment(name)
+                           for name in experiment_names]
+        if not experiments:
+            raise ExperimentError("campaign selects no experiments")
+        for experiment in experiments:
+            report.experiments.append(experiment.name)
+
+            def store(result):
+                self.database.insert(result, replace=replace)
+                report.trials += 1
+                if result.completed:
+                    report.completed += 1
+                else:
+                    report.dnf += 1
+                if on_result is not None:
+                    on_result(result)
+
+            self.runner.run_experiment(experiment, on_result=store)
+        return report
+
+    def performance_map(self, experiment_name=None):
+        """A :class:`PerformanceMap` over this campaign's observations."""
+        return PerformanceMap.from_database(
+            self.database, experiment_name=experiment_name,
+        )

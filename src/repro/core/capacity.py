@@ -1,0 +1,94 @@
+"""Capacity planning over observed performance maps (Section V.C).
+
+"Given a concrete set of service level objectives and workload levels,
+one can use the numbers in Figure 5 through Figure 8 to choose the
+appropriate system resource level."  The planner answers exactly that
+question against a :class:`PerformanceMap`, minimizing server count
+first (avoiding over-provisioning, the paper's stated concern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResultsError
+from repro.spec.topology import Topology
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The planner's answer for one workload target."""
+
+    users: int
+    topology: str
+    total_servers: int
+    expected_response_s: float
+    headroom_users: int        # largest observed workload still in SLO
+
+    def describe(self):
+        return (f"{self.users} users -> {self.topology} "
+                f"({self.total_servers} servers, expected RT "
+                f"{self.expected_response_s * 1000:.0f} ms, good to "
+                f"{self.headroom_users} users)")
+
+
+class CapacityPlanner:
+    """Chooses minimal observed configurations for workload targets."""
+
+    def __init__(self, performance_map, write_ratio=0.15):
+        self.map = performance_map
+        self.write_ratio = write_ratio
+
+    def plan(self, users, slo):
+        """The smallest observed topology serving *users* within *slo*.
+
+        Ties on server count break toward lower expected response time.
+        Raises :class:`ResultsError` when no observed configuration
+        qualifies — the observational answer is "measure bigger
+        configurations", never an extrapolation.
+        """
+        candidates = []
+        for label in self.map.topologies():
+            supported = self.map.supported_users(label, slo,
+                                                 self.write_ratio)
+            if supported is None or supported < users:
+                continue
+            topology = Topology.parse(label)
+            response = self.map.response_time(label, users,
+                                              self.write_ratio)
+            candidates.append(CapacityPlan(
+                users=users,
+                topology=label,
+                total_servers=topology.total_servers(),
+                expected_response_s=response,
+                headroom_users=supported,
+            ))
+        if not candidates:
+            raise ResultsError(
+                f"no observed configuration supports {users} users within "
+                f"the SLO; extend the observation campaign"
+            )
+        candidates.sort(key=lambda plan: (plan.total_servers,
+                                          plan.expected_response_s))
+        return candidates[0]
+
+    def plan_range(self, user_levels, slo):
+        """Plans for several target levels; skips unsatisfiable ones.
+
+        Returns ``{users: CapacityPlan-or-None}`` — the provisioning
+        table an operator would pin next to the paper's Figure 5.
+        """
+        plans = {}
+        for users in user_levels:
+            try:
+                plans[users] = self.plan(users, slo)
+            except ResultsError:
+                plans[users] = None
+        return plans
+
+    def over_provisioning(self, users, slo, topology_label):
+        """How many servers *topology_label* wastes against the minimal
+        plan for *users* (the V.B capacity-planning discussion)."""
+        minimal = self.plan(users, slo)
+        chosen = Topology.parse(topology_label)
+        return chosen.total_servers() - minimal.total_servers

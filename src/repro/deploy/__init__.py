@@ -1,0 +1,26 @@
+"""Deployment: executes generated bundles, recovers and verifies state."""
+
+from repro.deploy.engine import Deployment, DeploymentEngine
+from repro.deploy.state import (
+    AppServer,
+    DatabaseBackend,
+    DbController,
+    DeployedSystem,
+    MonitorProcess,
+    WebServer,
+    extract_deployed_system,
+)
+from repro.deploy.verify import verify_deployment
+
+__all__ = [
+    "Deployment",
+    "DeploymentEngine",
+    "AppServer",
+    "DatabaseBackend",
+    "DbController",
+    "DeployedSystem",
+    "MonitorProcess",
+    "WebServer",
+    "extract_deployed_system",
+    "verify_deployment",
+]

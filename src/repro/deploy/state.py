@@ -1,0 +1,260 @@
+"""Deployed-system state extraction.
+
+After the generated ``run.sh`` has executed, the virtual cluster holds
+running daemons and deployed configuration files.  This module rebuilds
+the logical n-tier system *from that state alone* — process tables and
+the very config files the scripts placed — so the simulation is driven
+by what was actually deployed, never by what was merely intended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeployError
+from repro.generator import configfiles, workload
+from repro.generator.monitors import METRIC_FLAGS
+from repro.spec import catalog
+from repro.spec.topology import Topology
+
+
+@dataclass
+class WebServer:
+    host: object                 # VirtualHost
+    port: int
+    max_clients: int
+    workers: list                # [{"name", "host", "port"}]
+
+
+@dataclass
+class AppServer:
+    host: object
+    servlet_port: int
+    servlet_threads: int
+    server_name: str             # jonas / weblogic / tomcat
+    worker_pool: int
+    efficiency: float
+
+
+@dataclass
+class DatabaseBackend:
+    host: object
+    port: int
+    max_connections: int
+
+
+@dataclass
+class DbController:
+    host: object
+    port: int
+    database: str
+    backend_specs: list          # [{"name", "host", "port"}]
+
+
+@dataclass
+class MonitorProcess:
+    host: object
+    interval: float
+    output_path: str
+    metrics: tuple
+
+
+@dataclass
+class DeployedSystem:
+    """The logical n-tier application recovered from cluster state."""
+
+    driver: object               # DriverParameters
+    client_host: object
+    web_servers: list = field(default_factory=list)
+    app_servers: list = field(default_factory=list)
+    controller: DbController = None
+    db_backends: list = field(default_factory=list)
+    monitors: list = field(default_factory=list)
+
+    def topology(self):
+        return Topology(web=len(self.web_servers),
+                        app=len(self.app_servers),
+                        db=len(self.db_backends))
+
+    def monitored_hosts(self):
+        return [monitor.host.name for monitor in self.monitors]
+
+    def server_hosts(self):
+        hosts = []
+        for server in self.web_servers:
+            hosts.append(server.host)
+        for server in self.app_servers:
+            hosts.append(server.host)
+        for backend in self.db_backends:
+            hosts.append(backend.host)
+        return hosts
+
+
+def extract_deployed_system(hosts):
+    """Recover the :class:`DeployedSystem` from a list of virtual hosts."""
+    driver, client_host = _find_driver(hosts)
+    system = DeployedSystem(driver=driver, client_host=client_host)
+    for host in hosts:
+        _scan_web(system, host)
+        _scan_app(system, host)
+        _scan_controller(system, host)
+        _scan_monitor(system, host)
+    _resolve_db_backends(system, hosts)
+    if not system.app_servers:
+        raise DeployError("no application servers are running")
+    if not system.db_backends:
+        raise DeployError("no database backends are running")
+    system.app_servers.sort(key=lambda s: s.host.name)
+    system.web_servers.sort(key=lambda s: s.host.name)
+    return system
+
+
+def _find_driver(hosts):
+    for host in hosts:
+        for process in host.processes_named("driver.sh"):
+            config_path = process.arg_value("--config")
+            if config_path is None:
+                raise DeployError(
+                    f"driver on {host.name} started without --config"
+                )
+            if not host.fs.is_file(config_path):
+                raise DeployError(
+                    f"driver config {config_path} missing on {host.name}"
+                )
+            params = workload.parse_driver_properties(
+                host.fs.read(config_path)
+            )
+            return params, host
+    raise DeployError("no workload driver process found on any host")
+
+
+def _scan_web(system, host):
+    for process in host.processes_named("httpd"):
+        config_path = process.arg_value("--config")
+        if config_path is None or not host.fs.is_file(config_path):
+            raise DeployError(f"httpd on {host.name} has no config file")
+        conf = configfiles.parse_simple_conf(host.fs.read(config_path))
+        workers_file = conf.get("JkWorkersFile")
+        if workers_file is None or not host.fs.is_file(workers_file):
+            raise DeployError(
+                f"httpd on {host.name} lacks a workers2.properties"
+            )
+        workers = configfiles.parse_workers2(host.fs.read(workers_file))
+        system.web_servers.append(WebServer(
+            host=host,
+            port=int(process.arg_value("--port", conf.get("Listen", "80"))),
+            max_clients=int(conf.get("MaxClients", "256")),
+            workers=workers,
+        ))
+
+
+def _scan_app(system, host):
+    servlet = None
+    for process in host.processes_named("catalina.sh"):
+        config_path = process.arg_value("--config")
+        if config_path is None or not host.fs.is_file(config_path):
+            raise DeployError(f"tomcat on {host.name} has no server.xml")
+        servlet = configfiles.parse_tomcat_server_xml(
+            host.fs.read(config_path)
+        )
+    ejb = None
+    for name in ("jonas", "startWLS.sh"):
+        for process in host.processes_named(name):
+            config_path = process.arg_value("--config")
+            if config_path is None or not host.fs.is_file(config_path):
+                raise DeployError(
+                    f"app server on {host.name} has no config file"
+                )
+            values = configfiles.parse_properties(
+                host.fs.read(config_path)
+            )
+            ejb = {
+                "name": values.get("server.name", name),
+                "pool": int(values.get("server.worker.pool", "256")),
+            }
+    if servlet is None and ejb is None:
+        return
+    if ejb is not None:
+        server_name = ejb["name"]
+        worker_pool = ejb["pool"]
+    else:
+        server_name = "tomcat"
+        worker_pool = servlet["max_threads"]
+    package = catalog.get_package(server_name)
+    system.app_servers.append(AppServer(
+        host=host,
+        servlet_port=servlet["port"] if servlet else 0,
+        servlet_threads=servlet["max_threads"] if servlet else worker_pool,
+        server_name=server_name,
+        worker_pool=worker_pool,
+        efficiency=package.efficiency,
+    ))
+
+
+def _scan_controller(system, host):
+    for process in host.processes_named("controller.sh"):
+        config_path = process.arg_value("--config")
+        if config_path is None or not host.fs.is_file(config_path):
+            raise DeployError(
+                f"C-JDBC controller on {host.name} has no config file"
+            )
+        database, backends = configfiles.parse_raidb_config(
+            host.fs.read(config_path)
+        )
+        if system.controller is not None:
+            raise DeployError("multiple C-JDBC controllers are running")
+        system.controller = DbController(
+            host=host,
+            port=int(process.arg_value("--port", "25322")),
+            database=database,
+            backend_specs=backends,
+        )
+
+
+def _scan_monitor(system, host):
+    for process in host.processes_named("sar"):
+        output_path = process.arg_value("-o")
+        interval = process.arg_value("-i")
+        if output_path is None or interval is None:
+            raise DeployError(
+                f"sar on {host.name} missing -i/-o arguments"
+            )
+        flags = set(process.argv)
+        metrics = tuple(metric for metric, flag in METRIC_FLAGS.items()
+                        if flag in flags)
+        system.monitors.append(MonitorProcess(
+            host=host,
+            interval=float(interval),
+            output_path=output_path,
+            metrics=metrics or ("cpu",),
+        ))
+
+
+def _resolve_db_backends(system, hosts):
+    """Match controller backend specs to live mysqld processes."""
+    if system.controller is None:
+        raise DeployError("no C-JDBC controller is running")
+    hosts_by_name = {host.name: host for host in hosts}
+    for spec in system.controller.backend_specs:
+        host = hosts_by_name.get(spec["host"])
+        if host is None:
+            raise DeployError(
+                f"controller references unknown host {spec['host']!r}"
+            )
+        mysqlds = host.processes_named("mysqld")
+        if not mysqlds:
+            raise DeployError(
+                f"controller expects mysqld on {spec['host']}, none running"
+            )
+        process = mysqlds[0]
+        config_path = process.arg_value("--defaults-file") or \
+            process.arg_value("--config")
+        max_connections = 500
+        if config_path and host.fs.is_file(config_path):
+            conf = configfiles.parse_simple_conf(host.fs.read(config_path))
+            max_connections = int(conf.get("max_connections", "500"))
+        system.db_backends.append(DatabaseBackend(
+            host=host,
+            port=spec["port"],
+            max_connections=max_connections,
+        ))

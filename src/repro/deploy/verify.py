@@ -1,0 +1,106 @@
+"""Post-deployment verification.
+
+The Elba project's staging use case (Section VI / [12]) validates that a
+deployment matches its specification before the benchmark runs.  The
+checks here compare the recovered :class:`DeployedSystem` against the
+topology and experiment the scripts were generated from, and raise
+:class:`VerificationError` with *every* discrepancy, not just the first.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.generator.workload import mix_name
+
+
+def verify_deployment(system, experiment, topology, workload, write_ratio):
+    """Raise unless *system* matches the requested experiment point."""
+    problems = []
+    deployed = system.topology()
+    if deployed != topology:
+        problems.append(
+            f"topology mismatch: wanted {topology.label()}, "
+            f"deployed {deployed.label()}"
+        )
+    _check_driver(system, experiment, workload, write_ratio, problems)
+    _check_web_tier(system, problems)
+    _check_db_tier(system, problems)
+    _check_monitors(system, experiment, problems)
+    if problems:
+        raise VerificationError(
+            "deployment verification failed:\n  - " + "\n  - ".join(problems)
+        )
+    return True
+
+
+def _check_driver(system, experiment, workload, write_ratio, problems):
+    driver = system.driver
+    if driver.users != workload:
+        problems.append(
+            f"driver configured for {driver.users} users, wanted {workload}"
+        )
+    if abs(driver.write_ratio - write_ratio) > 1e-9:
+        problems.append(
+            f"driver write ratio {driver.write_ratio}, wanted {write_ratio}"
+        )
+    if driver.benchmark != experiment.benchmark:
+        problems.append(
+            f"driver benchmark {driver.benchmark!r}, wanted "
+            f"{experiment.benchmark!r}"
+        )
+    expected_mix = mix_name(experiment.benchmark, write_ratio)
+    if driver.mix != expected_mix:
+        problems.append(
+            f"driver mix {driver.mix!r}, wanted {expected_mix!r}"
+        )
+    if abs(driver.run - experiment.trial.run) > 1e-9:
+        problems.append(
+            f"driver run period {driver.run}s, wanted "
+            f"{experiment.trial.run}s"
+        )
+
+
+def _check_web_tier(system, problems):
+    app_hosts = {server.host.name for server in system.app_servers}
+    for web in system.web_servers:
+        worker_hosts = {worker["host"] for worker in web.workers}
+        if worker_hosts != app_hosts:
+            problems.append(
+                f"web server on {web.host.name} balances over "
+                f"{sorted(worker_hosts)}, app tier is {sorted(app_hosts)}"
+            )
+    if system.web_servers:
+        target = system.driver.target_host
+        web_hosts = {web.host.name for web in system.web_servers}
+        if target not in web_hosts:
+            problems.append(
+                f"driver targets {target!r} which runs no web server"
+            )
+
+
+def _check_db_tier(system, problems):
+    if system.controller is None:
+        problems.append("no C-JDBC controller running")
+        return
+    declared = {spec["host"] for spec in system.controller.backend_specs}
+    running = {backend.host.name for backend in system.db_backends}
+    if declared != running:
+        problems.append(
+            f"controller declares backends {sorted(declared)} but "
+            f"mysqld runs on {sorted(running)}"
+        )
+
+
+def _check_monitors(system, experiment, problems):
+    monitored = set(system.monitored_hosts())
+    expected = {host.name for host in system.server_hosts()}
+    expected.add(system.client_host.name)
+    missing = expected - monitored
+    if missing:
+        problems.append(f"hosts without system monitors: {sorted(missing)}")
+    for monitor in system.monitors:
+        if abs(monitor.interval - experiment.monitor.interval) > 1e-9:
+            problems.append(
+                f"monitor on {monitor.host.name} samples every "
+                f"{monitor.interval}s, wanted {experiment.monitor.interval}s"
+            )

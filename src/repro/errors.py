@@ -1,0 +1,120 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch failures from the whole pipeline with a single handler while still
+being able to discriminate the failing stage.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SpecError(ReproError):
+    """A specification (MOF or TBL) is syntactically or semantically invalid."""
+
+    def __init__(self, message, line=None, column=None, source=None):
+        self.line = line
+        self.column = column
+        self.source = source
+        location = ""
+        if source is not None:
+            location += f"{source}:"
+        if line is not None:
+            location += f"{line}"
+            if column is not None:
+                location += f":{column}"
+        if location:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class MofError(SpecError):
+    """Invalid CIM/MOF input."""
+
+
+class TblError(SpecError):
+    """Invalid Testbed Language input."""
+
+
+class ValidationError(SpecError):
+    """Specs are individually well-formed but mutually inconsistent."""
+
+
+class GenerationError(ReproError):
+    """Mulini could not generate an artifact bundle."""
+
+
+class TemplateError(GenerationError):
+    """A template failed to render (unknown placeholder, bad directive)."""
+
+
+class ClusterError(ReproError):
+    """Virtual-cluster level failure (unknown host, allocation exhausted)."""
+
+
+class AllocationError(ClusterError):
+    """Not enough free nodes to satisfy an experiment topology."""
+
+
+class ShellError(ReproError):
+    """The shell interpreter failed to lex, parse, or execute a script."""
+
+    def __init__(self, message, line=None, script=None):
+        self.line = line
+        self.script = script
+        location = ""
+        if script is not None:
+            location += f"{script}:"
+        if line is not None:
+            location += f"{line}"
+        if location:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class CommandError(ShellError):
+    """A shell builtin was invoked with bad arguments or failed fatally."""
+
+
+class DeployError(ReproError):
+    """Deployment of a generated bundle onto the virtual cluster failed."""
+
+
+class VerificationError(DeployError):
+    """Post-deployment verification found missing processes or files."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload definition is invalid (bad matrix, bad mix)."""
+
+
+class MonitoringError(ReproError):
+    """Monitor output could not be produced or parsed."""
+
+
+class ResultsError(ReproError):
+    """The results database rejected an operation."""
+
+
+class ExperimentError(ReproError):
+    """An experiment could not be executed end to end."""
+
+
+class TrialFailed(ExperimentError):
+    """A trial exceeded its error budget and is recorded as DNF.
+
+    Mirrors the paper's Table 7 'missing squares': experiments that could
+    not complete at high load.  Carries the partial measurements so the
+    harness can still record what was observed before the failure.
+    """
+
+    def __init__(self, message, partial=None):
+        super().__init__(message)
+        self.partial = partial

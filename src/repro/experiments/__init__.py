@@ -1,0 +1,21 @@
+"""Experiments: trial protocol, end-to-end runner, figure definitions."""
+
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweep import build_experiment
+from repro.experiments.trial import (
+    COMPLETED,
+    DNF,
+    TrialResult,
+    measurement_window,
+)
+
+__all__ = [
+    "figures",
+    "ExperimentRunner",
+    "build_experiment",
+    "COMPLETED",
+    "DNF",
+    "TrialResult",
+    "measurement_window",
+]

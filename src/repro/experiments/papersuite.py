@@ -1,0 +1,80 @@
+"""Run every paper reproduction in one call.
+
+``reproduce_all`` is the top-level driver behind ``python -m repro
+figure --id all``: it regenerates every figure and table (and the
+supplemental sets), writes the renderings to a directory, optionally
+stores all trials in one observation database, and returns a summary.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.experiments import figures
+
+#: Execution order: cheap catalog/generation tables first, then the
+#: baselines, then the big scale-out sweeps.
+SUITE = (
+    ("table1", figures.table1, False),
+    ("table2", figures.table2, False),
+    ("table4", figures.table4, False),
+    ("table5", figures.table5, False),
+    ("table3", figures.table3, False),
+    ("figure1", figures.figure1, True),
+    ("figure2", figures.figure2, True),
+    ("figure3", figures.figure3, True),
+    ("figure4", figures.figure4, True),
+    ("table6", figures.table6, True),
+    ("table7", figures.table7, True),
+    ("figure5", figures.figure5, True),
+    ("figure6", figures.figure6, True),
+    ("figure7", figures.figure7, True),
+    ("figure8", figures.figure8, True),
+    ("supplemental_rubbos_scaleout",
+     figures.supplemental_rubbos_scaleout, True),
+    ("supplemental_weblogic_scaleout",
+     figures.supplemental_weblogic_scaleout, True),
+)
+
+FIGURE_IDS = tuple(name for name, _fn, _scaled in SUITE)
+
+
+def reproduce(figure_id, scale=None):
+    """Run one reproduction by id; returns its FigureResult."""
+    for name, fn, scaled in SUITE:
+        if name == figure_id:
+            if scaled and scale is not None:
+                return fn(scale=scale)
+            return fn()
+    raise KeyError(
+        f"unknown figure id {figure_id!r}; known: {', '.join(FIGURE_IDS)}"
+    )
+
+
+def reproduce_all(output_dir=None, scale=None, database=None,
+                  on_progress=None, only=None):
+    """Run the full suite; returns {figure_id: FigureResult}.
+
+    *output_dir* receives one ``<id>.txt`` per reproduction; *database*
+    (a ResultsDatabase) collects every trial; *only* restricts to a
+    subset of ids.
+    """
+    selected = [entry for entry in SUITE
+                if only is None or entry[0] in only]
+    results = {}
+    for name, fn, scaled in selected:
+        if on_progress is not None:
+            on_progress(f"running {name} ...")
+        figure = fn(scale=scale) if (scaled and scale is not None) else fn()
+        results[name] = figure
+        if output_dir is not None:
+            out = pathlib.Path(output_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{figure.figure_id}.txt").write_text(
+                figure.rendered + "\n")
+        if database is not None and figure.results:
+            figure.store(database)
+        if on_progress is not None:
+            trials = len(figure.results)
+            on_progress(f"  {name} done ({trials} trials)")
+    return results

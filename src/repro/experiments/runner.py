@@ -1,0 +1,166 @@
+"""The end-to-end experiment runner.
+
+One ``run_point`` call is one trial of the paper's methodology, with
+nothing short-circuited:
+
+1. allocate cluster nodes for the topology (honouring node types),
+2. Mulini generates the bundle for this exact point,
+3. the shell interpreter executes the generated ``run.sh``,
+4. the deployed system is recovered from cluster state and verified,
+5. the simulation plays the trial's warm-up/run/cool-down phases with
+   sysstat emitters sampling every host,
+6. monitor output and the driver's request log are written on the
+   hosts and gathered by the generated ``collect.sh``,
+7. metrics are computed from the *collected* files on the control host,
+8. the generated ``teardown.sh`` stops everything; nodes are released.
+
+A trial whose error ratio exceeds the TBL error budget is recorded as
+DNF — the paper's experiments that "could not complete" (Table 7).
+"""
+
+from __future__ import annotations
+
+from repro.deploy import DeploymentEngine
+from repro.errors import ExperimentError
+from repro.experiments.trial import (
+    COMPLETED,
+    DNF,
+    TrialResult,
+    measurement_window,
+)
+from repro.generator import HostPlan, Mulini
+from repro.monitoring import (
+    attach_monitors,
+    collect_sysstat_files,
+    collected_bytes,
+    render_request_log,
+    summarize_log,
+    summarize_log_by_state,
+)
+from repro.sim import NTierSimulation
+
+
+class ExperimentRunner:
+    """Runs experiment points end to end on one virtual cluster."""
+
+    def __init__(self, cluster, resource_model):
+        self.cluster = cluster
+        self.resource_model = resource_model
+        self.mulini = Mulini(resource_model)
+        self.engine = DeploymentEngine(cluster)
+
+    def run_point(self, experiment, topology, workload, write_ratio,
+                  seed=None):
+        """Execute one trial; returns a :class:`TrialResult`.
+
+        *seed* overrides the experiment's seed (used for repetitions);
+        it flows into the generated driver.properties, so the whole
+        trial replays under the replacement seed.
+        """
+        if seed is not None and seed != experiment.seed:
+            from dataclasses import replace
+            experiment = replace(experiment, seed=seed)
+        tier_node_types = {}
+        if experiment.db_node_type is not None:
+            tier_node_types["db"] = \
+                self.cluster.platform.node_type(experiment.db_node_type).name
+        allocation = self.cluster.allocate(topology,
+                                           tier_node_types=tier_node_types)
+        try:
+            return self._run_allocated(allocation, experiment, topology,
+                                       workload, write_ratio)
+        finally:
+            self.cluster.release(allocation)
+
+    def run_experiment(self, experiment, on_result=None):
+        """Run every sweep point of *experiment*, with repetitions.
+
+        Each repetition replays the point under seed, seed+1, ... so
+        saturation noise can be quantified (the paper's "significant
+        random fluctuations" at the CPU-saturated cells).
+        """
+        results = []
+        for topology, workload, write_ratio in experiment.points():
+            for repetition in range(experiment.repetitions):
+                result = self.run_point(experiment, topology, workload,
+                                        write_ratio,
+                                        seed=experiment.seed + repetition)
+                results.append(result)
+                if on_result is not None:
+                    on_result(result)
+        return results
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_allocated(self, allocation, experiment, topology, workload,
+                       write_ratio):
+        plan = HostPlan.from_allocation(allocation)
+        bundle = self.mulini.generate(experiment, topology, workload,
+                                      write_ratio, host_plan=plan)
+        deployment = self.engine.deploy(
+            bundle, allocation, experiment=experiment, topology=topology,
+            workload=workload, write_ratio=write_ratio,
+        )
+        system = deployment.system
+        harness = NTierSimulation(system)
+        emitters = attach_monitors(harness)
+        records = harness.run()
+        for emitter in emitters:
+            emitter.stop()
+            emitter.flush()
+        # The driver writes its per-request log where driver.properties
+        # said it would; collect.sh ships it to the control host.
+        system.client_host.fs.write(system.driver.log_path,
+                                    render_request_log(records))
+        results_dir = self.engine.collect(deployment)
+        control = allocation.control
+        window = measurement_window(experiment.trial)
+        log_path = f"{results_dir}/requests.log"
+        if not control.fs.is_file(log_path):
+            raise ExperimentError(
+                f"collect.sh did not deliver the request log for "
+                f"{bundle.experiment_id}"
+            )
+        collected_log = control.fs.read(log_path)
+        metrics = summarize_log(collected_log, window)
+        per_state = summarize_log_by_state(collected_log, window)
+        sys_series = collect_sysstat_files(control, results_dir)
+        host_cpu = {host: series.mean("cpu", window)
+                    for host, series in sys_series.items()}
+        tier_of_host = self._tier_map(system)
+        data_bytes = collected_bytes(control, results_dir)
+        self.engine.teardown(deployment)
+        status = COMPLETED
+        if metrics.error_ratio > experiment.slo.error_ratio:
+            status = DNF
+        return TrialResult(
+            experiment_name=experiment.name,
+            benchmark=experiment.benchmark,
+            platform=experiment.platform,
+            topology_label=topology.label(),
+            workload=workload,
+            write_ratio=write_ratio,
+            seed=experiment.seed,
+            status=status,
+            metrics=metrics,
+            host_cpu=host_cpu,
+            tier_of_host=tier_of_host,
+            per_state=per_state,
+            collected_bytes=data_bytes,
+            script_lines=bundle.script_line_total(),
+            config_lines=bundle.config_line_total(),
+            generated_files=bundle.file_count(),
+            machine_count=allocation.machine_count(),
+        )
+
+    @staticmethod
+    def _tier_map(system):
+        tiers = {}
+        for web in system.web_servers:
+            tiers[web.host.name] = "web"
+        for app in system.app_servers:
+            tiers[app.host.name] = "app"
+        for backend in system.db_backends:
+            tiers[backend.host.name] = "db"
+        tiers[system.client_host.name] = "client"
+        return tiers

@@ -1,0 +1,84 @@
+"""Trial protocol and results (Section III.B).
+
+"Each trial consists of a warm-up period, a run period, and a cool-down
+period.  The warm-up period brings system resource utilization to a
+stable state.  Then measurements are taken during the run period."
+A :class:`TrialResult` carries everything one trial observed, including
+the management-scale accounting its bundle contributed to Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+COMPLETED = "completed"
+DNF = "dnf"          # did not finish: exceeded the error budget (Table 7)
+
+
+@dataclass
+class TrialResult:
+    """One experiment point's observation."""
+
+    experiment_name: str
+    benchmark: str
+    platform: str
+    topology_label: str
+    workload: int
+    write_ratio: float
+    seed: int
+    status: str
+    metrics: object                      # monitoring.TrialMetrics
+    host_cpu: dict = field(default_factory=dict)     # host -> mean CPU %
+    tier_of_host: dict = field(default_factory=dict) # host -> tier
+    #: per-interaction breakdown: state -> {count, errors, mean_response_s}
+    per_state: dict = field(default_factory=dict)
+    collected_bytes: int = 0
+    script_lines: int = 0
+    config_lines: int = 0
+    generated_files: int = 0
+    machine_count: int = 0
+
+    @property
+    def completed(self):
+        return self.status == COMPLETED
+
+    def response_time_ms(self):
+        return self.metrics.mean_response_s * 1000.0
+
+    def throughput(self):
+        return self.metrics.throughput
+
+    def tier_cpu(self, tier):
+        """Mean CPU utilization (%) across the hosts of *tier*."""
+        values = [cpu for host, cpu in self.host_cpu.items()
+                  if self.tier_of_host.get(host) == tier]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def bottleneck_tier(self):
+        """The tier with the highest mean CPU utilization."""
+        tiers = {self.tier_of_host.get(h) for h in self.host_cpu}
+        tiers.discard(None)
+        if not tiers:
+            return None
+        return max(tiers, key=self.tier_cpu)
+
+    def key(self):
+        """(topology, workload, write_ratio) — a sweep point's identity."""
+        return (self.topology_label, self.workload,
+                round(self.write_ratio, 6))
+
+    def heaviest_interactions(self, limit=5):
+        """The slowest interaction states by mean response time."""
+        ranked = sorted(
+            ((state, stats) for state, stats in self.per_state.items()
+             if stats["count"] > 0),
+            key=lambda item: item[1]["mean_response_s"], reverse=True,
+        )
+        return ranked[:limit]
+
+
+def measurement_window(trial_phases):
+    """The run-period window measurements are taken in (Section III.B)."""
+    return (trial_phases.warmup, trial_phases.warmup + trial_phases.run)

@@ -1,0 +1,13 @@
+"""Mulini code generator: templates, backends, artifacts, config files."""
+
+from repro.generator.artifacts import Bundle, HostPlan
+from repro.generator.mulini import Mulini, experiment_point_id
+from repro.generator.template import render
+
+__all__ = [
+    "Bundle",
+    "HostPlan",
+    "Mulini",
+    "experiment_point_id",
+    "render",
+]

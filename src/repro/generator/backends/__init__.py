@@ -1,0 +1,14 @@
+"""Mulini generation backends: shell scripts and SmartFrog descriptions."""
+
+from repro.generator.backends.shell import ServerInstance, ShellBackend
+from repro.generator.backends.smartfrog import (
+    SmartFrogBackend,
+    parse_smartfrog,
+)
+
+__all__ = [
+    "ServerInstance",
+    "ShellBackend",
+    "SmartFrogBackend",
+    "parse_smartfrog",
+]

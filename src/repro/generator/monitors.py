@@ -1,0 +1,53 @@
+"""System- and application-level monitor generation (Section II).
+
+Mulini "generates parameterized monitors as separate tools to gather
+system-level metrics including CPU, memory usages, network I/O, and
+disk I/O", customizing them per host so data files never collide.
+This module owns the naming conventions and the monitor-side config;
+the shell backend turns them into SYS_MON_* scripts.
+"""
+
+from __future__ import annotations
+
+from repro.generator.configfiles import render_properties
+
+SYSSTAT_ROOT = "/opt/sysstat"
+SYSSTAT_DAEMON = SYSSTAT_ROOT + "/bin/sar"
+MONITOR_OUTPUT_DIR = "/var/log/sysmon"
+MONITOR_CONFIG_PATH = "/etc/sysmon.properties"
+
+#: sar flag per TBL metric name.
+METRIC_FLAGS = {"cpu": "-u", "memory": "-r", "disk": "-d", "network": "-n"}
+
+
+def monitor_role(tier, index):
+    """Script-name role for the monitor on a server host (``APP1``)."""
+    return f"{tier.upper()}{index}"
+
+
+def monitor_output_path(host_name):
+    """Per-host data file, 'customized to each host' per the paper."""
+    return f"{MONITOR_OUTPUT_DIR}/{host_name}.dat"
+
+
+def sar_argv(monitor_spec, host_name):
+    """The sar command line the ignition script starts on *host_name*."""
+    argv = [SYSSTAT_DAEMON]
+    for metric in monitor_spec.metrics:
+        argv.append(METRIC_FLAGS[metric])
+    argv.extend(["-i", f"{monitor_spec.interval:g}",
+                 "-o", monitor_output_path(host_name)])
+    return argv
+
+
+def render_sysmon_properties(monitor_spec, host_name):
+    """Host-customized monitor configuration file."""
+    return render_properties(
+        [
+            ("sysmon.host", host_name),
+            ("sysmon.interval", f"{monitor_spec.interval:g}"),
+            ("sysmon.metrics", ",".join(monitor_spec.metrics)),
+            ("sysmon.output", monitor_output_path(host_name)),
+        ],
+        header=f"sysstat monitor configuration for {host_name}",
+    )

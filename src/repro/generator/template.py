@@ -1,0 +1,166 @@
+"""Minimal line-oriented template engine for Mulini backends.
+
+Mulini is fundamentally a template-driven generator (Section II), so
+the backends share one small engine rather than string-concatenating
+scripts ad hoc.  The language is deliberately tiny:
+
+* ``{{ expr }}`` — substitution; ``expr`` is a dotted path resolved
+  against the context (dict keys or attributes).
+* ``{% for name in expr %}`` ... ``{% endfor %}`` — block repetition.
+* ``{% if expr %}`` ... ``{% else %}`` ... ``{% endif %}`` — truthiness.
+
+Directives must sit alone on their line; substitutions can appear
+anywhere.  Unknown names are hard errors — a generated script with a
+hole in it must never reach deployment.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TemplateError
+
+_SUBST_RE = re.compile(r"\{\{\s*([A-Za-z_][A-Za-z0-9_.]*)\s*\}\}")
+_DIRECTIVE_RE = re.compile(r"^\s*\{%\s*(.+?)\s*%\}\s*$")
+_FOR_RE = re.compile(
+    r"^for\s+([A-Za-z_][A-Za-z0-9_]*)\s+in\s+([A-Za-z_][A-Za-z0-9_.]*)$"
+)
+_IF_RE = re.compile(r"^if\s+([A-Za-z_][A-Za-z0-9_.]*)$")
+
+
+def lookup(context, path):
+    """Resolve a dotted *path* against *context* (dicts then attributes)."""
+    value = context
+    for part in path.split("."):
+        if isinstance(value, dict):
+            if part not in value:
+                raise TemplateError(f"unknown template name {path!r}")
+            value = value[part]
+        elif hasattr(value, part):
+            value = getattr(value, part)
+        else:
+            raise TemplateError(f"unknown template name {path!r}")
+    return value
+
+
+def render(template, context):
+    """Render *template* with *context*; returns the generated text."""
+    lines = template.split("\n")
+    output, index = _render_block(lines, 0, context, terminators=())
+    if index != len(lines):
+        raise TemplateError(
+            f"unexpected directive at line {index + 1}: {lines[index]!r}"
+        )
+    return "\n".join(output)
+
+
+def _render_block(lines, index, context, terminators):
+    """Render until a terminating directive; returns (lines, next_index)."""
+    output = []
+    while index < len(lines):
+        line = lines[index]
+        directive_match = _DIRECTIVE_RE.match(line)
+        if directive_match is None:
+            output.append(_substitute(line, context, index))
+            index += 1
+            continue
+        directive = directive_match.group(1)
+        keyword = directive.split(None, 1)[0]
+        if keyword in terminators or directive in terminators:
+            return output, index
+        if keyword == "for":
+            for_match = _FOR_RE.match(directive)
+            if for_match is None:
+                raise TemplateError(
+                    f"malformed for-directive at line {index + 1}: "
+                    f"{directive!r}"
+                )
+            variable, path = for_match.groups()
+            items = lookup(context, path)
+            body_start = index + 1
+            # Render once with a probe to find the matching endfor even
+            # for empty sequences: scan for balance.
+            end_index = _find_matching(lines, body_start, "for", "endfor",
+                                       index)
+            for item in items:
+                loop_context = dict(_as_dict(context))
+                loop_context[variable] = item
+                body_output, stop = _render_block(
+                    lines, body_start, loop_context, terminators=("endfor",)
+                )
+                if stop != end_index:
+                    raise TemplateError(
+                        f"inconsistent for-block nesting at line {index + 1}"
+                    )
+                output.extend(body_output)
+            index = end_index + 1
+            continue
+        if keyword == "if":
+            if_match = _IF_RE.match(directive)
+            if if_match is None:
+                raise TemplateError(
+                    f"malformed if-directive at line {index + 1}: "
+                    f"{directive!r}"
+                )
+            condition = bool(lookup(context, if_match.group(1)))
+            branch_output, stop = _render_block(
+                lines, index + 1, context, terminators=("else", "endif")
+            )
+            if stop >= len(lines):
+                raise TemplateError(
+                    f"unterminated if-directive at line {index + 1}"
+                )
+            took_else = _DIRECTIVE_RE.match(lines[stop]).group(1) == "else"
+            if condition:
+                output.extend(branch_output)
+            if took_else:
+                else_output, stop = _render_block(
+                    lines, stop + 1, context, terminators=("endif",)
+                )
+                if not condition:
+                    output.extend(else_output)
+            if stop >= len(lines):
+                raise TemplateError(
+                    f"unterminated if-directive at line {index + 1}"
+                )
+            index = stop + 1
+            continue
+        raise TemplateError(
+            f"unknown directive {keyword!r} at line {index + 1}"
+        )
+    return output, index
+
+
+def _find_matching(lines, index, opener, closer, start_line):
+    depth = 0
+    while index < len(lines):
+        match = _DIRECTIVE_RE.match(lines[index])
+        if match is not None:
+            keyword = match.group(1).split(None, 1)[0]
+            if keyword == opener:
+                depth += 1
+            elif keyword == closer:
+                if depth == 0:
+                    return index
+                depth -= 1
+        index += 1
+    raise TemplateError(
+        f"unterminated {opener}-directive at line {start_line + 1}"
+    )
+
+
+def _substitute(line, context, index):
+    def replace(match):
+        value = lookup(context, match.group(1))
+        return str(value)
+
+    try:
+        return _SUBST_RE.sub(replace, line)
+    except TemplateError as error:
+        raise TemplateError(f"line {index + 1}: {error}")
+
+
+def _as_dict(context):
+    if isinstance(context, dict):
+        return context
+    raise TemplateError("loop bodies require a dict context")

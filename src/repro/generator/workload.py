@@ -1,0 +1,114 @@
+"""Workload-driver parameter generation (Section II).
+
+Mulini "generates a workload driver ... and then parameterizes it with
+various settings (e.g., the number of concurrent users)".  Here the
+driver program is the simulation's client population; what Mulini
+generates is the driver *parameter file* deployed to the client host,
+plus a small ignition wrapper.  The simulation layer parses the deployed
+file — the sweep parameters reach the clients through the generated
+artifact, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeployError, GenerationError
+from repro.generator.configfiles import parse_properties, render_properties
+
+DRIVER_PATH = "/opt/driver"
+DRIVER_CONFIG = DRIVER_PATH + "/driver.properties"
+DRIVER_LOG_DIR = "/var/log/driver"
+
+
+def mix_name(benchmark, write_ratio):
+    """The transition-matrix name for a benchmark/write-ratio pair.
+
+    RUBiS ships browse-only and bidding matrices; RUBBoS ships read-only
+    and submission matrices (Section III.B).  A zero write ratio selects
+    the read-only matrix; anything else the read-write one, morphed to
+    the requested ratio by the workload model.
+    """
+    if benchmark == "rubis":
+        return "browsing" if write_ratio == 0 else "bidding"
+    if benchmark == "rubbos":
+        return "readonly" if write_ratio == 0 else "submission"
+    if benchmark == "tpcapp":
+        return "standard"
+    raise GenerationError(f"unknown benchmark {benchmark!r}")
+
+
+def render_driver_properties(experiment, topology, workload, write_ratio,
+                             target_host, target_port):
+    """Render the parameter file the emulated-client driver reads."""
+    if workload <= 0:
+        raise GenerationError(f"workload must be positive, got {workload}")
+    pairs = [
+        ("driver.benchmark", experiment.benchmark),
+        ("driver.mix", mix_name(experiment.benchmark, write_ratio)),
+        ("driver.users", workload),
+        ("driver.write_ratio", f"{write_ratio:g}"),
+        ("driver.think_time", f"{experiment.think_time:g}"),
+        ("driver.timeout", f"{experiment.timeout:g}"),
+        ("driver.warmup", f"{experiment.trial.warmup:g}"),
+        ("driver.run", f"{experiment.trial.run:g}"),
+        ("driver.cooldown", f"{experiment.trial.cooldown:g}"),
+        ("driver.seed", experiment.seed),
+        ("driver.topology", topology.label()),
+        ("driver.target.host", target_host),
+        ("driver.target.port", target_port),
+        ("driver.log", f"{DRIVER_LOG_DIR}/requests.log"),
+    ]
+    return render_properties(pairs, header="emulated-client driver")
+
+
+class DriverParameters:
+    """Typed view over a deployed driver.properties file."""
+
+    def __init__(self, benchmark, mix, users, write_ratio, think_time,
+                 timeout, warmup, run, cooldown, seed, topology_label,
+                 target_host, target_port, log_path):
+        self.benchmark = benchmark
+        self.mix = mix
+        self.users = users
+        self.write_ratio = write_ratio
+        self.think_time = think_time
+        self.timeout = timeout
+        self.warmup = warmup
+        self.run = run
+        self.cooldown = cooldown
+        self.seed = seed
+        self.topology_label = topology_label
+        self.target_host = target_host
+        self.target_port = target_port
+        self.log_path = log_path
+
+
+def parse_driver_properties(text):
+    """Parse a deployed driver.properties back to typed parameters."""
+    values = parse_properties(text)
+
+    def require(key, convert=str):
+        if key not in values:
+            raise DeployError(f"driver.properties missing {key!r}")
+        try:
+            return convert(values[key])
+        except ValueError:
+            raise DeployError(
+                f"driver.properties bad value for {key!r}: {values[key]!r}"
+            )
+
+    return DriverParameters(
+        benchmark=require("driver.benchmark"),
+        mix=require("driver.mix"),
+        users=require("driver.users", int),
+        write_ratio=require("driver.write_ratio", float),
+        think_time=require("driver.think_time", float),
+        timeout=require("driver.timeout", float),
+        warmup=require("driver.warmup", float),
+        run=require("driver.run", float),
+        cooldown=require("driver.cooldown", float),
+        seed=require("driver.seed", int),
+        topology_label=require("driver.topology"),
+        target_host=require("driver.target.host"),
+        target_port=require("driver.target.port", int),
+        log_path=require("driver.log"),
+    )

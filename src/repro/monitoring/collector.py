@@ -1,0 +1,112 @@
+"""Parsing collected monitor output back into time series.
+
+After a trial, the generated ``collect.sh`` copies every host's sysstat
+file (and the driver's request log) to the control host; the collector
+turns those text files back into queryable series.  "Performance data
+collected from the participating hosts is put into a database for
+analysis" (Section II) — this is the parsing stage in front of that
+database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MonitoringError
+from repro.monitoring.sysstat import HEADER_PREFIX
+
+
+@dataclass
+class SysstatSeries:
+    """One host's monitor output as per-metric time series."""
+
+    host: str
+    interval: float
+    metrics: tuple
+    samples: dict = field(default_factory=dict)   # metric -> [(t, values)]
+
+    def series(self, metric):
+        try:
+            return self.samples[metric]
+        except KeyError:
+            raise MonitoringError(
+                f"host {self.host} has no series for metric {metric!r}; "
+                f"known: {sorted(self.samples)}"
+            )
+
+    def values(self, metric, window=None):
+        """First-channel values of *metric*, optionally inside a window."""
+        points = self.series(metric)
+        if window is not None:
+            start, end = window
+            points = [(t, v) for t, v in points if start <= t <= end]
+        return [v[0] for _t, v in points]
+
+    def mean(self, metric, window=None):
+        values = self.values(metric, window)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def peak(self, metric, window=None):
+        values = self.values(metric, window)
+        if not values:
+            return 0.0
+        return max(values)
+
+    def byte_size(self):
+        """Approximate raw file size this series was parsed from."""
+        return sum(len(str(t)) + 12 for points in self.samples.values()
+                   for t, _v in points)
+
+
+def parse_sysstat(text):
+    """Parse one sysstat file; returns :class:`SysstatSeries`."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith(HEADER_PREFIX):
+        raise MonitoringError("not a sysstat file (missing header)")
+    header = {}
+    for token in lines[0].split()[2:]:
+        if "=" not in token:
+            raise MonitoringError(f"malformed header token {token!r}")
+        key, value = token.split("=", 1)
+        header[key] = value
+    try:
+        series = SysstatSeries(
+            host=header["host"],
+            interval=float(header["interval"]),
+            metrics=tuple(header["metrics"].split(",")),
+        )
+    except KeyError as missing:
+        raise MonitoringError(f"sysstat header missing {missing}")
+    for line in lines[1:]:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 3:
+            raise MonitoringError(f"malformed sample line: {line!r}")
+        timestamp = float(parts[0])
+        metric = parts[1]
+        values = tuple(float(p) for p in parts[2:])
+        series.samples.setdefault(metric, []).append((timestamp, values))
+    return series
+
+
+def collect_sysstat_files(control_host, results_dir):
+    """Parse every ``*.sysstat.dat`` under *results_dir* on the control
+    host; returns ``{host_name: SysstatSeries}``."""
+    collected = {}
+    for path in control_host.fs.walk_files(results_dir):
+        if not path.endswith(".sysstat.dat"):
+            continue
+        series = parse_sysstat(control_host.fs.read(path))
+        collected[series.host] = series
+    return collected
+
+
+def collected_bytes(control_host, results_dir):
+    """Total bytes of performance data gathered for one trial —
+    the Table 3 'collected perf. data size' accounting."""
+    return sum(control_host.fs.size(path)
+               for path in control_host.fs.walk_files(results_dir))

@@ -1,0 +1,207 @@
+"""Application-level metrics: response times, throughput, error ratios.
+
+Mulini parameterizes the workload driver "to collect specified metrics,
+such as response time for each user request and overall throughput"
+(Section II).  This module is both sides of that pipe: it renders the
+driver's per-request log from simulation records and summarizes either
+records or a parsed log into trial metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MonitoringError
+from repro.sim.ntier import OK, REJECTED, TIMEOUT
+
+
+@dataclass(frozen=True)
+class TrialMetrics:
+    """Summary statistics for one trial's run window."""
+
+    completed: int
+    errors: int
+    timeouts: int
+    rejections: int
+    duration_s: float
+    throughput: float            # successful requests per second
+    mean_response_s: float
+    p50_response_s: float
+    p90_response_s: float
+    p99_response_s: float
+
+    @property
+    def total(self):
+        return self.completed + self.errors
+
+    @property
+    def error_ratio(self):
+        if self.total == 0:
+            return 0.0
+        return self.errors / self.total
+
+    def satisfies(self, slo):
+        """Check against a TBL ServiceLevelObjective."""
+        return (self.error_ratio <= slo.error_ratio
+                and self.mean_response_s <= slo.response_time)
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, math.ceil(fraction * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+def summarize_records(records, window):
+    """Summarize simulation RequestRecords finishing inside *window*."""
+    start, end = window
+    if end <= start:
+        raise MonitoringError(f"empty measurement window {window}")
+    ok_times = []
+    timeouts = 0
+    rejections = 0
+    for record in records:
+        finished = record.finished_at
+        if finished != finished:      # NaN: still in flight at sim end
+            continue
+        if not start <= finished <= end:
+            continue
+        if record.status == OK:
+            ok_times.append(record.response_time())
+        elif record.status == TIMEOUT:
+            timeouts += 1
+        elif record.status == REJECTED:
+            rejections += 1
+        else:
+            raise MonitoringError(f"unknown record status {record.status!r}")
+    ok_times.sort()
+    duration = end - start
+    completed = len(ok_times)
+    mean = sum(ok_times) / completed if completed else 0.0
+    return TrialMetrics(
+        completed=completed,
+        errors=timeouts + rejections,
+        timeouts=timeouts,
+        rejections=rejections,
+        duration_s=duration,
+        throughput=completed / duration,
+        mean_response_s=mean,
+        p50_response_s=_percentile(ok_times, 0.50),
+        p90_response_s=_percentile(ok_times, 0.90),
+        p99_response_s=_percentile(ok_times, 0.99),
+    )
+
+
+def summarize_by_state(records, window):
+    """Per-interaction breakdown inside *window*.
+
+    Returns ``{state: {"count", "errors", "mean_response_s"}}`` over
+    requests finishing in the window — the per-request measurements the
+    driver collects, grouped by the 26/24 interaction states.
+    """
+    start, end = window
+    if end <= start:
+        raise MonitoringError(f"empty measurement window {window}")
+    by_state = {}
+    for record in records:
+        finished = record.finished_at
+        if finished != finished or not start <= finished <= end:
+            continue
+        bucket = by_state.setdefault(
+            record.state, {"count": 0, "errors": 0, "_rt_sum": 0.0})
+        if record.status == OK:
+            bucket["count"] += 1
+            bucket["_rt_sum"] += record.response_time()
+        else:
+            bucket["errors"] += 1
+    for state, bucket in by_state.items():
+        count = bucket["count"]
+        bucket["mean_response_s"] = bucket.pop("_rt_sum") / count \
+            if count else 0.0
+    return by_state
+
+
+# --------------------------------------------------------------------------
+# Driver request log: the artifact collect.sh ships to the control host.
+# --------------------------------------------------------------------------
+
+LOG_HEADER = "#requests issued_at state status response_ms"
+
+
+def render_request_log(records):
+    """Render per-request driver log lines from simulation records."""
+    lines = [LOG_HEADER]
+    for record in records:
+        finished = record.finished_at
+        if finished != finished:
+            continue                   # in flight when the trial ended
+        response_ms = record.response_time() * 1000.0
+        lines.append(
+            f"{record.issued_at:.4f} {record.state} {record.status} "
+            f"{response_ms:.2f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class LoggedRequest:
+    issued_at: float
+    state: str
+    status: str
+    response_s: float
+
+    @property
+    def finished_at(self):
+        return self.issued_at + self.response_s
+
+
+def parse_request_log(text):
+    """Parse a driver request log back into :class:`LoggedRequest`s."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("#requests"):
+        raise MonitoringError("not a driver request log")
+    requests = []
+    for line in lines[1:]:
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise MonitoringError(f"malformed log line: {line!r}")
+        requests.append(LoggedRequest(
+            issued_at=float(parts[0]),
+            state=parts[1],
+            status=parts[2],
+            response_s=float(parts[3]) / 1000.0,
+        ))
+    return requests
+
+
+class _RecordView:
+    """Adapter: a LoggedRequest exposed with the RequestRecord surface."""
+
+    __slots__ = ("state", "status", "issued_at", "finished_at")
+
+    def __init__(self, logged):
+        self.state = logged.state
+        self.status = logged.status
+        self.issued_at = logged.issued_at
+        self.finished_at = logged.finished_at
+
+    def response_time(self):
+        return self.finished_at - self.issued_at
+
+
+def summarize_log(text, window):
+    """Summarize a collected request log over *window*."""
+    requests = parse_request_log(text)
+    return summarize_records([_RecordView(r) for r in requests], window)
+
+
+def summarize_log_by_state(text, window):
+    """Per-interaction breakdown of a collected request log."""
+    requests = parse_request_log(text)
+    return summarize_by_state([_RecordView(r) for r in requests], window)

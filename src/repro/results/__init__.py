@@ -1,0 +1,6 @@
+"""Results: observation database, analysis and report rendering."""
+
+from repro.results import analysis, export, report
+from repro.results.database import ResultsDatabase
+
+__all__ = ["analysis", "export", "report", "ResultsDatabase"]

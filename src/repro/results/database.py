@@ -1,0 +1,255 @@
+"""SQLite-backed observation database.
+
+"After each set of experiments, performance data collected from the
+participating hosts is put into a database for analysis" (Section II).
+Every trial lands here; the characterization and capacity-planning APIs
+and the figure/table reproductions all query this database rather than
+holding results in ad-hoc lists.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.errors import ResultsError
+from repro.experiments.trial import TrialResult
+from repro.monitoring.metrics import TrialMetrics
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS trials (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment_name TEXT NOT NULL,
+    benchmark TEXT NOT NULL,
+    platform TEXT NOT NULL,
+    topology TEXT NOT NULL,
+    workload INTEGER NOT NULL,
+    write_ratio REAL NOT NULL,
+    seed INTEGER NOT NULL,
+    status TEXT NOT NULL,
+    completed_requests INTEGER NOT NULL,
+    errors INTEGER NOT NULL,
+    timeouts INTEGER NOT NULL,
+    rejections INTEGER NOT NULL,
+    duration_s REAL NOT NULL,
+    throughput REAL NOT NULL,
+    mean_response_s REAL NOT NULL,
+    p50_response_s REAL NOT NULL,
+    p90_response_s REAL NOT NULL,
+    p99_response_s REAL NOT NULL,
+    collected_bytes INTEGER NOT NULL,
+    script_lines INTEGER NOT NULL,
+    config_lines INTEGER NOT NULL,
+    generated_files INTEGER NOT NULL,
+    machine_count INTEGER NOT NULL,
+    UNIQUE (experiment_name, topology, workload, write_ratio, seed)
+);
+CREATE TABLE IF NOT EXISTS host_cpu (
+    trial_id INTEGER NOT NULL REFERENCES trials(id) ON DELETE CASCADE,
+    host TEXT NOT NULL,
+    tier TEXT,
+    cpu_percent REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS state_metrics (
+    trial_id INTEGER NOT NULL REFERENCES trials(id) ON DELETE CASCADE,
+    state TEXT NOT NULL,
+    count INTEGER NOT NULL,
+    errors INTEGER NOT NULL,
+    mean_response_s REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_state_metrics_trial
+    ON state_metrics (trial_id);
+CREATE INDEX IF NOT EXISTS idx_trials_sweep
+    ON trials (experiment_name, topology, workload, write_ratio);
+CREATE INDEX IF NOT EXISTS idx_host_cpu_trial ON host_cpu (trial_id);
+"""
+
+
+class ResultsDatabase:
+    """Observation store with insert/query/replace semantics."""
+
+    def __init__(self, path=":memory:"):
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+
+    def close(self):
+        self._conn.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
+    # -- writes -----------------------------------------------------------
+
+    def insert(self, result, replace=False):
+        """Store a :class:`TrialResult`; returns its row id."""
+        metrics = result.metrics
+        verb = "INSERT OR REPLACE" if replace else "INSERT"
+        try:
+            cursor = self._conn.execute(
+                f"""{verb} INTO trials (
+                    experiment_name, benchmark, platform, topology,
+                    workload, write_ratio, seed, status,
+                    completed_requests, errors, timeouts, rejections,
+                    duration_s, throughput, mean_response_s,
+                    p50_response_s, p90_response_s, p99_response_s,
+                    collected_bytes, script_lines, config_lines,
+                    generated_files, machine_count
+                ) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)""",
+                (
+                    result.experiment_name, result.benchmark,
+                    result.platform, result.topology_label,
+                    result.workload, result.write_ratio, result.seed,
+                    result.status, metrics.completed, metrics.errors,
+                    metrics.timeouts, metrics.rejections,
+                    metrics.duration_s, metrics.throughput,
+                    metrics.mean_response_s, metrics.p50_response_s,
+                    metrics.p90_response_s, metrics.p99_response_s,
+                    result.collected_bytes, result.script_lines,
+                    result.config_lines, result.generated_files,
+                    result.machine_count,
+                ),
+            )
+        except sqlite3.IntegrityError as error:
+            raise ResultsError(
+                f"duplicate trial {result.experiment_name}/"
+                f"{result.topology_label}/u{result.workload}: {error}"
+            )
+        trial_id = cursor.lastrowid
+        if replace:
+            self._conn.execute("DELETE FROM host_cpu WHERE trial_id = ?",
+                               (trial_id,))
+            self._conn.execute(
+                "DELETE FROM state_metrics WHERE trial_id = ?",
+                (trial_id,))
+        self._conn.executemany(
+            "INSERT INTO host_cpu (trial_id, host, tier, cpu_percent) "
+            "VALUES (?,?,?,?)",
+            [
+                (trial_id, host, result.tier_of_host.get(host), cpu)
+                for host, cpu in sorted(result.host_cpu.items())
+            ],
+        )
+        self._conn.executemany(
+            "INSERT INTO state_metrics "
+            "(trial_id, state, count, errors, mean_response_s) "
+            "VALUES (?,?,?,?,?)",
+            [
+                (trial_id, state, stats["count"], stats["errors"],
+                 stats["mean_response_s"])
+                for state, stats in sorted(result.per_state.items())
+            ],
+        )
+        self._conn.commit()
+        return trial_id
+
+    def insert_many(self, results, replace=False):
+        return [self.insert(result, replace=replace) for result in results]
+
+    # -- reads -------------------------------------------------------------
+
+    def query(self, experiment_name=None, benchmark=None, topology=None,
+              workload=None, write_ratio=None, status=None):
+        """Fetch trials matching all given filters, as TrialResults."""
+        clauses = []
+        params = []
+        for column, value in (
+                ("experiment_name", experiment_name),
+                ("benchmark", benchmark),
+                ("topology", topology),
+                ("workload", workload),
+                ("status", status)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if write_ratio is not None:
+            clauses.append("ABS(write_ratio - ?) < 1e-9")
+            params.append(write_ratio)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._conn.execute(
+            f"SELECT * FROM trials {where} "
+            f"ORDER BY topology, write_ratio, workload",
+            params,
+        ).fetchall()
+        columns = [d[0] for d in self._conn.execute(
+            "SELECT * FROM trials LIMIT 0").description]
+        return [self._to_result(dict(zip(columns, row))) for row in rows]
+
+    def count(self):
+        return self._conn.execute("SELECT COUNT(*) FROM trials").fetchone()[0]
+
+    def experiments(self):
+        rows = self._conn.execute(
+            "SELECT DISTINCT experiment_name FROM trials ORDER BY 1"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def topologies(self, experiment_name=None):
+        if experiment_name is None:
+            rows = self._conn.execute(
+                "SELECT DISTINCT topology FROM trials ORDER BY 1").fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT DISTINCT topology FROM trials "
+                "WHERE experiment_name = ? ORDER BY 1",
+                (experiment_name,)).fetchall()
+        return [row[0] for row in rows]
+
+    def total_collected_bytes(self, experiment_name=None):
+        """Table 3's collected-data accounting, from the database."""
+        if experiment_name is None:
+            row = self._conn.execute(
+                "SELECT SUM(collected_bytes) FROM trials").fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT SUM(collected_bytes) FROM trials "
+                "WHERE experiment_name = ?", (experiment_name,)).fetchone()
+        return row[0] or 0
+
+    def _to_result(self, row):
+        metrics = TrialMetrics(
+            completed=row["completed_requests"],
+            errors=row["errors"],
+            timeouts=row["timeouts"],
+            rejections=row["rejections"],
+            duration_s=row["duration_s"],
+            throughput=row["throughput"],
+            mean_response_s=row["mean_response_s"],
+            p50_response_s=row["p50_response_s"],
+            p90_response_s=row["p90_response_s"],
+            p99_response_s=row["p99_response_s"],
+        )
+        cpu_rows = self._conn.execute(
+            "SELECT host, tier, cpu_percent FROM host_cpu "
+            "WHERE trial_id = ?", (row["id"],)).fetchall()
+        state_rows = self._conn.execute(
+            "SELECT state, count, errors, mean_response_s "
+            "FROM state_metrics WHERE trial_id = ?",
+            (row["id"],)).fetchall()
+        per_state = {
+            state: {"count": count, "errors": errors,
+                    "mean_response_s": mean_response_s}
+            for state, count, errors, mean_response_s in state_rows
+        }
+        return TrialResult(
+            experiment_name=row["experiment_name"],
+            benchmark=row["benchmark"],
+            platform=row["platform"],
+            topology_label=row["topology"],
+            workload=row["workload"],
+            write_ratio=row["write_ratio"],
+            seed=row["seed"],
+            status=row["status"],
+            metrics=metrics,
+            host_cpu={host: cpu for host, _tier, cpu in cpu_rows},
+            tier_of_host={host: tier for host, tier, _cpu in cpu_rows},
+            per_state=per_state,
+            collected_bytes=row["collected_bytes"],
+            script_lines=row["script_lines"],
+            config_lines=row["config_lines"],
+            generated_files=row["generated_files"],
+            machine_count=row["machine_count"],
+        )

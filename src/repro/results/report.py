@@ -1,0 +1,180 @@
+"""Text rendering of figures and tables.
+
+The benchmark harness prints the same rows/series the paper reports;
+these renderers produce aligned, diff-friendly ASCII so EXPERIMENTS.md
+can quote them directly.
+"""
+
+from __future__ import annotations
+
+
+def render_series(title, series, x_label="workload", y_label="value",
+                  y_format="{:.1f}"):
+    """Render one [(x, y)] line."""
+    lines = [title, f"{x_label:>10}  {y_label}"]
+    for x, y in series:
+        lines.append(f"{x:>10}  {y_format.format(y)}")
+    return "\n".join(lines)
+
+
+def render_multi_series(title, named_series, x_label="workload",
+                        y_format="{:>10.1f}"):
+    """Render several lines sharing an x axis (Figures 4-8)."""
+    all_x = sorted({x for series in named_series.values() for x, _y in
+                    series})
+    header = f"{x_label:>10}" + "".join(f"{name:>14}"
+                                        for name in named_series)
+    lines = [title, header]
+    as_dicts = {name: dict(series) for name, series in named_series.items()}
+    for x in all_x:
+        row = f"{x:>10}"
+        for name in named_series:
+            value = as_dicts[name].get(x)
+            row += f"{'-':>14}" if value is None else \
+                f"{y_format.format(value):>14}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_surface(title, surface, y_format="{:.0f}"):
+    """Render a {(workload, write_ratio): value} surface (Figures 1-3):
+    write ratios as columns, workloads as rows."""
+    workloads = sorted({w for w, _r in surface})
+    ratios = sorted({r for _w, r in surface})
+    header = f"{'users':>8} |" + "".join(
+        f"{f'{int(round(r * 100))}%':>9}" for r in ratios)
+    lines = [title, header, "-" * len(header)]
+    for workload in workloads:
+        row = f"{workload:>8} |"
+        for ratio in ratios:
+            value = surface.get((workload, ratio))
+            row += f"{'-':>9}" if value is None else \
+                f"{y_format.format(value):>9}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_improvement_table(title, table):
+    """Render Table 6: % RT improvement when growing app vs db tier."""
+    counts = sorted(set(table["app"]) | set(table["db"]))
+    lines = [title,
+             f"{'servers':>8} {'app tier (%)':>14} {'db tier (%)':>14}"]
+    for count in counts:
+        app = table["app"].get(count)
+        db = table["db"].get(count)
+        lines.append(
+            f"{count:>8} "
+            f"{('%.1f' % app) if app is not None else '-':>14} "
+            f"{('%.1f' % db) if db is not None else '-':>14}"
+        )
+    return "\n".join(lines)
+
+
+def render_throughput_table(title, table):
+    """Render Table 7; '-' marks a DNF trial (paper's missing squares)."""
+    topologies = list(table)
+    workloads = sorted({w for row in table.values() for w in row})
+    header = f"{'load':>8} |" + "".join(f"{t:>10}" for t in topologies)
+    lines = [title, header, "-" * len(header)]
+    for workload in workloads:
+        row = f"{workload:>8} |"
+        for topology in topologies:
+            value = table[topology].get(workload)
+            row += f"{'-':>10}" if value is None else f"{value:>10.1f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_management_scale(title, rows):
+    """Render Table 3's management-scale accounting."""
+    lines = [
+        title,
+        f"{'experiment set':<34} {'trials':>7} {'script KLOC':>12} "
+        f"{'config lines':>13} {'machines':>9} {'data MB':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['set']:<34} {row['experiments']:>7} "
+            f"{row['script_lines'] / 1000:>12.1f} "
+            f"{row['config_lines']:>13} {row['machine_count']:>9} "
+            f"{row['collected_mb']:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_state_table(title, per_state, limit=None):
+    """Render a per-interaction breakdown (count/errors/mean RT).
+
+    Rows are sorted by mean response time, heaviest first; *limit*
+    truncates to the top N.
+    """
+    ranked = sorted(per_state.items(),
+                    key=lambda item: item[1]["mean_response_s"],
+                    reverse=True)
+    if limit is not None:
+        ranked = ranked[:limit]
+    width = max([len(state) for state, _s in ranked] + [11])
+    lines = [title,
+             f"{'interaction':<{width}} {'count':>8} {'errors':>8} "
+             f"{'mean rt (ms)':>13}"]
+    for state, stats in ranked:
+        lines.append(
+            f"{state:<{width}} {stats['count']:>8} "
+            f"{stats['errors']:>8} "
+            f"{stats['mean_response_s'] * 1000:>13.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_ascii_chart(title, named_series, width=64, height=16,
+                       y_label="ms"):
+    """Plot one or more [(x, y)] series as an ASCII chart.
+
+    Each series gets a distinct glyph; the y axis is linear from 0 to
+    the maximum observed value.  Used by the CLI report so scale-out
+    knees are visible without leaving the terminal.
+    """
+    points = [(x, y) for series in named_series.values()
+              for x, y in series]
+    if not points:
+        return title + "\n(no data)"
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_max = max(ys) or 1.0
+    x_span = (x_max - x_min) or 1
+    glyphs = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, series) in enumerate(named_series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in series:
+            column = round((x - x_min) / x_span * (width - 1))
+            row = round(y / y_max * (height - 1))
+            grid[height - 1 - row][column] = glyph
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:10.0f} |"
+        elif row_index == height - 1:
+            label = f"{0:10.0f} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':>11}{x_min:<10g}{'':^{max(0, width - 20)}}"
+                 f"{x_max:>10g}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}"
+        for i, name in enumerate(named_series)
+    )
+    lines.append(f"  [{y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def render_bundle_table(title, entries):
+    """Render Table 4/5-style artifact listings: (name, lines, comment)."""
+    width = max(len(name) for name, _l, _c in entries)
+    lines = [title, f"{'file':<{width}}  {'lines':>6}  description"]
+    for name, count, comment in entries:
+        lines.append(f"{name:<{width}}  {count:>6}  {comment}")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Restricted POSIX-shell interpreter used to execute generated scripts."""
+
+from repro.shellvm.environment import ExitScript, ShellEnvironment
+from repro.shellvm.interpreter import LogEntry, ShellInterpreter
+from repro.shellvm.lexer import tokenize
+from repro.shellvm.parser import parse
+
+__all__ = [
+    "ExitScript",
+    "ShellEnvironment",
+    "LogEntry",
+    "ShellInterpreter",
+    "tokenize",
+    "parse",
+]

@@ -1,0 +1,370 @@
+"""Builtin commands for the shell interpreter.
+
+Each builtin has signature ``fn(interp, env, argv) -> (status, output)``.
+They operate on the virtual host/filesystem/network, which is how the
+generated deployment scripts actually take effect on the cluster.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClusterError, CommandError
+from repro.shellvm.environment import ExitScript
+from repro.vcluster.archives import parse_archive
+from repro.vcluster.filesystem import normalize
+
+REGISTRY = {}
+
+
+def builtin(name):
+    def register(fn):
+        REGISTRY[name] = fn
+        return fn
+    return register
+
+
+def _flags(argv, known):
+    """Split leading ``-x`` flags from operands; unknown flags error."""
+    flags = set()
+    operands = []
+    for arg in argv[1:]:
+        if arg.startswith("-") and len(arg) > 1 and not operands \
+                and not arg.lstrip("-").isdigit():
+            for char in arg[1:]:
+                if char not in known:
+                    raise CommandError(
+                        f"{argv[0]}: unknown flag -{char}"
+                    )
+                flags.add(char)
+        else:
+            operands.append(arg)
+    return flags, operands
+
+
+@builtin("echo")
+def _echo(interp, env, argv):
+    args = argv[1:]
+    newline = "\n"
+    if args and args[0] == "-n":
+        newline = ""
+        args = args[1:]
+    return 0, " ".join(args) + newline
+
+
+@builtin("true")
+def _true(interp, env, argv):
+    return 0, ""
+
+
+@builtin("false")
+def _false(interp, env, argv):
+    return 1, ""
+
+
+@builtin(":")
+def _colon(interp, env, argv):
+    return 0, ""
+
+
+@builtin("exit")
+def _exit(interp, env, argv):
+    status = 0
+    if len(argv) > 1:
+        try:
+            status = int(argv[1])
+        except ValueError:
+            raise CommandError(f"exit: bad status {argv[1]!r}")
+    raise ExitScript(status)
+
+
+@builtin("set")
+def _set(interp, env, argv):
+    for arg in argv[1:]:
+        if arg == "-e":
+            env.errexit = True
+        elif arg == "+e":
+            env.errexit = False
+        else:
+            raise CommandError(f"set: unsupported option {arg!r}")
+    return 0, ""
+
+
+@builtin("export")
+def _export(interp, env, argv):
+    for arg in argv[1:]:
+        if "=" in arg:
+            name, value = arg.split("=", 1)
+            env.set(name, value)
+        # `export NAME` without value is a no-op for us.
+    return 0, ""
+
+
+@builtin("cd")
+def _cd(interp, env, argv):
+    target = argv[1] if len(argv) > 1 else "/"
+    path = normalize(target, env.cwd)
+    if not env.host.fs.is_dir(path):
+        return 1, f"cd: no such directory: {target}\n"
+    env.cwd = path
+    return 0, ""
+
+
+@builtin("pwd")
+def _pwd(interp, env, argv):
+    return 0, env.cwd + "\n"
+
+
+@builtin("hostname")
+def _hostname(interp, env, argv):
+    return 0, env.host.name + "\n"
+
+
+@builtin("sleep")
+def _sleep(interp, env, argv):
+    if len(argv) != 2:
+        raise CommandError("sleep: expected one duration argument")
+    try:
+        seconds = float(argv[1])
+    except ValueError:
+        raise CommandError(f"sleep: bad duration {argv[1]!r}")
+    interp.slept_seconds += seconds
+    return 0, ""
+
+
+@builtin("wait")
+def _wait(interp, env, argv):
+    return 0, ""
+
+
+@builtin("chmod")
+def _chmod(interp, env, argv):
+    # Permission bits are not modelled; succeed if targets exist.
+    _mode_flags, operands = _flags(argv, "R")
+    for path in operands[1:]:
+        if not env.host.fs.exists(normalize(path, env.cwd)):
+            return 1, f"chmod: no such file: {path}\n"
+    return 0, ""
+
+
+@builtin("mkdir")
+def _mkdir(interp, env, argv):
+    flags, operands = _flags(argv, "p")
+    if not operands:
+        raise CommandError("mkdir: missing operand")
+    for path in operands:
+        try:
+            env.host.fs.mkdir(normalize(path, env.cwd),
+                              parents="p" in flags)
+        except ClusterError as error:
+            return 1, f"mkdir: {error}\n"
+    return 0, ""
+
+
+@builtin("rm")
+def _rm(interp, env, argv):
+    flags, operands = _flags(argv, "rf")
+    if not operands:
+        raise CommandError("rm: missing operand")
+    for path in operands:
+        full = normalize(path, env.cwd)
+        if not env.host.fs.exists(full):
+            if "f" in flags:
+                continue
+            return 1, f"rm: no such file or directory: {path}\n"
+        env.host.fs.remove(full, recursive="r" in flags)
+    return 0, ""
+
+
+@builtin("cp")
+def _cp(interp, env, argv):
+    flags, operands = _flags(argv, "r")
+    if len(operands) != 2:
+        raise CommandError("cp: expected source and destination")
+    src = normalize(operands[0], env.cwd)
+    dst = normalize(operands[1], env.cwd)
+    if env.host.fs.is_dir(src) and "r" not in flags:
+        return 1, f"cp: -r required for directory {operands[0]}\n"
+    try:
+        env.host.fs.copy(src, dst)
+    except ClusterError as error:
+        return 1, f"cp: {error}\n"
+    return 0, ""
+
+
+@builtin("cat")
+def _cat(interp, env, argv):
+    if len(argv) < 2:
+        raise CommandError("cat: missing operand")
+    chunks = []
+    for path in argv[1:]:
+        full = normalize(path, env.cwd)
+        if not env.host.fs.is_file(full):
+            return 1, f"cat: no such file: {path}\n"
+        chunks.append(env.host.fs.read(full))
+    return 0, "".join(chunks)
+
+
+@builtin("tar")
+def _tar(interp, env, argv):
+    """Supports extraction: ``tar -xzf archive.tar.gz -C /dest``."""
+    args = argv[1:]
+    mode = None
+    archive = None
+    dest = env.cwd
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg.startswith("-") and "f" in arg:
+            mode = "x" if "x" in arg else ("c" if "c" in arg else None)
+            index += 1
+            if index >= len(args):
+                raise CommandError("tar: -f needs an archive name")
+            archive = args[index]
+        elif arg == "-C":
+            index += 1
+            if index >= len(args):
+                raise CommandError("tar: -C needs a directory")
+            dest = normalize(args[index], env.cwd)
+        else:
+            raise CommandError(f"tar: unsupported argument {arg!r}")
+        index += 1
+    if mode != "x" or archive is None:
+        raise CommandError("tar: only extraction (-xzf) is supported")
+    archive_path = normalize(archive, env.cwd)
+    if not env.host.fs.is_file(archive_path):
+        return 1, f"tar: no such archive: {archive}\n"
+    try:
+        members = parse_archive(env.host.fs.read(archive_path))
+    except ClusterError as error:
+        return 1, f"tar: {error}\n"
+    env.host.fs.mkdir(dest, parents=True)
+    for member, content in members.items():
+        env.host.fs.write(dest.rstrip("/") + "/" + member, content)
+    return 0, ""
+
+
+@builtin("scp")
+def _scp(interp, env, argv):
+    flags, operands = _flags(argv, "r")
+    if len(operands) != 2:
+        raise CommandError("scp: expected source and destination")
+    src_host, src_path = _split_remote(interp, env, operands[0])
+    dst_host, dst_path = _split_remote(interp, env, operands[1])
+    if env.host.fs.is_dir(src_path) and src_host is env.host \
+            and "r" not in flags:
+        return 1, f"scp: -r required for directory {operands[0]}\n"
+    try:
+        interp.network.transfer(src_host, src_path, dst_host, dst_path)
+    except ClusterError as error:
+        return 1, f"scp: {error}\n"
+    return 0, ""
+
+
+def _split_remote(interp, env, spec):
+    if ":" in spec and not spec.startswith("/"):
+        host_name, path = spec.split(":", 1)
+        host = interp.network.host(host_name)
+        return host, normalize(path, "/")
+    return env.host, normalize(spec, env.cwd)
+
+
+@builtin("ssh")
+def _ssh(interp, env, argv):
+    args = argv[1:]
+    # Tolerate the usual non-interactive options.
+    while args and args[0] in ("-q", "-n", "-T"):
+        args = args[1:]
+    if not args:
+        raise CommandError("ssh: missing host")
+    host_name = args[0]
+    remote_argv = args[1:]
+    if not remote_argv:
+        raise CommandError("ssh: missing remote command")
+    host = interp.network.host(host_name)
+    command_text = " ".join(remote_argv)
+    return interp.run_text_on(host, command_text,
+                              script=f"ssh:{host_name}")
+
+
+@builtin("bash")
+def _bash(interp, env, argv):
+    return _run_script_builtin(interp, env, argv)
+
+
+@builtin("sh")
+def _sh(interp, env, argv):
+    return _run_script_builtin(interp, env, argv)
+
+
+def _run_script_builtin(interp, env, argv):
+    if len(argv) < 2:
+        raise CommandError(f"{argv[0]}: missing script operand")
+    path = normalize(argv[1], env.cwd)
+    return interp.run_script_file(env.host, path, args=argv[2:],
+                                  parent_env=env)
+
+
+@builtin("killall")
+def _killall(interp, env, argv):
+    if len(argv) != 2:
+        raise CommandError("killall: expected one process name")
+    killed = env.host.kill_by_name(argv[1])
+    if not killed:
+        return 1, f"killall: no process found: {argv[1]}\n"
+    return 0, ""
+
+
+@builtin("test")
+def _test(interp, env, argv):
+    return (0 if _evaluate_test(argv[1:], argv[0], env) else 1), ""
+
+
+@builtin("[")
+def _bracket(interp, env, argv):
+    if not argv or argv[-1] != "]":
+        raise CommandError("[: missing closing ]")
+    return (0 if _evaluate_test(argv[1:-1], "[", env) else 1), ""
+
+
+def _evaluate_test(args, name, env):
+    if not args:
+        return False
+    if args[0] == "!":
+        return not _evaluate_test(args[1:], name, env)
+    if len(args) == 2:
+        flag, operand = args
+        path = normalize(operand, env.cwd) if flag in ("-f", "-d", "-e") \
+            else operand
+        if flag == "-f":
+            return env.host.fs.is_file(path)
+        if flag == "-d":
+            return env.host.fs.is_dir(path)
+        if flag == "-e":
+            return env.host.fs.exists(path)
+        if flag == "-n":
+            return operand != ""
+        if flag == "-z":
+            return operand == ""
+        raise CommandError(f"{name}: unknown test {flag!r}")
+    if len(args) == 3:
+        left, operator, right = args
+        if operator == "=":
+            return left == right
+        if operator == "!=":
+            return left != right
+        numeric = {"-eq": "==", "-ne": "!=", "-gt": ">",
+                   "-ge": ">=", "-lt": "<", "-le": "<="}
+        if operator in numeric:
+            try:
+                lhs, rhs = int(left), int(right)
+            except ValueError:
+                raise CommandError(
+                    f"{name}: integer expected: {left!r} {right!r}"
+                )
+            return {
+                "-eq": lhs == rhs, "-ne": lhs != rhs, "-gt": lhs > rhs,
+                "-ge": lhs >= rhs, "-lt": lhs < rhs, "-le": lhs <= rhs,
+            }[operator]
+        raise CommandError(f"{name}: unknown operator {operator!r}")
+    if len(args) == 1:
+        return args[0] != ""
+    raise CommandError(f"{name}: cannot evaluate {args!r}")

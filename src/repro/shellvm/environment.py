@@ -1,0 +1,101 @@
+"""Execution environment for the shell interpreter."""
+
+from __future__ import annotations
+
+from repro.errors import ShellError
+
+
+class ExitScript(Exception):
+    """Raised by the ``exit`` builtin to unwind the current script."""
+
+    def __init__(self, status):
+        super().__init__(f"exit {status}")
+        self.status = status
+
+
+class ShellEnvironment:
+    """Variables, positional parameters, cwd and host for one script."""
+
+    def __init__(self, host, variables=None, positional=(), cwd="/",
+                 script="<script>"):
+        self.host = host
+        self.variables = dict(variables or {})
+        self.positional = tuple(positional)
+        self.cwd = cwd
+        self.script = script
+        self.errexit = False
+
+    def get(self, name):
+        if name.isdigit():
+            index = int(name)
+            if index == 0:
+                return self.script
+            if 1 <= index <= len(self.positional):
+                return self.positional[index - 1]
+            return ""
+        if name == "#":
+            return str(len(self.positional))
+        return self.variables.get(name, "")
+
+    def set(self, name, value):
+        if not name or name[0].isdigit():
+            raise ShellError(f"cannot assign to {name!r}")
+        self.variables[name] = value
+
+    def child(self, script, positional=()):
+        """Environment for a sub-script invocation (``bash x.sh a b``).
+
+        The child inherits a *copy* of the variables (mutations do not
+        leak back) but shares the host and starts at the same cwd.
+        """
+        child = ShellEnvironment(
+            host=self.host,
+            variables=dict(self.variables),
+            positional=positional,
+            cwd=self.cwd,
+            script=script,
+        )
+        child.errexit = self.errexit
+        return child
+
+
+def expand_word(parts, env):
+    """Expand one word into a list of argv fragments.
+
+    Unquoted variable expansions undergo field splitting (so
+    ``for H in $DB_HOSTS`` iterates); quoted expansions stay one field.
+    An unquoted variable expanding to nothing yields zero fields.
+    """
+    fields = [""]
+    any_quoted = False
+    for kind, value, quoted in parts:
+        if kind == "lit":
+            fields[-1] += value
+            any_quoted = any_quoted or quoted
+            continue
+        expansion = env.get(value)
+        if quoted:
+            fields[-1] += expansion
+            any_quoted = True
+            continue
+        pieces = expansion.split()
+        if not pieces:
+            continue
+        fields[-1] += pieces[0]
+        for piece in pieces[1:]:
+            fields.append(piece)
+    if fields == [""] and not any_quoted:
+        # A word made solely of empty unquoted expansions vanishes.
+        if all(kind == "var" for kind, _v, _q in parts):
+            return []
+    return fields
+
+
+def expand_single(parts, env, what="operand"):
+    """Expand a word that must produce exactly one field."""
+    fields = expand_word(parts, env)
+    if len(fields) != 1:
+        raise ShellError(
+            f"{what} must expand to a single field, got {fields!r}"
+        )
+    return fields[0]

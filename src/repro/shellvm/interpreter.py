@@ -1,0 +1,222 @@
+"""Interpreter for the restricted shell dialect.
+
+This is the virtual cluster's ``bash``: the deployment engine feeds it
+the exact scripts Mulini generated, and every ``ssh``/``scp``/``tar``
+they contain mutates virtual hosts.  Nothing in the pipeline bypasses
+the generated text — if Mulini generates a broken script, deployment
+fails, exactly as on a physical cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommandError, ShellError
+from repro.shellvm.builtins import REGISTRY
+from repro.shellvm.environment import (
+    ExitScript,
+    ShellEnvironment,
+    expand_single,
+    expand_word,
+)
+from repro.shellvm.nodes import (
+    AndOrList,
+    ForClause,
+    IfClause,
+    SimpleCommand,
+)
+from repro.shellvm.parser import parse
+from repro.vcluster.filesystem import normalize
+
+_MAX_SCRIPT_DEPTH = 32
+
+
+@dataclass
+class LogEntry:
+    """One executed command, for verification and audit."""
+
+    host: str
+    command: str
+    status: int
+
+
+class ShellInterpreter:
+    """Executes parsed scripts against virtual hosts on one network."""
+
+    def __init__(self, network):
+        self.network = network
+        self.log = []
+        self.slept_seconds = 0.0
+        self._depth = 0
+
+    # -- public entry points ----------------------------------------------
+
+    def run_script_file(self, host, path, args=(), parent_env=None):
+        """Run the script stored at *path* on *host*; returns (status, out)."""
+        full = normalize(path, parent_env.cwd if parent_env else "/")
+        if not host.fs.is_file(full):
+            raise ShellError(f"no such script: {full}", script=full)
+        text = host.fs.read(full)
+        if parent_env is not None:
+            env = parent_env.child(script=full, positional=tuple(args))
+            env.host = host
+        else:
+            env = ShellEnvironment(host=host, positional=tuple(args),
+                                   script=full)
+        return self._run_parsed(parse(text, script=full), env)
+
+    def run_text_on(self, host, text, script="<inline>", variables=None):
+        """Run inline shell *text* on *host*; returns (status, output)."""
+        env = ShellEnvironment(host=host, variables=variables, script=script)
+        return self._run_parsed(parse(text, script=script), env)
+
+    # -- execution core ----------------------------------------------------
+
+    def _run_parsed(self, script, env):
+        if self._depth >= _MAX_SCRIPT_DEPTH:
+            raise ShellError(
+                f"script nesting deeper than {_MAX_SCRIPT_DEPTH} "
+                f"(recursive generation bug?)", script=script.source
+            )
+        self._depth += 1
+        output = []
+        status = 0
+        try:
+            for statement in script.statements:
+                status = self._execute(statement, env, output)
+                if env.errexit and status != 0:
+                    raise ShellError(
+                        f"command failed with status {status} under set -e",
+                        line=getattr(statement, "line", None),
+                        script=script.source,
+                    )
+        except ExitScript as exit_request:
+            status = exit_request.status
+        finally:
+            self._depth -= 1
+        return status, "".join(output)
+
+    def _execute(self, node, env, output):
+        if isinstance(node, SimpleCommand):
+            return self._execute_simple(node, env, output)
+        if isinstance(node, AndOrList):
+            return self._execute_and_or(node, env, output)
+        if isinstance(node, IfClause):
+            return self._execute_if(node, env, output)
+        if isinstance(node, ForClause):
+            return self._execute_for(node, env, output)
+        raise ShellError(f"unknown AST node {type(node).__name__}")
+
+    def _execute_and_or(self, node, env, output):
+        # Non-final members of && / || chains do not trip errexit.
+        saved_errexit = env.errexit
+        env.errexit = False
+        try:
+            status = self._execute(node.first, env, output)
+            for operator, command in node.rest:
+                if operator == "&&" and status != 0:
+                    continue
+                if operator == "||" and status == 0:
+                    continue
+                status = self._execute(command, env, output)
+        finally:
+            env.errexit = saved_errexit
+        return status
+
+    def _execute_if(self, node, env, output):
+        saved_errexit = env.errexit
+        env.errexit = False
+        try:
+            condition_status = self._execute(node.condition, env, output)
+        finally:
+            env.errexit = saved_errexit
+        body = node.then_body if condition_status == 0 else node.else_body
+        status = 0
+        for statement in body:
+            status = self._execute(statement, env, output)
+            if env.errexit and status != 0:
+                raise ShellError(
+                    f"command failed with status {status} under set -e",
+                    line=getattr(statement, "line", None), script=env.script,
+                )
+        return status
+
+    def _execute_for(self, node, env, output):
+        items = []
+        for word in node.items:
+            items.extend(expand_word(word, env))
+        status = 0
+        for item in items:
+            env.set(node.variable, item)
+            for statement in node.body:
+                status = self._execute(statement, env, output)
+                if env.errexit and status != 0:
+                    raise ShellError(
+                        f"command failed with status {status} under set -e",
+                        line=getattr(statement, "line", None),
+                        script=env.script,
+                    )
+        return status
+
+    def _execute_simple(self, node, env, output):
+        for name, value_parts in node.assignments:
+            env.set(name, "".join(expand_word(value_parts, env)) if
+                    value_parts else "")
+        argv = []
+        for word in node.words:
+            argv.extend(expand_word(word, env))
+        if not argv:
+            return 0
+        try:
+            status, command_output = self._dispatch(argv, env, node)
+        except CommandError as error:
+            status, command_output = 127, f"{error}\n"
+        self.log.append(LogEntry(host=env.host.name,
+                                 command=" ".join(argv), status=status))
+        if node.redirect is not None:
+            target = expand_single(node.redirect.target, env,
+                                   what="redirect target")
+            env.host.fs.write(normalize(target, env.cwd), command_output,
+                              append=node.redirect.append)
+        else:
+            output.append(command_output)
+        return status
+
+    def _dispatch(self, argv, env, node):
+        name = argv[0]
+        handler = REGISTRY.get(name)
+        if handler is not None:
+            if node.background:
+                # Background builtins (monitors started with &) become
+                # processes so teardown can find and kill them.
+                env.host.spawn(argv, background=True)
+                return 0, ""
+            return handler(self, env, argv)
+        if "/" in name:
+            return self._execute_program(argv, env, node)
+        raise CommandError(f"command not found: {name}")
+
+    def _execute_program(self, argv, env, node):
+        path = normalize(argv[0], env.cwd)
+        if not env.host.fs.is_file(path):
+            return 127, f"{argv[0]}: no such file\n"
+        if node.background:
+            env.host.spawn([path] + list(argv[1:]), background=True)
+            return 0, ""
+        if path.endswith(".sh"):
+            # Directly-invoked shell scripts are interpreted in place.
+            return self.run_script_file(env.host, path, args=argv[1:],
+                                        parent_env=env)
+        # A foreground binary runs to completion; model as a transient
+        # process that has already exited successfully.
+        process = env.host.spawn([path] + list(argv[1:]), background=False)
+        process.alive = False
+        return 0, ""
+
+    # -- audit helpers ------------------------------------------------------
+
+    def commands_on(self, host_name):
+        return [entry for entry in self.log if entry.host == host_name]
+
+    def failed_commands(self):
+        return [entry for entry in self.log if entry.status != 0]

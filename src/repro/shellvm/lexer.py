@@ -1,0 +1,163 @@
+"""Lexer for the restricted POSIX-shell dialect Mulini generates.
+
+The dialect is the intersection of what real deployment scripts need and
+what can be interpreted deterministically: words with single/double
+quoting, ``$VAR``/``${VAR}`` expansion, the ``&&``/``||``/``;``/``&``
+operators, ``>``/``>>`` redirection, comments and newlines.  Pipes,
+subshells and command substitution are deliberately outside the dialect;
+the generator never emits them.
+
+Words are tokenized into *parts* so the evaluator can expand variables
+with correct quoting semantics: each part is ``(kind, value, quoted)``
+where kind is ``lit`` or ``var``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShellError
+
+OPERATORS = ("&&", "||", ">>", ";", "&", ">", "\n")
+
+_WORD_BREAK = set(" \t;&>\n#")
+
+
+@dataclass(frozen=True)
+class ShellToken:
+    kind: str          # "word" | "op"
+    value: object      # tuple of parts for words, operator text for ops
+    line: int
+
+
+def tokenize(text, script="<script>"):
+    """Tokenize shell *text* into a list of :class:`ShellToken`."""
+    tokens = []
+    pos = 0
+    line = 1
+    length = len(text)
+
+    def error(message):
+        raise ShellError(message, line=line, script=script)
+
+    while pos < length:
+        char = text[pos]
+        if char in " \t":
+            pos += 1
+            continue
+        if char == "\\" and pos + 1 < length and text[pos + 1] == "\n":
+            pos += 2
+            line += 1
+            continue
+        if char == "#":
+            while pos < length and text[pos] != "\n":
+                pos += 1
+            continue
+        if char == "\n":
+            tokens.append(ShellToken("op", "\n", line))
+            pos += 1
+            line += 1
+            continue
+        matched_op = None
+        for op in OPERATORS:
+            if op != "\n" and text.startswith(op, pos):
+                matched_op = op
+                break
+        if matched_op:
+            tokens.append(ShellToken("op", matched_op, line))
+            pos += len(matched_op)
+            continue
+        parts, pos, line = _scan_word(text, pos, line, error)
+        tokens.append(ShellToken("word", tuple(parts), line))
+    tokens.append(ShellToken("op", "\n", line))
+    return tokens
+
+
+def _scan_word(text, pos, line, error):
+    """Scan one word into quoting-aware parts."""
+    parts = []
+    literal = []
+    literal_quoted = False
+
+    def flush(quoted):
+        if literal:
+            parts.append(("lit", "".join(literal), quoted))
+            literal.clear()
+
+    length = len(text)
+    while pos < length:
+        char = text[pos]
+        if char in _WORD_BREAK:
+            break
+        if char == "'":
+            flush(literal_quoted)
+            end = text.find("'", pos + 1)
+            if end == -1:
+                error("unterminated single quote")
+            parts.append(("lit", text[pos + 1:end], True))
+            pos = end + 1
+            continue
+        if char == '"':
+            flush(literal_quoted)
+            pos += 1
+            buffer = []
+            while pos < length and text[pos] != '"':
+                inner = text[pos]
+                if inner == "\n":
+                    error("unterminated double quote")
+                if inner == "\\" and pos + 1 < length and \
+                        text[pos + 1] in ('"', "\\", "$"):
+                    buffer.append(text[pos + 1])
+                    pos += 2
+                    continue
+                if inner == "$":
+                    if buffer:
+                        parts.append(("lit", "".join(buffer), True))
+                        buffer = []
+                    name, pos = _scan_var(text, pos, error)
+                    parts.append(("var", name, True))
+                    continue
+                buffer.append(inner)
+                pos += 1
+            if pos >= length:
+                error("unterminated double quote")
+            if buffer:
+                parts.append(("lit", "".join(buffer), True))
+            pos += 1
+            continue
+        if char == "$":
+            flush(literal_quoted)
+            name, pos = _scan_var(text, pos, error)
+            parts.append(("var", name, False))
+            continue
+        if char == "\\" and pos + 1 < length:
+            literal.append(text[pos + 1])
+            pos += 2
+            continue
+        literal.append(char)
+        pos += 1
+    flush(literal_quoted)
+    if not parts:
+        error("empty word")
+    return parts, pos, line
+
+
+def _scan_var(text, pos, error):
+    """Scan ``$NAME``, ``${NAME}`` or ``$N``; *pos* points at ``$``."""
+    pos += 1
+    if pos < len(text) and text[pos] == "{":
+        end = text.find("}", pos)
+        if end == -1:
+            error("unterminated ${...}")
+        name = text[pos + 1:end]
+        if not name:
+            error("empty ${} expansion")
+        return name, end + 1
+    start = pos
+    if pos < len(text) and text[pos] in "0123456789":
+        return text[pos], pos + 1
+    while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+        pos += 1
+    if pos == start:
+        error("lone $ is not allowed")
+    return text[start:pos], pos

@@ -1,0 +1,62 @@
+"""AST nodes for the restricted shell dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Redirect:
+    """Output redirection: ``>`` (truncate) or ``>>`` (append)."""
+
+    target: tuple          # word parts
+    append: bool
+    line: int
+
+
+@dataclass(frozen=True)
+class SimpleCommand:
+    """``name arg arg > file`` — possibly prefixed by assignments."""
+
+    assignments: tuple     # of (name, word_parts)
+    words: tuple           # of word parts tuples
+    redirect: Redirect = None
+    background: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class AndOrList:
+    """``a && b || c`` — left-associative chain."""
+
+    first: object
+    rest: tuple            # of (operator, command) pairs
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IfClause:
+    condition: object      # an AndOrList
+    then_body: tuple       # of statements
+    else_body: tuple = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ForClause:
+    variable: str
+    items: tuple           # of word parts tuples
+    body: tuple            # of statements
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Script:
+    statements: tuple
+    source: str = "<script>"
+    text: str = ""
+
+    def line_count(self):
+        if not self.text:
+            return 0
+        return self.text.count("\n") + (0 if self.text.endswith("\n") else 1)

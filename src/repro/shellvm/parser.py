@@ -1,0 +1,259 @@
+"""Parser for the restricted shell dialect.
+
+Grammar::
+
+    script    := line*
+    line      := statement? (";" statement?)* NEWLINE
+    statement := and_or ["&"]
+    and_or    := command (("&&" | "||") command)*
+    command   := if_clause | for_clause | simple
+    simple    := assignment* word+ redirect?
+               | assignment+
+    if_clause := "if" and_or sep "then" body ("else" body)? "fi"
+    for_clause:= "for" NAME "in" word* sep "do" body "done"
+    body      := statement (sep statement)*
+    sep       := ";" | NEWLINE (one or more)
+
+Keywords are only recognized at command position, matching shell rules
+closely enough for generated scripts.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ShellError
+from repro.shellvm.lexer import tokenize
+from repro.shellvm.nodes import (
+    AndOrList,
+    ForClause,
+    IfClause,
+    Redirect,
+    Script,
+    SimpleCommand,
+)
+
+_KEYWORDS = frozenset({"if", "then", "else", "fi", "for", "in", "do", "done"})
+_ASSIGNMENT_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)=(.*)$", re.DOTALL)
+
+
+class _Parser:
+    def __init__(self, tokens, script):
+        self.tokens = tokens
+        self.script = script
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def error(self, message, token=None):
+        line = token.line if token is not None else self._current_line()
+        raise ShellError(message, line=line, script=self.script)
+
+    def _current_line(self):
+        if self.index < len(self.tokens):
+            return self.tokens[self.index].line
+        return self.tokens[-1].line if self.tokens else None
+
+    def peek(self):
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            self.error("unexpected end of script")
+        self.index += 1
+        return token
+
+    def at_op(self, value):
+        token = self.peek()
+        return token is not None and token.kind == "op" and \
+            token.value == value
+
+    def at_keyword(self, word):
+        token = self.peek()
+        return (token is not None and token.kind == "word"
+                and _word_is_literal(token.value, word))
+
+    def at_end(self):
+        return self.index >= len(self.tokens)
+
+    def skip_separators(self):
+        while self.at_op("\n") or self.at_op(";"):
+            self.next()
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_script(self):
+        statements = []
+        self.skip_separators()
+        while not self.at_end():
+            statements.append(self.parse_statement())
+            self.skip_separators()
+        return statements
+
+    def parse_statement(self):
+        and_or = self.parse_and_or()
+        background = False
+        if self.at_op("&"):
+            self.next()
+            background = True
+        if background:
+            and_or = _mark_background(and_or, self)
+        return and_or
+
+    def parse_and_or(self):
+        first = self.parse_command()
+        rest = []
+        while self.at_op("&&") or self.at_op("||"):
+            operator = self.next().value
+            # Allow the continuation on the next line.
+            while self.at_op("\n"):
+                self.next()
+            rest.append((operator, self.parse_command()))
+        if not rest:
+            return first
+        return AndOrList(first=first, rest=tuple(rest), line=first.line)
+
+    def parse_command(self):
+        if self.at_keyword("if"):
+            return self.parse_if()
+        if self.at_keyword("for"):
+            return self.parse_for()
+        return self.parse_simple()
+
+    def parse_if(self):
+        line = self.next().line          # 'if'
+        condition = self.parse_and_or()
+        self.skip_separators()
+        self._expect_keyword("then")
+        then_body = self._parse_body(("else", "fi"))
+        else_body = ()
+        if self.at_keyword("else"):
+            self.next()
+            else_body = self._parse_body(("fi",))
+        self._expect_keyword("fi")
+        return IfClause(condition=condition, then_body=then_body,
+                        else_body=else_body, line=line)
+
+    def parse_for(self):
+        line = self.next().line          # 'for'
+        variable_token = self.next()
+        if variable_token.kind != "word":
+            self.error("expected a variable name after 'for'",
+                       variable_token)
+        variable = _literal_text(variable_token.value)
+        if variable is None:
+            self.error("for-loop variable must be a plain name",
+                       variable_token)
+        self._expect_keyword("in")
+        items = []
+        while self.peek() is not None and self.peek().kind == "word":
+            items.append(self.next().value)
+        self.skip_separators()
+        self._expect_keyword("do")
+        body = self._parse_body(("done",))
+        self._expect_keyword("done")
+        return ForClause(variable=variable, items=tuple(items),
+                         body=body, line=line)
+
+    def _parse_body(self, terminators):
+        statements = []
+        self.skip_separators()
+        while not any(self.at_keyword(word) for word in terminators):
+            if self.at_end():
+                self.error(
+                    f"unterminated block (expected one of {terminators})"
+                )
+            statements.append(self.parse_statement())
+            self.skip_separators()
+        return tuple(statements)
+
+    def _expect_keyword(self, word):
+        if not self.at_keyword(word):
+            token = self.peek()
+            shown = token.value if token else "end of script"
+            self.error(f"expected {word!r}, got {shown!r}", token)
+        self.next()
+
+    def parse_simple(self):
+        assignments = []
+        words = []
+        redirect = None
+        line = self._current_line()
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "word":
+                break
+            if not words:
+                assignment = _as_assignment(token.value)
+                if assignment is not None:
+                    assignments.append(assignment)
+                    self.next()
+                    continue
+            if _word_is_literal(token.value, *_KEYWORDS) and not words \
+                    and not assignments:
+                break
+            words.append(self.next().value)
+        if self.at_op(">") or self.at_op(">>"):
+            op_token = self.next()
+            target = self.next()
+            if target.kind != "word":
+                self.error("redirection needs a target", target)
+            redirect = Redirect(target=target.value,
+                                append=op_token.value == ">>",
+                                line=op_token.line)
+        if not words and not assignments:
+            token = self.peek()
+            shown = token.value if token else "end of script"
+            self.error(f"expected a command, got {shown!r}", token)
+        return SimpleCommand(assignments=tuple(assignments),
+                             words=tuple(words), redirect=redirect,
+                             line=line)
+
+
+def _mark_background(node, parser):
+    if isinstance(node, SimpleCommand):
+        return SimpleCommand(assignments=node.assignments, words=node.words,
+                             redirect=node.redirect, background=True,
+                             line=node.line)
+    parser.error("only simple commands can run in the background")
+
+
+def _word_is_literal(parts, *candidates):
+    text = _literal_text(parts)
+    return text is not None and text in candidates
+
+
+def _literal_text(parts):
+    """The literal text of a word, or None if it expands variables or
+    carries quoting (quoted keywords are not keywords, as in shell)."""
+    if any(kind != "lit" or quoted for kind, _value, quoted in parts):
+        return None
+    return "".join(value for _kind, value, _quoted in parts)
+
+
+def _as_assignment(parts):
+    """Detect ``NAME=...`` at command position; returns (name, value_parts)."""
+    if not parts:
+        return None
+    kind, value, quoted = parts[0]
+    if kind != "lit" or quoted:
+        return None
+    match = _ASSIGNMENT_RE.match(value)
+    if match is None:
+        return None
+    name, remainder = match.groups()
+    value_parts = []
+    if remainder:
+        value_parts.append(("lit", remainder, False))
+    value_parts.extend(parts[1:])
+    return name, tuple(value_parts)
+
+
+def parse(text, script="<script>"):
+    """Parse shell *text* into a :class:`Script`."""
+    tokens = tokenize(text, script=script)
+    statements = _Parser(tokens, script).parse_script()
+    return Script(statements=tuple(statements), source=script, text=text)

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate and the MVA analytical baseline."""
+
+from repro.sim import mva
+from repro.sim.engine import Event, Simulator
+from repro.sim.ntier import (
+    DEFAULT_HOP_LATENCY,
+    OK,
+    REJECTED,
+    TIMEOUT,
+    NTierSimulation,
+    RequestRecord,
+)
+from repro.sim.resources import ProcessorSharingStation
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "mva",
+    "Event",
+    "Simulator",
+    "DEFAULT_HOP_LATENCY",
+    "OK",
+    "REJECTED",
+    "TIMEOUT",
+    "NTierSimulation",
+    "RequestRecord",
+    "ProcessorSharingStation",
+    "RandomStreams",
+]

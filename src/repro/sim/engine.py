@@ -1,0 +1,98 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: a binary heap of timestamped callbacks with
+stable FIFO ordering for simultaneous events and O(log n) cancellation
+via tombstones.  Everything in the performance substrate (processor
+sharing stations, client think times, monitor sampling) is built on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback; cancel() makes the heap entry a tombstone."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time, seq, fn):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The event loop; owns simulated time."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay, fn):
+        """Schedule *fn* to run *delay* seconds from now; returns Event."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        event = Event(self.now + delay, next(self._seq), fn)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time, fn):
+        """Schedule *fn* at absolute simulated *time*."""
+        return self.schedule(time - self.now, fn)
+
+    def peek_time(self):
+        """Time of the next live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self):
+        """Run the next event; returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now - 1e-12:
+                raise SimulationError(
+                    f"time went backwards: {event.time} < {self.now}"
+                )
+            self.now = max(self.now, event.time)
+            self.events_processed += 1
+            event.fn()
+            return True
+        return False
+
+    def run_until(self, end_time):
+        """Process events with time <= *end_time*; clock ends at end_time."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+        self.now = max(self.now, end_time)
+
+    def run_all(self, max_events=10_000_000):
+        """Drain the heap entirely (bounded against runaway schedules)."""
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events"
+                )
+        return count

@@ -1,0 +1,114 @@
+"""Exact Mean Value Analysis for closed product-form networks.
+
+The paper positions observation *against* queueing-theoretic models
+(Sections I/VI).  This module implements that analytical baseline —
+exact MVA for a closed network of queueing stations plus a think-time
+delay center — so the comparison is a runnable experiment: the ablation
+bench contrasts MVA predictions with simulated observations, and the
+test suite cross-validates the simulator against MVA in the regime
+where both are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MvaStation:
+    """One queueing station: a name and a total service demand (V * S).
+
+    ``servers`` > 1 approximates a multi-core station by demand scaling,
+    the standard (optimistic) MVA treatment; the simulator is the
+    authority for multi-core behaviour.
+    """
+
+    name: str
+    demand: float
+    servers: int = 1
+
+    def effective_demand(self):
+        return self.demand / self.servers
+
+
+@dataclass(frozen=True)
+class MvaResult:
+    users: int
+    throughput: float
+    response_time: float
+    station_queue: dict
+    station_utilization: dict
+    station_residence: dict
+
+    def bottleneck(self):
+        return max(self.station_utilization,
+                   key=lambda name: self.station_utilization[name])
+
+
+def solve(stations, think_time, users):
+    """Exact MVA for *users* customers; returns :class:`MvaResult`."""
+    if users < 0:
+        raise SimulationError(f"users must be non-negative: {users}")
+    if think_time < 0:
+        raise SimulationError(f"think time must be non-negative: {think_time}")
+    if not stations:
+        raise SimulationError("need at least one station")
+    names = [s.name for s in stations]
+    if len(set(names)) != len(names):
+        raise SimulationError(f"duplicate station names: {names}")
+    demands = [s.effective_demand() for s in stations]
+    for station, demand in zip(stations, demands):
+        if demand < 0:
+            raise SimulationError(
+                f"station {station.name} has negative demand"
+            )
+    queue = [0.0] * len(stations)
+    throughput = 0.0
+    residence = [0.0] * len(stations)
+    for n in range(1, users + 1):
+        residence = [d * (1.0 + q) for d, q in zip(demands, queue)]
+        total_residence = sum(residence)
+        throughput = n / (total_residence + think_time)
+        queue = [throughput * r for r in residence]
+    total_residence = sum(residence) if users > 0 else sum(demands)
+    return MvaResult(
+        users=users,
+        throughput=throughput,
+        response_time=total_residence,
+        station_queue=dict(zip(names, queue)),
+        station_utilization={
+            name: throughput * demand
+            for name, demand in zip(names, demands)
+        },
+        station_residence=dict(zip(names, residence)),
+    )
+
+
+def sweep(stations, think_time, workloads):
+    """Solve MVA for each workload; returns {users: MvaResult}."""
+    return {users: solve(stations, think_time, users)
+            for users in workloads}
+
+
+def saturation_users(stations, think_time):
+    """The asymptotic knee N* = (sum(D) + Z) / D_max.
+
+    Classic operational bound: below N* the network is latency-bound,
+    above it the bottleneck station is saturated and response time grows
+    linearly.  Used by tests to check the simulator's knees land where
+    the calibration says they must.
+    """
+    demands = [s.effective_demand() for s in stations]
+    d_max = max(demands)
+    if d_max <= 0:
+        raise SimulationError("all stations have zero demand")
+    return (sum(demands) + think_time) / d_max
+
+
+def asymptotic_response(stations, think_time, users):
+    """High-load bound: R(N) ~= N * D_max - Z."""
+    d_max = max(s.effective_demand() for s in stations)
+    return max(sum(s.effective_demand() for s in stations),
+               users * d_max - think_time)

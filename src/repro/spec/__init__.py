@@ -1,0 +1,40 @@
+"""Specification layer: CIM/MOF resource models, TBL experiment specs,
+topology notation, hardware/software catalogs and cross-validation."""
+
+from repro.spec.catalog import (
+    BENCHMARK_STACKS,
+    PLATFORMS,
+    SOFTWARE,
+    HardwarePlatform,
+    NodeType,
+    SoftwarePackage,
+    get_package,
+    get_platform,
+    stack_for,
+)
+from repro.spec.topology import (
+    TIER_ORDER,
+    TIER_TITLES,
+    Topology,
+    topology_grid,
+    topology_range,
+)
+from repro.spec.validation import validate
+
+__all__ = [
+    "BENCHMARK_STACKS",
+    "PLATFORMS",
+    "SOFTWARE",
+    "HardwarePlatform",
+    "NodeType",
+    "SoftwarePackage",
+    "get_package",
+    "get_platform",
+    "stack_for",
+    "TIER_ORDER",
+    "TIER_TITLES",
+    "Topology",
+    "topology_grid",
+    "topology_range",
+    "validate",
+]

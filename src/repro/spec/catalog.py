@@ -1,0 +1,264 @@
+"""Hardware and software catalogs (the paper's Table 2 and Table 1).
+
+The catalogs are the single source of truth for what hardware a cluster
+is made of and which software packages a benchmark deploys.  The virtual
+cluster instantiates hosts from :class:`NodeType`, the generator emits
+install scripts from :class:`SoftwarePackage`, and the simulator derives
+speed factors from CPU clocks and core counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecError
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """A hardware node model (one row of the paper's Table 2)."""
+
+    name: str
+    cpu_ghz: float
+    cpu_count: int
+    memory_mb: int
+    network_gbps: float
+    disk_rpm: int
+    disk_cache_mb: int = 8
+
+    def __post_init__(self):
+        if self.cpu_ghz <= 0 or self.cpu_count <= 0:
+            raise SpecError(f"node type {self.name!r} needs positive CPU specs")
+        if self.memory_mb <= 0:
+            raise SpecError(f"node type {self.name!r} needs positive memory")
+
+    def speed_factor(self, reference_ghz=3.0):
+        """Single-core speed relative to a 3 GHz reference core.
+
+        Service demands in the calibration tables are expressed for the
+        reference core; a 600 MHz Emulab low-end node runs them 5x slower.
+        """
+        return self.cpu_ghz / reference_ghz
+
+    def describe(self):
+        return (
+            f"{self.cpu_count} x {self.cpu_ghz:g}GHz CPU, "
+            f"{self.memory_mb}MB RAM, {self.network_gbps:g}Gbps NIC, "
+            f"{self.disk_rpm}RPM disk ({self.disk_cache_mb}MB cache)"
+        )
+
+
+@dataclass(frozen=True)
+class HardwarePlatform:
+    """A cluster platform: named node types plus a default type."""
+
+    name: str
+    node_types: dict
+    default_type: str
+    total_nodes: int
+    os_name: str
+    kernel: str
+
+    def node_type(self, name=None):
+        # TBL identifiers cannot carry dashes, so emulab_low == emulab-low.
+        key = self.default_type if name is None else name.replace("_", "-")
+        try:
+            return self.node_types[key]
+        except KeyError:
+            raise SpecError(
+                f"platform {self.name!r} has no node type {key!r}; "
+                f"known: {sorted(self.node_types)}"
+            )
+
+
+def _platforms():
+    """Build the three platforms of Table 2: Warp, Rohan, Emulab."""
+    warp_node = NodeType(
+        name="warp-blade", cpu_ghz=3.06, cpu_count=2, memory_mb=1024,
+        network_gbps=1.0, disk_rpm=5400,
+    )
+    rohan_node = NodeType(
+        name="rohan-blade", cpu_ghz=3.20, cpu_count=2, memory_mb=6144,
+        network_gbps=1.0, disk_rpm=10000,
+    )
+    emulab_low = NodeType(
+        name="emulab-low", cpu_ghz=0.6, cpu_count=1, memory_mb=256,
+        network_gbps=0.1, disk_rpm=7200,
+    )
+    emulab_high = NodeType(
+        name="emulab-high", cpu_ghz=3.0, cpu_count=1, memory_mb=2048,
+        network_gbps=1.0, disk_rpm=10000,
+    )
+    return {
+        "warp": HardwarePlatform(
+            name="warp",
+            node_types={"warp-blade": warp_node},
+            default_type="warp-blade",
+            total_nodes=56,
+            os_name="Red Hat Enterprise Linux 4",
+            kernel="2.6.9-22.ELsmp i386",
+        ),
+        "rohan": HardwarePlatform(
+            name="rohan",
+            node_types={"rohan-blade": rohan_node},
+            default_type="rohan-blade",
+            total_nodes=53,
+            os_name="Red Hat Enterprise Linux 4",
+            kernel="2.6.9-22.ELsmp x86_64",
+        ),
+        "emulab": HardwarePlatform(
+            name="emulab",
+            node_types={"emulab-low": emulab_low, "emulab-high": emulab_high},
+            default_type="emulab-high",
+            total_nodes=64,
+            os_name="Fedora Core 4",
+            kernel="2.6.12-1.1390_FC4 i386",
+        ),
+    }
+
+
+PLATFORMS = _platforms()
+
+
+def get_platform(name):
+    """Look up a platform by name (case-insensitive)."""
+    try:
+        return PLATFORMS[name.lower()]
+    except KeyError:
+        raise SpecError(
+            f"unknown hardware platform {name!r}; known: {sorted(PLATFORMS)}"
+        )
+
+
+@dataclass(frozen=True)
+class SoftwarePackage:
+    """An installable server package (one cell of the paper's Table 1)."""
+
+    name: str
+    version: str
+    tier: str
+    role: str                      # e.g. "web-server", "app-server", "database"
+    archive: str                   # tarball name in the control host package repo
+    install_root: str              # directory the archive unpacks to
+    daemon: str                    # executable path started by ignition scripts
+    default_port: int
+    #: multiplier applied to calibrated service demands; <1 means faster.
+    efficiency: float = 1.0
+    #: maximum concurrent worker threads/connections (pool cap).
+    worker_pool: int = 256
+    config_files: tuple = field(default_factory=tuple)
+
+    def archive_path(self):
+        return f"/packages/{self.archive}"
+
+    def daemon_path(self):
+        return f"{self.install_root}/{self.daemon}"
+
+
+def _software():
+    apache = SoftwarePackage(
+        name="apache", version="2.0.54", tier="web", role="web-server",
+        archive="httpd-2.0.54.tar.gz", install_root="/opt/apache",
+        daemon="bin/httpd", default_port=80, efficiency=1.0,
+        worker_pool=512,
+        config_files=("conf/httpd.conf", "conf/workers2.properties"),
+    )
+    tomcat = SoftwarePackage(
+        name="tomcat", version="5.5.17", tier="app", role="servlet-container",
+        archive="jakarta-tomcat-5.5.17.tar.gz", install_root="/opt/tomcat",
+        daemon="bin/catalina.sh", default_port=8009, efficiency=1.0,
+        worker_pool=300,
+        config_files=("conf/server.xml",),
+    )
+    jonas = SoftwarePackage(
+        name="jonas", version="4.7.1", tier="app", role="app-server",
+        archive="jonas-4.7.1.tar.gz", install_root="/opt/jonas",
+        daemon="bin/jonas", default_port=9000, efficiency=1.0,
+        worker_pool=300,
+        config_files=("conf/jonas.properties",),
+    )
+    weblogic = SoftwarePackage(
+        name="weblogic", version="8.1", tier="app", role="app-server",
+        archive="weblogic-8.1.tar.gz", install_root="/opt/weblogic",
+        daemon="bin/startWLS.sh", default_port=7001,
+        # The paper's ~2x user capacity for Weblogic (IV.B) is carried by
+        # the Warp nodes' dual CPUs (Table 2), not a software factor.
+        efficiency=1.0,
+        worker_pool=400,
+        config_files=("config/config.xml",),
+    )
+    mysql = SoftwarePackage(
+        name="mysql", version="4.0.27-max", tier="db", role="database",
+        archive="mysql-max-4.0.27.tar.gz", install_root="/opt/mysql",
+        daemon="bin/mysqld", default_port=3306, efficiency=1.0,
+        worker_pool=500,
+        config_files=("my.cnf",),
+    )
+    cjdbc = SoftwarePackage(
+        name="cjdbc", version="2.0.2", tier="db", role="db-controller",
+        archive="c-jdbc-2.0.2.tar.gz", install_root="/opt/cjdbc",
+        daemon="bin/controller.sh", default_port=25322, efficiency=1.0,
+        worker_pool=500,
+        config_files=("config/mysqldb-raidb1-elba.xml",),
+    )
+    sysstat = SoftwarePackage(
+        name="sysstat", version="6.0.2", tier="any", role="monitor",
+        archive="sysstat-6.0.2.tar.gz", install_root="/opt/sysstat",
+        daemon="bin/sar", default_port=0, efficiency=1.0,
+    )
+    return {p.name: p for p in
+            (apache, tomcat, jonas, weblogic, mysql, cjdbc, sysstat)}
+
+
+SOFTWARE = _software()
+
+
+def get_package(name):
+    """Look up a software package by name (case-insensitive)."""
+    try:
+        return SOFTWARE[name.lower()]
+    except KeyError:
+        raise SpecError(
+            f"unknown software package {name!r}; known: {sorted(SOFTWARE)}"
+        )
+
+
+#: Software stacks per benchmark (the paper's Table 1).  The app entry is a
+#: default; TBL specs may override it (JOnAS vs Weblogic in Section IV).
+BENCHMARK_STACKS = {
+    "rubis": {"web": ("apache",), "app": ("tomcat", "jonas"), "db": ("mysql", "cjdbc")},
+    "rubbos": {"web": ("apache",), "app": ("tomcat",), "db": ("mysql", "cjdbc")},
+    # TPC-App (the paper's anticipated addition, Section I): a web-
+    # services workload; the SOAP stack runs in the EJB container.
+    "tpcapp": {"web": ("apache",), "app": ("tomcat", "jonas"), "db": ("mysql", "cjdbc")},
+}
+
+
+def stack_for(benchmark, app_server=None):
+    """Resolve the package list per tier for *benchmark*.
+
+    ``app_server`` may replace the default EJB container (e.g.
+    ``"weblogic"``).  Returns a dict ``tier -> tuple of SoftwarePackage``.
+    """
+    try:
+        raw = BENCHMARK_STACKS[benchmark.lower()]
+    except KeyError:
+        raise SpecError(
+            f"unknown benchmark {benchmark!r}; known: {sorted(BENCHMARK_STACKS)}"
+        )
+    stack = {}
+    for tier, names in raw.items():
+        names = list(names)
+        if tier == "app" and app_server is not None:
+            replacement = get_package(app_server)
+            if replacement.tier != "app":
+                raise SpecError(
+                    f"{app_server!r} is not an application-tier package"
+                )
+            # The EJB container is the last element; servlet container stays.
+            if len(names) > 1:
+                names[-1] = replacement.name
+            else:
+                names = [replacement.name]
+        stack[tier] = tuple(get_package(n) for n in names)
+    return stack

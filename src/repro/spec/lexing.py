@@ -1,0 +1,228 @@
+"""Shared scanning machinery for the MOF and TBL front ends.
+
+Both specification languages are small enough that a hand-rolled scanner
+is clearer than a regex table.  :class:`Scanner` provides position
+tracking, string/number/identifier scanning and error reporting; the
+language-specific lexers supply keyword sets and punctuation tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecError
+
+
+#: ASCII digits only: str.isdigit() accepts superscripts ('²') and other
+#: unicode digits that int()/float() reject.
+ASCII_DIGITS = frozenset("0123456789")
+
+
+def is_ascii_digit(char):
+    return char in ASCII_DIGITS
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based line/column)."""
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Scanner:
+    """Character-level scanner with line/column bookkeeping."""
+
+    def __init__(self, text, source="<spec>", error_class=SpecError):
+        self.text = text
+        self.source = source
+        self.error_class = error_class
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message):
+        raise self.error_class(
+            message, line=self.line, column=self.column, source=self.source
+        )
+
+    def at_end(self):
+        return self.pos >= len(self.text)
+
+    def peek(self, offset=0):
+        index = self.pos + offset
+        if index >= len(self.text):
+            return ""
+        return self.text[index]
+
+    def advance(self):
+        char = self.text[self.pos]
+        self.pos += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def match(self, expected):
+        """Consume *expected* if it is next; return True on success."""
+        if self.text.startswith(expected, self.pos):
+            for _ in expected:
+                self.advance()
+            return True
+        return False
+
+    def skip_whitespace_and_comments(self, line_comments=("//", "#"),
+                                     block_comments=(("/*", "*/"),)):
+        """Skip spaces, newlines and any of the given comment styles."""
+        while not self.at_end():
+            char = self.peek()
+            if char in " \t\r\n":
+                self.advance()
+                continue
+            matched_comment = False
+            for marker in line_comments:
+                if self.text.startswith(marker, self.pos):
+                    while not self.at_end() and self.peek() != "\n":
+                        self.advance()
+                    matched_comment = True
+                    break
+            if matched_comment:
+                continue
+            for opener, closer in block_comments:
+                if self.text.startswith(opener, self.pos):
+                    start_line = self.line
+                    self.match(opener)
+                    while not self.at_end() and not self.match(closer):
+                        self.advance()
+                    if self.at_end() and not self.text.endswith(closer):
+                        self.line = start_line
+                        self.error(f"unterminated comment opened with {opener!r}")
+                    matched_comment = True
+                    break
+            if matched_comment:
+                continue
+            return
+
+    def scan_string(self):
+        """Scan a double-quoted string with backslash escapes."""
+        line, column = self.line, self.column
+        quote = self.advance()
+        assert quote == '"'
+        chars = []
+        while True:
+            if self.at_end():
+                self.error("unterminated string literal")
+            char = self.advance()
+            if char == '"':
+                break
+            if char == "\n":
+                self.error("newline in string literal")
+            if char == "\\":
+                if self.at_end():
+                    self.error("dangling escape at end of input")
+                escape = self.advance()
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if escape not in mapping:
+                    self.error(f"unknown escape sequence \\{escape}")
+                chars.append(mapping[escape])
+            else:
+                chars.append(char)
+        return Token("string", "".join(chars), line, column)
+
+    def scan_number(self):
+        """Scan an integer or float, optionally signed or a percentage."""
+        line, column = self.line, self.column
+        chars = []
+        if self.peek() in "+-":
+            chars.append(self.advance())
+        saw_dot = False
+        while not self.at_end() and (is_ascii_digit(self.peek()) or
+                                     (self.peek() == "." and not saw_dot)):
+            if self.peek() == ".":
+                saw_dot = True
+            chars.append(self.advance())
+        text = "".join(chars)
+        if text in ("", "+", "-"):
+            self.error("malformed number")
+        if self.peek() == "%":
+            self.advance()
+            return Token("number", float(text) / 100.0, line, column)
+        value = float(text) if saw_dot else int(text)
+        return Token("number", value, line, column)
+
+    def scan_identifier(self, extra_chars="_"):
+        """Scan an identifier ``[A-Za-z_][A-Za-z0-9_]*`` (plus extras)."""
+        line, column = self.line, self.column
+        chars = [self.advance()]
+        while not self.at_end() and (self.peek().isalnum() or
+                                     self.peek() in extra_chars):
+            chars.append(self.advance())
+        return Token("ident", "".join(chars), line, column)
+
+
+class TokenStream:
+    """Parser-side cursor over a token list with convenience accessors."""
+
+    def __init__(self, tokens, source="<spec>", error_class=SpecError):
+        self.tokens = tokens
+        self.source = source
+        self.error_class = error_class
+        self.index = 0
+
+    def error(self, message, token=None):
+        token = token if token is not None else self.peek()
+        line = token.line if token is not None else None
+        column = token.column if token is not None else None
+        raise self.error_class(
+            message, line=line, column=column, source=self.source
+        )
+
+    def at_end(self):
+        return self.index >= len(self.tokens)
+
+    def peek(self, offset=0):
+        index = self.index + offset
+        if index >= len(self.tokens):
+            return None
+        return self.tokens[index]
+
+    def next(self):
+        if self.at_end():
+            raise self.error_class(
+                "unexpected end of input", source=self.source
+            )
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def check(self, kind, value=None):
+        token = self.peek()
+        if token is None or token.kind != kind:
+            return False
+        if value is not None and token.value != value:
+            return False
+        return True
+
+    def accept(self, kind, value=None):
+        if self.check(kind, value):
+            return self.next()
+        return None
+
+    def expect(self, kind, value=None):
+        token = self.peek()
+        if token is None:
+            raise self.error_class(
+                f"expected {value or kind}, got end of input",
+                source=self.source,
+            )
+        if token.kind != kind or (value is not None and token.value != value):
+            shown = value if value is not None else kind
+            self.error(f"expected {shown!r}, got {token.value!r}", token)
+        return self.next()

@@ -1,0 +1,35 @@
+"""CIM/MOF front end: lexer, parser, model and the Elba schema."""
+
+from repro.spec.mof.lexer import tokenize
+from repro.spec.mof.model import (
+    CimClass,
+    CimInstance,
+    CimProperty,
+    CimRepository,
+)
+from repro.spec.mof.parser import parse
+from repro.spec.mof.schema import (
+    ELBA_SCHEMA_MOF,
+    ResourceModel,
+    TierAssignment,
+    load_resource_model,
+    render_resource_mof,
+    resource_model_from,
+    schema_repository,
+)
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "CimClass",
+    "CimInstance",
+    "CimProperty",
+    "CimRepository",
+    "ELBA_SCHEMA_MOF",
+    "ResourceModel",
+    "TierAssignment",
+    "load_resource_model",
+    "render_resource_mof",
+    "resource_model_from",
+    "schema_repository",
+]

@@ -1,0 +1,50 @@
+"""Lexer for the CIM/MOF subset accepted by Mulini (Section II).
+
+The subset covers what resource-configuration models need: qualifiers in
+brackets, ``class`` declarations with typed properties, ``instance of``
+blocks, string/number/boolean/array initializers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MofError
+from repro.spec.lexing import Scanner, Token, is_ascii_digit
+
+KEYWORDS = frozenset({"class", "instance", "of", "true", "false", "null"})
+
+#: MOF intrinsic property types we accept.
+TYPE_NAMES = frozenset({
+    "string", "boolean", "real32", "real64",
+    "sint8", "sint16", "sint32", "sint64",
+    "uint8", "uint16", "uint32", "uint64",
+})
+
+PUNCTUATION = "{}[]();=,:"
+
+
+def tokenize(text, source="<mof>"):
+    """Tokenize MOF *text* into a list of :class:`Token`."""
+    scanner = Scanner(text, source=source, error_class=MofError)
+    tokens = []
+    while True:
+        scanner.skip_whitespace_and_comments(line_comments=("//",))
+        if scanner.at_end():
+            break
+        char = scanner.peek()
+        if char == '"':
+            tokens.append(scanner.scan_string())
+        elif is_ascii_digit(char) or (char in "+-"
+                                      and is_ascii_digit(scanner.peek(1))):
+            tokens.append(scanner.scan_number())
+        elif char.isalpha() or char == "_":
+            token = scanner.scan_identifier()
+            lowered = token.value.lower()
+            if lowered in KEYWORDS:
+                token = Token("keyword", lowered, token.line, token.column)
+            tokens.append(token)
+        elif char in PUNCTUATION:
+            line, column = scanner.line, scanner.column
+            tokens.append(Token("punct", scanner.advance(), line, column))
+        else:
+            scanner.error(f"unexpected character {char!r}")
+    return tokens

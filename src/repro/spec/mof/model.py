@@ -1,0 +1,181 @@
+"""In-memory CIM model: classes, properties, instances, repository.
+
+This is the target representation of the MOF parser and the source
+representation the Mulini generator reads resource configurations from.
+Type checking happens when instances enter the repository, so generator
+code downstream never needs to re-validate shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MofError
+
+_INT_TYPES = {
+    "sint8", "sint16", "sint32", "sint64",
+    "uint8", "uint16", "uint32", "uint64",
+}
+_REAL_TYPES = {"real32", "real64"}
+
+
+@dataclass(frozen=True)
+class CimProperty:
+    """A typed, possibly array-valued CIM class property."""
+
+    name: str
+    cim_type: str
+    is_array: bool = False
+    default: object = None
+    qualifiers: dict = field(default_factory=dict)
+
+    def check(self, value, class_name):
+        """Validate and coerce *value* for this property."""
+        if value is None:
+            return None
+        if self.is_array:
+            if not isinstance(value, (list, tuple)):
+                raise MofError(
+                    f"{class_name}.{self.name} is an array property, "
+                    f"got scalar {value!r}"
+                )
+            return tuple(self._check_scalar(item, class_name) for item in value)
+        if isinstance(value, (list, tuple)):
+            raise MofError(
+                f"{class_name}.{self.name} is scalar, got array {value!r}"
+            )
+        return self._check_scalar(value, class_name)
+
+    def _check_scalar(self, value, class_name):
+        if self.cim_type == "string":
+            if not isinstance(value, str):
+                raise MofError(
+                    f"{class_name}.{self.name} expects a string, got {value!r}"
+                )
+            return value
+        if self.cim_type == "boolean":
+            if not isinstance(value, bool):
+                raise MofError(
+                    f"{class_name}.{self.name} expects a boolean, got {value!r}"
+                )
+            return value
+        if self.cim_type in _INT_TYPES:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise MofError(
+                    f"{class_name}.{self.name} expects an integer, got {value!r}"
+                )
+            if self.cim_type.startswith("u") and value < 0:
+                raise MofError(
+                    f"{class_name}.{self.name} is unsigned, got {value!r}"
+                )
+            return value
+        if self.cim_type in _REAL_TYPES:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise MofError(
+                    f"{class_name}.{self.name} expects a real, got {value!r}"
+                )
+            return float(value)
+        raise MofError(f"unknown CIM type {self.cim_type!r}")
+
+
+@dataclass(frozen=True)
+class CimClass:
+    """A CIM class: a name, qualifiers and an ordered property table."""
+
+    name: str
+    properties: dict
+    qualifiers: dict = field(default_factory=dict)
+
+    def property(self, name):
+        try:
+            return self.properties[name]
+        except KeyError:
+            raise MofError(
+                f"class {self.name} has no property {name!r}; "
+                f"known: {sorted(self.properties)}"
+            )
+
+
+class CimInstance:
+    """An instance of a CIM class with validated property values."""
+
+    def __init__(self, cim_class, values):
+        self.cim_class = cim_class
+        self.values = {}
+        for name, value in values.items():
+            prop = cim_class.property(name)
+            self.values[name] = prop.check(value, cim_class.name)
+        for name, prop in cim_class.properties.items():
+            if name not in self.values:
+                self.values[name] = prop.check(prop.default, cim_class.name)
+
+    @property
+    def class_name(self):
+        return self.cim_class.name
+
+    def get(self, name, default=None):
+        self.cim_class.property(name)  # raise on unknown property
+        value = self.values.get(name)
+        return default if value is None else value
+
+    def require(self, name):
+        value = self.get(name)
+        if value is None:
+            raise MofError(
+                f"instance of {self.class_name} is missing required "
+                f"property {name!r}"
+            )
+        return value
+
+    def __repr__(self):
+        keys = ", ".join(f"{k}={v!r}" for k, v in sorted(self.values.items())
+                         if v is not None)
+        return f"CimInstance({self.class_name}: {keys})"
+
+
+class CimRepository:
+    """Holds classes and instances parsed from one or more MOF documents."""
+
+    def __init__(self):
+        self.classes = {}
+        self.instances = []
+
+    def add_class(self, cim_class):
+        if cim_class.name in self.classes:
+            raise MofError(f"duplicate class declaration {cim_class.name!r}")
+        self.classes[cim_class.name] = cim_class
+
+    def get_class(self, name):
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise MofError(
+                f"unknown class {name!r}; known: {sorted(self.classes)}"
+            )
+
+    def add_instance(self, class_name, values):
+        instance = CimInstance(self.get_class(class_name), values)
+        self.instances.append(instance)
+        return instance
+
+    def instances_of(self, class_name):
+        """All instances of *class_name*, in declaration order."""
+        self.get_class(class_name)  # raise on unknown class
+        return [i for i in self.instances if i.class_name == class_name]
+
+    def single(self, class_name):
+        """The unique instance of *class_name* (error if 0 or many)."""
+        found = self.instances_of(class_name)
+        if len(found) != 1:
+            raise MofError(
+                f"expected exactly one instance of {class_name}, "
+                f"found {len(found)}"
+            )
+        return found[0]
+
+    def merge(self, other):
+        """Fold another repository's classes and instances into this one."""
+        for cim_class in other.classes.values():
+            if cim_class.name not in self.classes:
+                self.add_class(cim_class)
+        self.instances.extend(other.instances)

@@ -1,0 +1,134 @@
+"""Recursive-descent parser for the MOF subset.
+
+Grammar (EBNF, qualifier lists optional everywhere they appear):
+
+    document     := (class_decl | instance_decl)*
+    class_decl   := qualifiers? "class" IDENT "{" property* "}" ";"
+    property     := qualifiers? TYPE IDENT array? ("=" literal)? ";"
+    array        := "[" "]"
+    instance_decl:= qualifiers? "instance" "of" IDENT "{" assign* "}" ";"
+    assign       := IDENT "=" value ";"
+    value        := literal | "{" (literal ("," literal)*)? "}"
+    literal      := STRING | NUMBER | "true" | "false" | "null"
+    qualifiers   := "[" qualifier ("," qualifier)* "]"
+    qualifier    := IDENT ("(" literal ")")?
+"""
+
+from __future__ import annotations
+
+from repro.errors import MofError
+from repro.spec.lexing import TokenStream
+from repro.spec.mof.lexer import TYPE_NAMES, tokenize
+from repro.spec.mof.model import CimClass, CimProperty, CimRepository
+
+
+def parse(text, source="<mof>", repository=None):
+    """Parse MOF *text* into (or onto) a :class:`CimRepository`."""
+    tokens = TokenStream(tokenize(text, source=source), source=source,
+                         error_class=MofError)
+    repository = repository if repository is not None else CimRepository()
+    while not tokens.at_end():
+        qualifiers = _parse_qualifiers(tokens)
+        if tokens.check("keyword", "class"):
+            repository.add_class(_parse_class(tokens, qualifiers))
+        elif tokens.check("keyword", "instance"):
+            class_name, values = _parse_instance(tokens)
+            repository.add_instance(class_name, values)
+        else:
+            tokens.error("expected 'class' or 'instance'")
+    return repository
+
+
+def _parse_qualifiers(tokens):
+    qualifiers = {}
+    if not tokens.check("punct", "["):
+        return qualifiers
+    tokens.next()
+    while True:
+        name_token = tokens.expect("ident")
+        value = True
+        if tokens.accept("punct", "("):
+            value = _parse_literal(tokens)
+            tokens.expect("punct", ")")
+        qualifiers[name_token.value] = value
+        if tokens.accept("punct", ","):
+            continue
+        tokens.expect("punct", "]")
+        break
+    return qualifiers
+
+
+def _parse_class(tokens, qualifiers):
+    tokens.expect("keyword", "class")
+    name = tokens.expect("ident").value
+    tokens.expect("punct", "{")
+    properties = {}
+    while not tokens.check("punct", "}"):
+        prop = _parse_property(tokens)
+        if prop.name in properties:
+            tokens.error(f"duplicate property {prop.name!r} in class {name}")
+        properties[prop.name] = prop
+    tokens.expect("punct", "}")
+    tokens.expect("punct", ";")
+    return CimClass(name=name, properties=properties, qualifiers=qualifiers)
+
+
+def _parse_property(tokens):
+    qualifiers = _parse_qualifiers(tokens)
+    type_token = tokens.expect("ident")
+    cim_type = type_token.value.lower()
+    if cim_type not in TYPE_NAMES:
+        tokens.error(f"unknown property type {type_token.value!r}", type_token)
+    name = tokens.expect("ident").value
+    is_array = False
+    if tokens.accept("punct", "["):
+        tokens.expect("punct", "]")
+        is_array = True
+    default = None
+    if tokens.accept("punct", "="):
+        default = _parse_value(tokens)
+    tokens.expect("punct", ";")
+    return CimProperty(name=name, cim_type=cim_type, is_array=is_array,
+                       default=default, qualifiers=qualifiers)
+
+
+def _parse_instance(tokens):
+    tokens.expect("keyword", "instance")
+    tokens.expect("keyword", "of")
+    class_name = tokens.expect("ident").value
+    tokens.expect("punct", "{")
+    values = {}
+    while not tokens.check("punct", "}"):
+        name = tokens.expect("ident").value
+        if name in values:
+            tokens.error(f"duplicate assignment to {name!r}")
+        tokens.expect("punct", "=")
+        values[name] = _parse_value(tokens)
+        tokens.expect("punct", ";")
+    tokens.expect("punct", "}")
+    tokens.expect("punct", ";")
+    return class_name, values
+
+
+def _parse_value(tokens):
+    if tokens.accept("punct", "{"):
+        items = []
+        if not tokens.check("punct", "}"):
+            items.append(_parse_literal(tokens))
+            while tokens.accept("punct", ","):
+                items.append(_parse_literal(tokens))
+        tokens.expect("punct", "}")
+        return items
+    return _parse_literal(tokens)
+
+
+def _parse_literal(tokens):
+    token = tokens.peek()
+    if token is None:
+        tokens.error("expected a literal, got end of input")
+    if token.kind == "string" or token.kind == "number":
+        return tokens.next().value
+    if token.kind == "keyword" and token.value in ("true", "false", "null"):
+        tokens.next()
+        return {"true": True, "false": False, "null": None}[token.value]
+    tokens.error(f"expected a literal, got {token.value!r}")

@@ -1,0 +1,27 @@
+"""Testbed Language front end: lexer, parser, AST, writer."""
+
+from repro.spec.tbl.ast import (
+    DEFAULT_TRIAL_PHASES,
+    ExperimentDef,
+    MonitorSpec,
+    ServiceLevelObjective,
+    TestbedSpec,
+    TrialPhases,
+    expand_range,
+)
+from repro.spec.tbl.lexer import tokenize
+from repro.spec.tbl.parser import parse
+from repro.spec.tbl.writer import render_tbl
+
+__all__ = [
+    "DEFAULT_TRIAL_PHASES",
+    "ExperimentDef",
+    "MonitorSpec",
+    "ServiceLevelObjective",
+    "TestbedSpec",
+    "TrialPhases",
+    "expand_range",
+    "tokenize",
+    "parse",
+    "render_tbl",
+]

@@ -1,0 +1,83 @@
+"""Lexer for the Testbed Language.
+
+Beyond the usual identifier/number/string tokens, TBL has two lexical
+conveniences the paper's sweep notation needs:
+
+* **topology literals** — ``1-8-2`` scans as a single ``topo`` token;
+* **unit suffixes** — ``300s``, ``1500ms`` scan to seconds, ``15%`` to a
+  fraction (handled by the shared scanner).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TblError
+from repro.spec.lexing import Scanner, Token, is_ascii_digit
+
+KEYWORDS = frozenset({
+    "benchmark", "platform", "app_server", "experiment", "topology",
+    "workload", "write_ratio", "think_time", "timeout", "seed", "trial",
+    "warmup", "run", "cooldown", "slo", "response_time", "error_ratio",
+    "monitor", "interval", "metrics", "to", "step", "by", "db_node_type",
+    "repetitions",
+})
+
+PUNCTUATION = "{};,"
+
+_UNIT_SCALES = {"s": 1.0, "ms": 0.001, "m": 60.0, "h": 3600.0}
+
+
+def tokenize(text, source="<tbl>"):
+    """Tokenize TBL *text* into a list of :class:`Token`."""
+    scanner = Scanner(text, source=source, error_class=TblError)
+    tokens = []
+    while True:
+        scanner.skip_whitespace_and_comments(line_comments=("#", "//"))
+        if scanner.at_end():
+            break
+        char = scanner.peek()
+        if char == '"':
+            tokens.append(scanner.scan_string())
+        elif is_ascii_digit(char):
+            tokens.append(_scan_numeric(scanner))
+        elif char.isalpha() or char == "_":
+            token = scanner.scan_identifier()
+            lowered = token.value.lower()
+            if lowered in KEYWORDS:
+                token = Token("keyword", lowered, token.line, token.column)
+            tokens.append(token)
+        elif char in PUNCTUATION:
+            line, column = scanner.line, scanner.column
+            tokens.append(Token("punct", scanner.advance(), line, column))
+        else:
+            scanner.error(f"unexpected character {char!r}")
+    return tokens
+
+
+def _scan_numeric(scanner):
+    """Scan a number, a duration (unit suffix) or a topology literal."""
+    line, column = scanner.line, scanner.column
+    first = scanner.scan_number()
+    # Topology literal: integer '-' integer '-' integer, no spaces.
+    if (isinstance(first.value, int) and scanner.peek() == "-"
+            and is_ascii_digit(scanner.peek(1))):
+        scanner.advance()  # consume '-'
+        second = scanner.scan_number()
+        if scanner.peek() != "-" or not is_ascii_digit(scanner.peek(1)):
+            scanner.error("malformed topology literal (expected w-a-d)")
+        scanner.advance()
+        third = scanner.scan_number()
+        if not (isinstance(second.value, int) and isinstance(third.value, int)):
+            scanner.error("topology components must be integers")
+        label = f"{first.value}-{second.value}-{third.value}"
+        return Token("topo", label, line, column)
+    # Duration: unit suffix glued to the number.
+    if scanner.peek().isalpha():
+        unit_chars = []
+        while scanner.peek().isalpha():
+            unit_chars.append(scanner.advance())
+        unit = "".join(unit_chars)
+        if unit not in _UNIT_SCALES:
+            scanner.error(f"unknown unit suffix {unit!r}")
+        return Token("duration", float(first.value) * _UNIT_SCALES[unit],
+                     line, column)
+    return first

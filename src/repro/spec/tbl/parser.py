@@ -1,0 +1,276 @@
+"""Recursive-descent parser for the Testbed Language.
+
+Grammar sketch::
+
+    document   := header* experiment+
+    header     := ("benchmark" | "platform" | "app_server") IDENT ";"
+    experiment := "experiment" STRING "{" setting* "}"
+    setting    := "topology" topo_spec ";"
+                | "workload" num_spec ";"
+                | "write_ratio" num_spec ";"
+                | ("think_time" | "timeout") duration ";"
+                | "seed" NUMBER ";"
+                | "app_server" IDENT ";"
+                | "db_node_type" IDENT ";"
+                | "trial" "{" phase* "}"
+                | "slo" "{" objective* "}"
+                | "monitor" "{" monitor_item* "}"
+    topo_spec  := TOPO ("," TOPO)* | TOPO "to" TOPO
+    num_spec   := value ("to" value ("step" value)?)? | value ("," value)*
+
+``TOPO to TOPO`` expands as a grid over every tier whose count differs,
+so ``topology 1-2-1 to 1-8-3;`` produces the paper's 21-configuration
+scale-out family (Section V.B).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TblError
+from repro.spec.lexing import TokenStream
+from repro.spec.tbl.ast import (
+    ExperimentDef,
+    MonitorSpec,
+    ServiceLevelObjective,
+    TestbedSpec,
+    TrialPhases,
+    expand_range,
+)
+from repro.spec.tbl.lexer import tokenize
+from repro.spec.topology import Topology
+
+_HEADER_KEYWORDS = ("benchmark", "platform", "app_server")
+
+
+def parse(text, source="<tbl>"):
+    """Parse TBL *text* into a :class:`TestbedSpec`."""
+    tokens = TokenStream(tokenize(text, source=source), source=source,
+                         error_class=TblError)
+    headers = {"benchmark": None, "platform": None, "app_server": None}
+    while tokens.peek() is not None and tokens.peek().kind == "keyword" \
+            and tokens.peek().value in _HEADER_KEYWORDS:
+        keyword = tokens.next().value
+        value = _expect_name(tokens)
+        if headers[keyword] is not None:
+            tokens.error(f"duplicate {keyword!r} header")
+        headers[keyword] = value.lower()
+        tokens.expect("punct", ";")
+    if headers["benchmark"] is None:
+        tokens.error("TBL document must declare a benchmark")
+    if headers["platform"] is None:
+        tokens.error("TBL document must declare a platform")
+    experiments = []
+    while not tokens.at_end():
+        experiments.append(_parse_experiment(tokens, headers))
+    if not experiments:
+        tokens.error("TBL document declares no experiments")
+    return TestbedSpec(
+        benchmark=headers["benchmark"],
+        platform=headers["platform"],
+        app_server=headers["app_server"],
+        experiments=tuple(experiments),
+        source=source,
+    )
+
+
+def _expect_name(tokens):
+    token = tokens.peek()
+    if token is not None and token.kind in ("ident", "string"):
+        return tokens.next().value
+    tokens.error("expected a name")
+
+
+def _parse_experiment(tokens, headers):
+    tokens.expect("keyword", "experiment")
+    name = tokens.expect("string").value
+    tokens.expect("punct", "{")
+    settings = {
+        "topologies": None,
+        "workloads": None,
+        "write_ratios": (0.15,),
+        "think_time": 7.0,
+        "timeout": 8.0,
+        "seed": 42,
+        "repetitions": 1,
+        "app_server": headers["app_server"],
+        "db_node_type": None,
+        "trial": None,
+        "slo": ServiceLevelObjective(),
+        "monitor": MonitorSpec(),
+    }
+    while not tokens.check("punct", "}"):
+        _parse_setting(tokens, settings)
+    tokens.expect("punct", "}")
+    if settings["topologies"] is None:
+        tokens.error(f"experiment {name!r} is missing a topology setting")
+    if settings["workloads"] is None:
+        tokens.error(f"experiment {name!r} is missing a workload setting")
+    trial = settings["trial"] or TrialPhases.default_for(headers["benchmark"])
+    return ExperimentDef(
+        name=name,
+        benchmark=headers["benchmark"],
+        platform=headers["platform"],
+        topologies=settings["topologies"],
+        workloads=settings["workloads"],
+        write_ratios=settings["write_ratios"],
+        trial=trial,
+        slo=settings["slo"],
+        monitor=settings["monitor"],
+        app_server=settings["app_server"],
+        think_time=settings["think_time"],
+        timeout=settings["timeout"],
+        seed=settings["seed"],
+        repetitions=settings["repetitions"],
+        db_node_type=settings["db_node_type"],
+    )
+
+
+def _parse_setting(tokens, settings):
+    token = tokens.peek()
+    if token is None:
+        tokens.error("unterminated experiment block")
+    if token.kind != "keyword":
+        tokens.error(f"expected a setting keyword, got {token.value!r}")
+    keyword = tokens.next().value
+    if keyword == "topology":
+        settings["topologies"] = _parse_topologies(tokens)
+        tokens.expect("punct", ";")
+    elif keyword == "workload":
+        values = _parse_numeric_spec(tokens)
+        for value in values:
+            if not isinstance(value, int):
+                tokens.error(f"workloads must be integers, got {value!r}")
+        settings["workloads"] = values
+        tokens.expect("punct", ";")
+    elif keyword == "write_ratio":
+        settings["write_ratios"] = tuple(
+            float(v) for v in _parse_numeric_spec(tokens)
+        )
+        tokens.expect("punct", ";")
+    elif keyword in ("think_time", "timeout"):
+        settings[keyword] = _parse_duration(tokens)
+        tokens.expect("punct", ";")
+    elif keyword in ("seed", "repetitions"):
+        value = tokens.expect("number").value
+        if not isinstance(value, int):
+            tokens.error(f"{keyword} must be an integer, got {value!r}")
+        settings[keyword] = value
+        tokens.expect("punct", ";")
+    elif keyword == "app_server":
+        settings["app_server"] = _expect_name(tokens).lower()
+        tokens.expect("punct", ";")
+    elif keyword == "db_node_type":
+        settings["db_node_type"] = _expect_name(tokens).lower()
+        tokens.expect("punct", ";")
+    elif keyword == "trial":
+        settings["trial"] = _parse_trial(tokens)
+    elif keyword == "slo":
+        settings["slo"] = _parse_slo(tokens)
+    elif keyword == "monitor":
+        settings["monitor"] = _parse_monitor(tokens)
+    else:
+        tokens.error(f"setting {keyword!r} not allowed here")
+
+
+def _parse_topologies(tokens):
+    first = Topology.parse(tokens.expect("topo").value)
+    if tokens.accept("keyword", "to"):
+        last = Topology.parse(tokens.expect("topo").value)
+        return _expand_topology_grid(tokens, first, last)
+    topologies = [first]
+    while tokens.accept("punct", ","):
+        topologies.append(Topology.parse(tokens.expect("topo").value))
+    return tuple(topologies)
+
+
+def _expand_topology_grid(tokens, first, last):
+    if not last.dominates(first):
+        tokens.error(
+            f"topology range end {last.label()} must dominate start "
+            f"{first.label()}"
+        )
+    grid = []
+    for web in range(first.web, last.web + 1):
+        for app in range(first.app, last.app + 1):
+            for db in range(first.db, last.db + 1):
+                grid.append(Topology(web=web, app=app, db=db))
+    return tuple(grid)
+
+
+def _parse_numeric_spec(tokens):
+    first = _parse_scalar(tokens)
+    if tokens.accept("keyword", "to"):
+        stop = _parse_scalar(tokens)
+        step = None
+        if tokens.accept("keyword", "step"):
+            step = _parse_scalar(tokens)
+        return expand_range(first, stop, step)
+    values = [first]
+    while tokens.accept("punct", ","):
+        values.append(_parse_scalar(tokens))
+    return tuple(values)
+
+
+def _parse_scalar(tokens):
+    token = tokens.peek()
+    if token is not None and token.kind in ("number", "duration"):
+        return tokens.next().value
+    tokens.error("expected a numeric value")
+
+
+def _parse_duration(tokens):
+    token = tokens.peek()
+    if token is not None and token.kind == "duration":
+        return tokens.next().value
+    if token is not None and token.kind == "number":
+        return float(tokens.next().value)
+    tokens.error("expected a duration (e.g. 300s, 1500ms)")
+
+
+def _parse_trial(tokens):
+    tokens.expect("punct", "{")
+    phases = {"warmup": 0.0, "run": None, "cooldown": 0.0}
+    while not tokens.check("punct", "}"):
+        token = tokens.next()
+        if token.kind != "keyword" or token.value not in phases:
+            tokens.error(f"unknown trial phase {token.value!r}", token)
+        phases[token.value] = _parse_duration(tokens)
+        tokens.expect("punct", ";")
+    tokens.expect("punct", "}")
+    if phases["run"] is None:
+        tokens.error("trial block must set a run period")
+    return TrialPhases(**phases)
+
+
+def _parse_slo(tokens):
+    tokens.expect("punct", "{")
+    values = {}
+    while not tokens.check("punct", "}"):
+        token = tokens.next()
+        if token.kind == "keyword" and token.value == "response_time":
+            values["response_time"] = _parse_duration(tokens)
+        elif token.kind == "keyword" and token.value == "error_ratio":
+            values["error_ratio"] = float(_parse_scalar(tokens))
+        else:
+            tokens.error(f"unknown SLO {token.value!r}", token)
+        tokens.expect("punct", ";")
+    tokens.expect("punct", "}")
+    return ServiceLevelObjective(**values)
+
+
+def _parse_monitor(tokens):
+    tokens.expect("punct", "{")
+    values = {}
+    while not tokens.check("punct", "}"):
+        token = tokens.next()
+        if token.kind == "keyword" and token.value == "interval":
+            values["interval"] = _parse_duration(tokens)
+        elif token.kind == "keyword" and token.value == "metrics":
+            metrics = [_expect_name(tokens).lower()]
+            while tokens.accept("punct", ","):
+                metrics.append(_expect_name(tokens).lower())
+            values["metrics"] = tuple(metrics)
+        else:
+            tokens.error(f"unknown monitor setting {token.value!r}", token)
+        tokens.expect("punct", ";")
+    tokens.expect("punct", "}")
+    return MonitorSpec(**values)

@@ -1,0 +1,120 @@
+"""Render TBL text from programmatic sweep descriptions.
+
+The paper's workflow edits the TBL input and regenerates everything
+(Section III.C: "we modify Mulini's input specification once").  The
+high-level campaign API builds sweeps programmatically; this writer
+turns them into TBL text which is then *parsed back*, so the language
+front end stays on the hot path and cannot rot.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TblError
+
+
+def _format_values(values, percent=False):
+    """Format a value list, collapsing arithmetic progressions to ranges."""
+    values = list(values)
+    if not values:
+        raise TblError("cannot render an empty value list")
+    if len(values) >= 3:
+        step = values[1] - values[0]
+        is_progression = step > 0 and all(
+            abs((values[i + 1] - values[i]) - step) < 1e-9
+            for i in range(len(values) - 1)
+        )
+        if is_progression:
+            return (f"{_format_one(values[0], percent)} to "
+                    f"{_format_one(values[-1], percent)} step "
+                    f"{_format_one(step, percent)}")
+    return ", ".join(_format_one(v, percent) for v in values)
+
+
+def _format_one(value, percent=False):
+    if percent:
+        return f"{round(value * 100, 6):g}%"
+    if isinstance(value, float) and value.is_integer():
+        return f"{int(value)}"
+    return f"{value:g}"
+
+
+def _format_duration(seconds):
+    if seconds < 1 and seconds > 0:
+        return f"{seconds * 1000:g}ms"
+    return f"{seconds:g}s"
+
+
+def render_tbl(benchmark, platform, experiments, app_server=None):
+    """Render a TBL document.
+
+    *experiments* is a list of dicts with keys matching
+    :class:`repro.spec.tbl.ast.ExperimentDef` (topologies, workloads,
+    write_ratios, trial, slo, monitor, think_time, timeout, seed, ...).
+    Only non-default settings are emitted, keeping the generated text
+    close to what a human would write.
+    """
+    lines = [
+        "# Generated Testbed Language specification.",
+        f"benchmark {benchmark};",
+        f"platform {platform};",
+    ]
+    if app_server:
+        lines.append(f"app_server {app_server};")
+    lines.append("")
+    for experiment in experiments:
+        lines.extend(_render_experiment(experiment))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _render_experiment(experiment):
+    name = experiment["name"]
+    lines = [f'experiment "{name}" {{']
+    topologies = experiment["topologies"]
+    labels = ", ".join(t.label() for t in topologies)
+    lines.append(f"    topology {labels};")
+    lines.append(f"    workload {_format_values(experiment['workloads'])};")
+    write_ratios = experiment.get("write_ratios")
+    if write_ratios:
+        lines.append(
+            f"    write_ratio {_format_values(write_ratios, percent=True)};"
+        )
+    if experiment.get("app_server"):
+        lines.append(f"    app_server {experiment['app_server']};")
+    if experiment.get("db_node_type"):
+        lines.append(f"    db_node_type {experiment['db_node_type']};")
+    if experiment.get("think_time") is not None:
+        lines.append(
+            f"    think_time {_format_duration(experiment['think_time'])};"
+        )
+    if experiment.get("timeout") is not None:
+        lines.append(f"    timeout {_format_duration(experiment['timeout'])};")
+    if experiment.get("seed") is not None:
+        lines.append(f"    seed {experiment['seed']};")
+    if experiment.get("repetitions", 1) > 1:
+        lines.append(f"    repetitions {experiment['repetitions']};")
+    trial = experiment.get("trial")
+    if trial is not None:
+        lines.append("    trial {")
+        lines.append(f"        warmup {_format_duration(trial.warmup)};")
+        lines.append(f"        run {_format_duration(trial.run)};")
+        lines.append(f"        cooldown {_format_duration(trial.cooldown)};")
+        lines.append("    }")
+    slo = experiment.get("slo")
+    if slo is not None:
+        lines.append("    slo {")
+        lines.append(
+            f"        response_time {_format_duration(slo.response_time)};"
+        )
+        lines.append(
+            f"        error_ratio {_format_one(slo.error_ratio * 100)}%;"
+        )
+        lines.append("    }")
+    monitor = experiment.get("monitor")
+    if monitor is not None:
+        lines.append("    monitor {")
+        lines.append(f"        interval {_format_duration(monitor.interval)};")
+        lines.append(f"        metrics {', '.join(monitor.metrics)};")
+        lines.append("    }")
+    lines.append("}")
+    return lines

@@ -1,0 +1,99 @@
+"""Cross-validation of MOF resource models against TBL experiment specs.
+
+A MOF document and a TBL document can each be well-formed yet mutually
+inconsistent (a topology the cluster cannot host, a benchmark whose
+tiers the resource model does not assign, an app-server override the
+tier stack does not contain).  :func:`validate` is the single gate
+Mulini runs before generating anything.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.spec import catalog
+from repro.spec.topology import TIER_ORDER
+
+
+def validate(resource_model, testbed_spec):
+    """Check *testbed_spec* is runnable on *resource_model*.
+
+    Returns a list of human-readable warnings (non-fatal observations);
+    raises :class:`ValidationError` on any fatal inconsistency.
+    """
+    warnings = []
+    platform = resource_model.platform
+    if testbed_spec.platform != platform.name:
+        raise ValidationError(
+            f"TBL targets platform {testbed_spec.platform!r} but the "
+            f"resource model describes {platform.name!r}"
+        )
+    _validate_tiers(resource_model, testbed_spec)
+    for experiment in testbed_spec.experiments:
+        _validate_experiment(resource_model, experiment, warnings)
+    return warnings
+
+
+def _validate_tiers(resource_model, testbed_spec):
+    stack = catalog.stack_for(testbed_spec.benchmark,
+                              app_server=testbed_spec.app_server)
+    for tier in stack:
+        if tier not in resource_model.tiers:
+            raise ValidationError(
+                f"benchmark {testbed_spec.benchmark!r} needs tier {tier!r} "
+                f"but the resource model does not assign it"
+            )
+
+
+def _validate_experiment(resource_model, experiment, warnings):
+    platform = resource_model.platform
+    needed = experiment.max_machine_count()
+    if needed > platform.total_nodes:
+        raise ValidationError(
+            f"experiment {experiment.name!r} needs {needed} machines but "
+            f"platform {platform.name!r} has only {platform.total_nodes}"
+        )
+    if experiment.app_server is not None:
+        package = catalog.get_package(experiment.app_server)
+        if package.tier != "app":
+            raise ValidationError(
+                f"experiment {experiment.name!r}: {experiment.app_server!r} "
+                f"is not an application-server package"
+            )
+    if experiment.db_node_type is not None:
+        platform.node_type(experiment.db_node_type)  # raises if unknown
+    for tier in TIER_ORDER:
+        assignment = resource_model.tiers.get(tier)
+        if assignment is None:
+            continue
+        for topology in experiment.topologies:
+            if topology.count(tier) > 0 and not assignment.packages:
+                raise ValidationError(
+                    f"experiment {experiment.name!r} deploys tier {tier!r} "
+                    f"but the resource model assigns no software to it"
+                )
+    # Non-fatal observations an operator would want surfaced.
+    for topology in experiment.topologies:
+        if topology.db > 1 and not _has_controller(resource_model):
+            raise ValidationError(
+                f"topology {topology.label()} replicates the database but "
+                f"the db tier stack lacks a C-JDBC controller"
+            )
+        if topology.web == 0:
+            warnings.append(
+                f"{experiment.name}: topology {topology.label()} has no web "
+                f"tier; clients will contact the app tier directly"
+            )
+    slow_trial = experiment.trial.total() * experiment.point_count()
+    if slow_trial > 24 * 3600:
+        warnings.append(
+            f"{experiment.name}: full sweep occupies the cluster for "
+            f"{slow_trial / 3600:.1f} hours of trial time"
+        )
+    return warnings
+
+
+def _has_controller(resource_model):
+    db_tier = resource_model.tiers.get("db")
+    if db_tier is None:
+        return False
+    return any(p.role == "db-controller" for p in db_tier.packages)

@@ -1,0 +1,31 @@
+"""Virtual cluster substrate: hosts, filesystems, network, allocation."""
+
+from repro.vcluster.archives import (
+    archive_package_name,
+    build_archive,
+    parse_archive,
+)
+from repro.vcluster.cluster import (
+    CLIENT_HOST,
+    CONTROL_HOST,
+    Allocation,
+    VirtualCluster,
+)
+from repro.vcluster.filesystem import VirtualFileSystem, normalize
+from repro.vcluster.host import Process, VirtualHost
+from repro.vcluster.network import VirtualNetwork
+
+__all__ = [
+    "archive_package_name",
+    "build_archive",
+    "parse_archive",
+    "CLIENT_HOST",
+    "CONTROL_HOST",
+    "Allocation",
+    "VirtualCluster",
+    "VirtualFileSystem",
+    "normalize",
+    "Process",
+    "VirtualHost",
+    "VirtualNetwork",
+]

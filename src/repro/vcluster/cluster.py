@@ -1,0 +1,176 @@
+"""Virtual clusters: pools of hosts plus allocation for experiments.
+
+A cluster owns its hosts, a network, and a control host whose package
+repository carries the synthetic tarballs (Section III.A's role of the
+experiment-management machine).  The allocator hands out hosts per tier,
+honouring node-type requests — the Emulab baseline deliberately places
+the database on a 600 MHz node (Section IV.A).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError, ClusterError
+from repro.spec import catalog
+from repro.vcluster.archives import build_archive
+from repro.vcluster.host import VirtualHost
+from repro.vcluster.network import VirtualNetwork
+
+CONTROL_HOST = "control"
+CLIENT_HOST = "client"
+
+
+class Allocation:
+    """Hosts assigned to one experiment, by role."""
+
+    def __init__(self, control, client, tier_hosts):
+        self.control = control
+        self.client = client
+        self.tier_hosts = tier_hosts      # tier -> [VirtualHost]
+
+    def host_for(self, tier, index):
+        """Host running the *index*-th (1-based) server of *tier*."""
+        hosts = self.tier_hosts.get(tier, [])
+        if not 1 <= index <= len(hosts):
+            raise ClusterError(
+                f"no host allocated for {tier}{index} "
+                f"(tier has {len(hosts)})"
+            )
+        return hosts[index - 1]
+
+    def all_server_hosts(self):
+        hosts = []
+        for tier in ("web", "app", "db"):
+            hosts.extend(self.tier_hosts.get(tier, []))
+        return hosts
+
+    def machine_count(self):
+        return len(self.all_server_hosts()) + 2  # + client + control
+
+
+class VirtualCluster:
+    """A named pool of virtual hosts on one hardware platform."""
+
+    def __init__(self, platform, node_count=None, name=None):
+        if isinstance(platform, str):
+            platform = catalog.get_platform(platform)
+        self.platform = platform
+        self.name = name or platform.name
+        self.network = VirtualNetwork(
+            link_gbps=platform.node_type().network_gbps
+        )
+        self.hosts = {}
+        self._free = []
+        node_count = node_count or platform.total_nodes
+        if node_count < 3:
+            raise ClusterError("a cluster needs at least 3 nodes")
+        self.control = self._add_host(CONTROL_HOST, platform.node_type())
+        self.client = self._add_host(CLIENT_HOST, platform.node_type())
+        for index in range(1, node_count - 1):
+            node_type = self._node_type_for_index(index, node_count - 2)
+            host = self._add_host(f"node-{index}", node_type)
+            self._free.append(host)
+        self._stock_package_repository()
+
+    def _node_type_for_index(self, index, total):
+        """Mixed platforms (Emulab) get a blend of node types.
+
+        One quarter of Emulab nodes are the low-end 600 MHz machines the
+        paper's baseline uses for the database tier; everything else is
+        the platform default.
+        """
+        types = self.platform.node_types
+        if len(types) == 1:
+            return self.platform.node_type()
+        names = sorted(types)
+        if index > total - max(2, total // 4):
+            low_end = [n for n in names if "low" in n]
+            if low_end:
+                return types[low_end[0]]
+        return self.platform.node_type()
+
+    def _add_host(self, name, node_type):
+        host = VirtualHost(name, node_type)
+        self.hosts[name] = host
+        self.network.attach(host)
+        return host
+
+    def _stock_package_repository(self):
+        self.control.fs.mkdir("/packages")
+        for package in catalog.SOFTWARE.values():
+            self.control.fs.write(package.archive_path(),
+                                  build_archive(package))
+
+    # -- queries ---------------------------------------------------------
+
+    def host(self, name):
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise ClusterError(
+                f"unknown host {name!r} in cluster {self.name!r}"
+            )
+
+    def free_count(self, node_type_name=None):
+        if node_type_name is None:
+            return len(self._free)
+        return sum(1 for h in self._free
+                   if h.node_type.name == node_type_name)
+
+    # -- allocation ------------------------------------------------------
+
+    def allocate(self, topology, tier_node_types=None):
+        """Allocate hosts for *topology*; returns an :class:`Allocation`.
+
+        *tier_node_types* optionally maps tier -> node type name.  Raises
+        :class:`AllocationError` (leaving the pool untouched) when the
+        request cannot be satisfied — the paper notes experiment scale was
+        limited by available nodes (Section III.C).
+        """
+        tier_node_types = tier_node_types or {}
+        taken = []
+        tier_hosts = {}
+        try:
+            for tier, count in topology.tiers():
+                wanted_type = tier_node_types.get(tier)
+                hosts = []
+                for _ in range(count):
+                    host = self._take(wanted_type)
+                    taken.append(host)
+                    hosts.append(host)
+                tier_hosts[tier] = hosts
+        except AllocationError:
+            self._free.extend(taken)
+            raise
+        return Allocation(control=self.control, client=self.client,
+                          tier_hosts=tier_hosts)
+
+    def _take(self, node_type_name=None):
+        if node_type_name is None:
+            # Unconstrained requests get the platform's default node
+            # type; silently handing out a 600 MHz Emulab node instead
+            # of a 3 GHz one would corrupt an experiment, so exhaustion
+            # is an error rather than a degradation.
+            default_name = self.platform.node_type().name
+            for index, host in enumerate(self._free):
+                if host.node_type.name == default_name:
+                    return self._free.pop(index)
+            raise AllocationError(
+                f"cluster {self.name!r} has no free {default_name!r} "
+                f"node ({len(self._free)} other nodes free; request a "
+                f"node type explicitly to use them)"
+            )
+        for index, host in enumerate(self._free):
+            if host.node_type.name == node_type_name:
+                return self._free.pop(index)
+        raise AllocationError(
+            f"cluster {self.name!r} has no free {node_type_name!r} node"
+        )
+
+    def release(self, allocation):
+        """Return an allocation's hosts to the pool, wiping their state."""
+        for host in allocation.all_server_hosts():
+            fresh = VirtualHost(host.name, host.node_type)
+            # Replace in-place so the network keeps a valid registry.
+            self.hosts[host.name] = fresh
+            self.network._hosts[host.name] = fresh
+            self._free.append(fresh)

@@ -1,0 +1,160 @@
+"""In-memory filesystem for virtual hosts.
+
+Generated deployment scripts manipulate files heavily (install trees,
+configuration files, monitor output).  The virtual filesystem gives each
+host a POSIX-flavoured namespace with directories, text files, recursive
+operations and byte accounting — enough surface for the shell builtins
+without pretending to be a block device.
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from repro.errors import ClusterError
+
+
+def normalize(path, cwd="/"):
+    """Resolve *path* against *cwd* into a normalized absolute path."""
+    if not path:
+        raise ClusterError("empty path")
+    if not path.startswith("/"):
+        path = posixpath.join(cwd, path)
+    normalized = posixpath.normpath(path)
+    if not normalized.startswith("/"):
+        raise ClusterError(f"path escapes root: {path!r}")
+    return normalized
+
+
+class VirtualFileSystem:
+    """A tree of directories and text files with modification counters."""
+
+    def __init__(self):
+        self._files = {}
+        self._dirs = {"/"}
+        self._mtime = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def exists(self, path):
+        path = normalize(path)
+        return path in self._files or path in self._dirs
+
+    def is_file(self, path):
+        return normalize(path) in self._files
+
+    def is_dir(self, path):
+        return normalize(path) in self._dirs
+
+    def read(self, path):
+        path = normalize(path)
+        try:
+            return self._files[path][0]
+        except KeyError:
+            raise ClusterError(f"no such file: {path}")
+
+    def mtime(self, path):
+        path = normalize(path)
+        if path in self._files:
+            return self._files[path][1]
+        raise ClusterError(f"no such file: {path}")
+
+    def size(self, path):
+        return len(self.read(path))
+
+    def line_count(self, path):
+        content = self.read(path)
+        if not content:
+            return 0
+        return content.count("\n") + (0 if content.endswith("\n") else 1)
+
+    def listdir(self, path):
+        path = normalize(path)
+        if path not in self._dirs:
+            raise ClusterError(f"no such directory: {path}")
+        prefix = path.rstrip("/") + "/"
+        names = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                remainder = candidate[len(prefix):]
+                names.add(remainder.split("/", 1)[0])
+        return sorted(names)
+
+    def walk_files(self, path="/"):
+        """Yield every file path under *path*, sorted."""
+        path = normalize(path)
+        prefix = path.rstrip("/") + "/" if path != "/" else "/"
+        for candidate in sorted(self._files):
+            if candidate == path or candidate.startswith(prefix):
+                yield candidate
+
+    def total_bytes(self, path="/"):
+        return sum(self.size(f) for f in self.walk_files(path))
+
+    # -- mutations -------------------------------------------------------
+
+    def mkdir(self, path, parents=True):
+        path = normalize(path)
+        if path in self._files:
+            raise ClusterError(f"file exists: {path}")
+        if path in self._dirs:
+            return
+        parent = posixpath.dirname(path)
+        if parent not in self._dirs:
+            if not parents:
+                raise ClusterError(f"no such directory: {parent}")
+            self.mkdir(parent, parents=True)
+        self._dirs.add(path)
+
+    def write(self, path, content, append=False):
+        path = normalize(path)
+        if path in self._dirs:
+            raise ClusterError(f"is a directory: {path}")
+        if not isinstance(content, str):
+            raise ClusterError(
+                f"virtual files hold text, got {type(content).__name__}"
+            )
+        parent = posixpath.dirname(path)
+        if parent not in self._dirs:
+            self.mkdir(parent, parents=True)
+        self._mtime += 1
+        if append and path in self._files:
+            content = self._files[path][0] + content
+        self._files[path] = (content, self._mtime)
+
+    def remove(self, path, recursive=False):
+        path = normalize(path)
+        if path in self._files:
+            del self._files[path]
+            return 1
+        if path in self._dirs:
+            if not recursive:
+                raise ClusterError(f"is a directory: {path}")
+            prefix = path.rstrip("/") + "/"
+            removed = 0
+            for candidate in [f for f in self._files if f.startswith(prefix)]:
+                del self._files[candidate]
+                removed += 1
+            for candidate in [d for d in self._dirs if d == path
+                              or d.startswith(prefix)]:
+                self._dirs.discard(candidate)
+            return removed
+        raise ClusterError(f"no such file or directory: {path}")
+
+    def copy(self, src, dst):
+        """Copy a file, or a directory tree recursively."""
+        src, dst = normalize(src), normalize(dst)
+        if self.is_file(src):
+            if self.is_dir(dst):
+                dst = posixpath.join(dst, posixpath.basename(src))
+            self.write(dst, self.read(src))
+            return 1
+        if self.is_dir(src):
+            copied = 0
+            prefix = src.rstrip("/") + "/"
+            for path in list(self.walk_files(src)):
+                relative = path[len(prefix):]
+                self.write(posixpath.join(dst, relative), self.read(path))
+                copied += 1
+            return copied
+        raise ClusterError(f"no such file or directory: {src}")

@@ -1,0 +1,119 @@
+"""Virtual hosts: a filesystem, a process table and hardware identity."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError
+from repro.vcluster.filesystem import VirtualFileSystem
+
+_STANDARD_DIRS = ("/opt", "/var/log", "/tmp", "/etc", "/usr/local/bin")
+
+
+@dataclass
+class Process:
+    """One entry in a host's process table."""
+
+    pid: int
+    argv: tuple
+    host: str
+    background: bool
+    env: dict = field(default_factory=dict)
+    alive: bool = True
+
+    @property
+    def command(self):
+        return self.argv[0]
+
+    @property
+    def name(self):
+        return self.argv[0].rsplit("/", 1)[-1]
+
+    def arg_value(self, flag, default=None):
+        """Value following *flag* in argv (``--port 80`` style)."""
+        argv = list(self.argv)
+        for index, arg in enumerate(argv):
+            if arg == flag and index + 1 < len(argv):
+                return argv[index + 1]
+            if arg.startswith(flag + "="):
+                return arg.split("=", 1)[1]
+        return default
+
+    def describe(self):
+        state = "running" if self.alive else "dead"
+        return f"[{self.pid}] {' '.join(self.argv)} ({state})"
+
+
+class VirtualHost:
+    """A single machine in the virtual cluster."""
+
+    _pid_counter = itertools.count(1000)
+
+    def __init__(self, name, node_type):
+        self.name = name
+        self.node_type = node_type
+        self.fs = VirtualFileSystem()
+        self.processes = {}
+        self.installed_packages = {}
+        for directory in _STANDARD_DIRS:
+            self.fs.mkdir(directory)
+
+    # -- processes -------------------------------------------------------
+
+    def spawn(self, argv, background=False, env=None):
+        """Start a process; daemons must point at an existing executable."""
+        if not argv:
+            raise ClusterError(f"{self.name}: cannot spawn empty command")
+        executable = argv[0]
+        if executable.startswith("/") and not self.fs.is_file(executable):
+            raise ClusterError(
+                f"{self.name}: no such executable: {executable}"
+            )
+        process = Process(
+            pid=next(self._pid_counter),
+            argv=tuple(argv),
+            host=self.name,
+            background=background,
+            env=dict(env or {}),
+        )
+        self.processes[process.pid] = process
+        return process
+
+    def kill(self, pid):
+        try:
+            process = self.processes[pid]
+        except KeyError:
+            raise ClusterError(f"{self.name}: no such process {pid}")
+        process.alive = False
+        return process
+
+    def kill_by_name(self, name):
+        """Kill every live process whose basename matches *name*."""
+        killed = []
+        for process in self.live_processes():
+            if process.name == name:
+                process.alive = False
+                killed.append(process)
+        return killed
+
+    def live_processes(self):
+        return [p for p in self.processes.values() if p.alive]
+
+    def processes_named(self, name):
+        return [p for p in self.live_processes() if p.name == name]
+
+    def daemon_running(self, executable_path):
+        return any(p.command == executable_path for p in self.live_processes())
+
+    # -- packages --------------------------------------------------------
+
+    def record_install(self, package_name, install_root):
+        self.installed_packages[package_name] = install_root
+
+    def is_installed(self, package_name):
+        return package_name in self.installed_packages
+
+    def __repr__(self):
+        return (f"VirtualHost({self.name}, {self.node_type.name}, "
+                f"{len(self.live_processes())} procs)")

@@ -1,0 +1,81 @@
+"""Virtual network: reachability and file transfer between hosts.
+
+The generated scripts use ``ssh``/``scp`` constantly, so the network is
+the substrate those builtins run on.  It tracks transfer volume (useful
+for sanity checks) and computes per-message latency from link speed for
+the simulation layer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClusterError
+
+
+class VirtualNetwork:
+    """A flat switched network joining every host of one cluster."""
+
+    def __init__(self, link_gbps=1.0, base_latency_s=0.0002):
+        self.link_gbps = link_gbps
+        self.base_latency_s = base_latency_s
+        self._hosts = {}
+        self.bytes_transferred = 0
+        self.transfer_count = 0
+
+    def attach(self, host):
+        if host.name in self._hosts:
+            raise ClusterError(f"duplicate host name {host.name!r}")
+        self._hosts[host.name] = host
+
+    def host(self, name):
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise ClusterError(
+                f"unknown host {name!r}; known: {sorted(self._hosts)}"
+            )
+
+    def hosts(self):
+        return list(self._hosts.values())
+
+    def reachable(self, src_name, dst_name):
+        return src_name in self._hosts and dst_name in self._hosts
+
+    def transfer(self, src_host, src_path, dst_host, dst_path):
+        """Copy a file or tree between hosts (scp semantics)."""
+        if not self.reachable(src_host.name, dst_host.name):
+            raise ClusterError(
+                f"{src_host.name} cannot reach {dst_host.name}"
+            )
+        if src_host.fs.is_file(src_path):
+            content = src_host.fs.read(src_path)
+            if dst_host.fs.is_dir(dst_path):
+                basename = src_path.rstrip("/").rsplit("/", 1)[-1]
+                dst_path = dst_path.rstrip("/") + "/" + basename
+            dst_host.fs.write(dst_path, content)
+            self.bytes_transferred += len(content)
+            self.transfer_count += 1
+            return 1
+        if src_host.fs.is_dir(src_path):
+            count = 0
+            prefix = src_path.rstrip("/") + "/"
+            for path in list(src_host.fs.walk_files(src_path)):
+                relative = path[len(prefix):]
+                content = src_host.fs.read(path)
+                dst_host.fs.write(dst_path.rstrip("/") + "/" + relative,
+                                  content)
+                self.bytes_transferred += len(content)
+                count += 1
+            self.transfer_count += count
+            return count
+        raise ClusterError(
+            f"{src_host.name}: no such file or directory: {src_path}"
+        )
+
+    def message_latency(self, payload_bytes=2048):
+        """One-way latency for a payload of *payload_bytes* on this link.
+
+        Used by the simulator to charge network time per tier hop; on a
+        1 Gbps LAN this is dominated by the base switching latency.
+        """
+        bits = payload_bytes * 8
+        return self.base_latency_s + bits / (self.link_gbps * 1e9)

@@ -1,0 +1,53 @@
+"""Benchmark workload models: RUBiS, RUBBoS, calibration, matrices."""
+
+from repro.errors import WorkloadError
+from repro.workloads import rubbos, rubis, tpcapp
+from repro.workloads.calibration import (
+    CALIBRATIONS,
+    RUBBOS,
+    RUBIS,
+    BenchmarkCalibration,
+    get_calibration,
+)
+from repro.workloads.interactions import (
+    Interaction,
+    InteractionDemand,
+    TransitionMatrix,
+    mix_for_write_ratio,
+    normalized_demands,
+)
+
+_BUILDERS = {
+    "rubis": rubis.build_model,
+    "rubbos": rubbos.build_model,
+    "tpcapp": tpcapp.build_model,
+}
+
+
+def build_model(benchmark, write_ratio, mix=None):
+    """Build the workload model for *benchmark* at *write_ratio*."""
+    try:
+        builder = _BUILDERS[benchmark.lower()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {benchmark!r}; known: {sorted(_BUILDERS)}"
+        )
+    return builder(write_ratio, mix=mix)
+
+
+__all__ = [
+    "CALIBRATIONS",
+    "RUBBOS",
+    "RUBIS",
+    "BenchmarkCalibration",
+    "get_calibration",
+    "Interaction",
+    "InteractionDemand",
+    "TransitionMatrix",
+    "mix_for_write_ratio",
+    "normalized_demands",
+    "build_model",
+    "rubis",
+    "rubbos",
+    "tpcapp",
+]

@@ -1,0 +1,171 @@
+"""Service-demand calibration, with derivations.
+
+The substitution rule for this reproduction: the simulator replaces the
+physical testbed, so per-interaction CPU demands are *calibrated* so
+that the simulated system reproduces the paper's observed saturation
+structure.  Every constant below is derived from a number reported in
+the paper; none is free.
+
+Closed-network operational law: with N users, mean think time Z and
+bottleneck demand D per request, the saturation knee sits near
+``N* ~= C * Z / D`` for a C-server bottleneck (R << Z below the knee).
+
+RUBiS (Emulab, Section IV.A / V.B; Z = 7 s):
+
+* Each JOnAS app server sustains ~250 users at the 15% write ratio
+  (each added server buys ~250 users, V.B) =>
+  D_app(0.15) = Z/250 = 28 ms.  The paper's write-ratio inversion
+  ("when the write ratio is high ... the response time is relatively
+  short", IV.A) makes app demand fall with write ratio; the linear
+  morphing D_app(w) = (1-w)*APP_READ + w*APP_WRITE with APP_READ = 33 ms
+  and APP_WRITE = 3 ms yields 28.5 ms at w = 0.15 and a baseline knee
+  of 212-292 users for w in [0, 0.3] — matching Figure 1's bottleneck
+  "for the region of more than 250 users and write ratio below 30%".
+* One database serves ~1700 users (V.B / Conclusion) =>
+  D_db(0.15) = Z/1700 = 4.1 ms; with DB_READ = 4.0 ms and
+  DB_WRITE = 4.5 ms the 15% mix gives 4.075 ms (knee 1718).
+  Under C-JDBC RAIDb-1, reads split over k replicas while writes hit
+  every replica: per-backend demand (0.85*4.0/k + 0.15*4.5) ms puts the
+  2-replica knee at ~2950 users — the paper's observed 2-DB saturation
+  between 2700 and 2900 users falls out of the replication semantics,
+  with no additional tuning.  (DB_WRITE stays below Z/250/5 = 5.6 ms so
+  the baseline's 5x-slower 600 MHz DB host keeps the high-write-ratio
+  corner of Figure 1 unsaturated at 250 users, per IV.A.)
+* The web tier "performs as the workload distributor and does very
+  little work" (V.B): WEB = 1.5 ms keeps 1 Apache good for ~4600 users.
+* Weblogic's ~2x capacity (IV.B) is hardware: the Warp nodes have two
+  3.06 GHz CPUs (Table 2) versus one 3 GHz CPU on Emulab nodes.
+
+RUBBoS (Emulab, Section IV.C; Z = 7 s, users 500..5000):
+
+* The database is the bottleneck and the *read-only* mix saturates at a
+  much lower workload than the 85/15 mix (Figure 4): read-only pages
+  (ViewStory with its comment tree) are DB-heavy.  DB_READ_HEAVY =
+  3.5 ms puts the read-only knee at 2000 users; the submission matrix
+  visits lighter pages (DB_READ_LIGHT = 2.3 ms) and cheap writes
+  (DB_WRITE = 1.5 ms), mean 2.18 ms, knee ~3200 users — both inside
+  Figure 4's 500..5000 range with the read-only knee clearly first.
+* The servlet tier is light (APP = 2 ms; it never bottlenecks below
+  3500 users, consistent with "RUBBoS ... places a high load on the
+  database tier").
+
+All demands are in seconds on a 3.0 GHz reference core; node speed
+factors (Table 2) and package efficiency scale them at simulation time.
+The Emulab baseline's deliberately slow 600 MHz database host
+(Section IV.A) is therefore a 5x DB-demand inflation, exactly as on the
+testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+#: Demands are expressed for one core at this clock (GHz).
+REFERENCE_GHZ = 3.0
+
+#: Disk service demands per database operation (seconds at the
+#: 10000 RPM reference spindle): a read mostly hits the buffer pool and
+#: occasionally the platter; a write always flushes the log.  These sit
+#: well below the DB CPU demands, so the knees stay CPU-located (as the
+#: paper's Figure 8 CPU plots imply), but they make the sysstat disk
+#: channel a real measurement and let Table 2's RPM differences show.
+DB_DISK_READ_S = 0.0008
+DB_DISK_WRITE_S = 0.0015
+REFERENCE_DISK_RPM = 10000
+
+
+def disk_speed_factor(node_type):
+    """Disk speed relative to the 10000 RPM reference spindle."""
+    return node_type.disk_rpm / REFERENCE_DISK_RPM
+
+
+@dataclass(frozen=True)
+class BenchmarkCalibration:
+    """Aggregate class-mean demands (seconds at the reference core)."""
+
+    benchmark: str
+    think_time_s: float
+    web_s: float
+    app_read_s: float
+    app_write_s: float
+    db_read_s: float
+    db_write_s: float
+
+    def app_mean(self, write_ratio):
+        """Aggregate app demand at *write_ratio* (the morphing formula)."""
+        self._check_ratio(write_ratio)
+        return ((1.0 - write_ratio) * self.app_read_s
+                + write_ratio * self.app_write_s)
+
+    def db_mean(self, write_ratio):
+        self._check_ratio(write_ratio)
+        return ((1.0 - write_ratio) * self.db_read_s
+                + write_ratio * self.db_write_s)
+
+    def db_backend_mean(self, write_ratio, replicas):
+        """Per-backend DB demand under RAIDb-1 with *replicas* copies.
+
+        Reads are balanced over the replicas; writes execute on all of
+        them.  This is the mechanism behind the paper's 1700 -> ~2900
+        user crossover from one to two database servers.
+        """
+        self._check_ratio(write_ratio)
+        if replicas < 1:
+            raise WorkloadError(f"replicas must be >= 1, got {replicas}")
+        return ((1.0 - write_ratio) * self.db_read_s / replicas
+                + write_ratio * self.db_write_s)
+
+    def saturation_users(self, demand_s, servers=1, cores=1):
+        """Operational-law knee for a tier with the given demand."""
+        if demand_s <= 0:
+            raise WorkloadError("demand must be positive")
+        return servers * cores * self.think_time_s / demand_s
+
+    @staticmethod
+    def _check_ratio(write_ratio):
+        if not 0 <= write_ratio <= 1:
+            raise WorkloadError(
+                f"write ratio outside [0, 1]: {write_ratio}"
+            )
+
+
+RUBIS = BenchmarkCalibration(
+    benchmark="rubis",
+    think_time_s=7.0,
+    web_s=0.0015,
+    app_read_s=0.033,
+    app_write_s=0.003,
+    db_read_s=0.004,
+    db_write_s=0.0045,
+)
+
+#: RUBBoS read demands differ per mix: the read-only matrix emphasises
+#: heavy story/comment pages, the submission matrix lighter ones.  The
+#: BenchmarkCalibration carries the heavy (read-only) figure; the light
+#: figure is exported separately and applied by the rubbos module.
+RUBBOS = BenchmarkCalibration(
+    benchmark="rubbos",
+    think_time_s=7.0,
+    web_s=0.0,
+    app_read_s=0.002,
+    app_write_s=0.002,
+    db_read_s=0.0035,
+    db_write_s=0.0015,
+)
+
+#: Mean DB read demand under the RUBBoS *submission* matrix (see above).
+RUBBOS_DB_READ_LIGHT_S = 0.0023
+
+CALIBRATIONS = {"rubis": RUBIS, "rubbos": RUBBOS}
+
+
+def get_calibration(benchmark):
+    try:
+        return CALIBRATIONS[benchmark.lower()]
+    except KeyError:
+        raise WorkloadError(
+            f"no calibration for benchmark {benchmark!r}; known: "
+            f"{sorted(CALIBRATIONS)}"
+        )

@@ -1,0 +1,139 @@
+"""RUBBoS workload model: 24 states, read-only and submission mixes.
+
+RUBBoS (Rice University Bulletin Board System) models a Slashdot-style
+news site; it is effectively 2-tier and "places a high load on the
+database tier" (Section III.B).  Its two stock matrices differ not just
+in write ratio but in *which read pages* they visit: the read-only mix
+lives on story/comment pages (DB-heavy), which is why it saturates at a
+much lower workload than the 85/15 submission mix (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import WorkloadError
+from repro.workloads.calibration import RUBBOS, RUBBOS_DB_READ_LIGHT_S
+from repro.workloads.interactions import (
+    Interaction,
+    TransitionMatrix,
+    mix_for_write_ratio,
+    normalized_demands,
+)
+
+#: The 24 RUBBoS interaction states with relative in-class weights.
+INTERACTIONS = (
+    Interaction("StoriesOfTheDay", False, app_weight=1.0, db_weight=1.2),
+    Interaction("Home", False, app_weight=0.5, db_weight=0.3),
+    Interaction("Register", False, app_weight=0.4, db_weight=0.2),
+    Interaction("BrowseCategories", False, app_weight=0.7, db_weight=0.6),
+    Interaction("BrowseStoriesByCategory", False, app_weight=1.0,
+                db_weight=1.1),
+    Interaction("OlderStories", False, app_weight=1.0, db_weight=1.3),
+    Interaction("ViewStory", False, app_weight=1.3, db_weight=1.8),
+    Interaction("ViewComment", False, app_weight=1.1, db_weight=1.5),
+    Interaction("Search", False, app_weight=0.5, db_weight=0.4),
+    Interaction("SearchInStories", False, app_weight=1.2, db_weight=1.6),
+    Interaction("SearchInComments", False, app_weight=1.2, db_weight=1.7),
+    Interaction("SearchInUsers", False, app_weight=0.8, db_weight=0.9),
+    Interaction("ViewUserInfo", False, app_weight=0.7, db_weight=0.7),
+    Interaction("ModerateComment", False, app_weight=0.6, db_weight=0.6),
+    Interaction("AuthorLogin", False, app_weight=0.4, db_weight=0.3),
+    Interaction("AuthorTasks", False, app_weight=0.6, db_weight=0.5),
+    Interaction("ReviewStories", False, app_weight=1.0, db_weight=1.2),
+    Interaction("SubmitStory", False, app_weight=0.5, db_weight=0.3),
+    Interaction("SubmitComment", False, app_weight=0.5, db_weight=0.3),
+    Interaction("RegisterUser", True, app_weight=1.0, db_weight=1.0),
+    Interaction("StoreStory", True, app_weight=1.0, db_weight=1.2),
+    Interaction("StoreComment", True, app_weight=1.0, db_weight=0.9),
+    Interaction("StoreModeratorLog", True, app_weight=1.0, db_weight=0.8),
+    Interaction("AcceptStory", True, app_weight=1.0, db_weight=1.1),
+)
+
+STATE_NAMES = tuple(i.name for i in INTERACTIONS)
+
+#: Per-mix read-page popularity.  The read-only matrix concentrates on
+#: the heavy story/comment pages; the submission matrix spreads over
+#: lighter navigation pages.  Write popularity only matters in the
+#: submission mix.
+_READONLY_POPULARITY = {
+    "StoriesOfTheDay": 3.0, "ViewStory": 4.0, "ViewComment": 3.0,
+    "OlderStories": 2.0, "BrowseStoriesByCategory": 2.0,
+    "SearchInStories": 1.5, "SearchInComments": 1.0,
+}
+_SUBMISSION_POPULARITY = {
+    "StoriesOfTheDay": 2.0, "Home": 2.0, "BrowseCategories": 1.5,
+    "ViewStory": 1.5, "ViewComment": 1.0, "Search": 1.5,
+    "SubmitStory": 1.5, "SubmitComment": 1.5, "AuthorLogin": 1.0,
+    "StoreStory": 1.5, "StoreComment": 2.5, "RegisterUser": 0.5,
+    "StoreModeratorLog": 0.5, "AcceptStory": 0.5,
+}
+
+#: Stock submission-matrix write ratio (Section III.B).
+SUBMISSION_WRITE_RATIO = 0.15
+
+
+def _interactions_for(mix):
+    popularity = _READONLY_POPULARITY if mix == "readonly" \
+        else _SUBMISSION_POPULARITY
+    return tuple(
+        replace(i, popularity=popularity.get(i.name, 0.5))
+        for i in INTERACTIONS
+    )
+
+
+class RubbosModel:
+    """The complete RUBBoS workload model for one (mix, write ratio)."""
+
+    def __init__(self, mix, write_ratio):
+        if mix not in ("readonly", "submission"):
+            raise WorkloadError(
+                f"unknown RUBBoS mix {mix!r}; known: readonly, submission"
+            )
+        if mix == "readonly" and write_ratio != 0:
+            raise WorkloadError("the readonly mix has write ratio 0")
+        if not 0 <= write_ratio <= 0.95:
+            raise WorkloadError(
+                f"RUBBoS write ratio must be within [0, 0.95]: {write_ratio}"
+            )
+        self.benchmark = "rubbos"
+        self.mix = mix
+        self.write_ratio = write_ratio
+        self.calibration = RUBBOS
+        interactions = _interactions_for(mix)
+        shares = mix_for_write_ratio(interactions, write_ratio)
+        self.matrix = TransitionMatrix.memoryless(STATE_NAMES, shares)
+        db_read = RUBBOS.db_read_s if mix == "readonly" \
+            else RUBBOS_DB_READ_LIGHT_S
+        self.demands = normalized_demands(
+            interactions, shares,
+            web_s=RUBBOS.web_s,
+            app_read_s=RUBBOS.app_read_s,
+            app_write_s=RUBBOS.app_write_s,
+            db_read_s=db_read,
+            db_write_s=RUBBOS.db_write_s,
+        )
+        self.initial_state = "StoriesOfTheDay"
+
+    def demand(self, state):
+        try:
+            return self.demands[state]
+        except KeyError:
+            raise WorkloadError(f"unknown RUBBoS interaction {state!r}")
+
+    def mean_demands(self):
+        stationary = self.matrix.stationary()
+        web = app = db = 0.0
+        for state, probability in stationary.items():
+            demand = self.demands[state]
+            web += probability * demand.web_s
+            app += probability * demand.app_s
+            db += probability * demand.db_s
+        return web, app, db
+
+
+def build_model(write_ratio, mix=None):
+    """Build the RUBBoS model from a driver (mix, write_ratio) pair."""
+    if mix is None:
+        mix = "readonly" if write_ratio == 0 else "submission"
+    return RubbosModel(mix, write_ratio)

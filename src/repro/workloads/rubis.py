@@ -1,0 +1,152 @@
+"""RUBiS workload model: 26 interactions, browse/bid mixes, morphing.
+
+RUBiS (Rice University Bidding System) is an eBay-style auction
+benchmark with 26 interaction types — browsing by categories or
+regions, bidding, buying, selling, registering, commenting (Section
+III.B).  It ships two transition matrices (read-only *browsing* and
+*bidding* with 15% writes); the paper extends the write ratio from 0%
+to 90%, which this module reproduces via stationary-mix morphing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.calibration import RUBIS
+from repro.workloads.interactions import (
+    Interaction,
+    TransitionMatrix,
+    mix_for_write_ratio,
+    normalized_demands,
+)
+
+#: The 26 RUBiS interaction states.  app/db weights express relative
+#: costliness inside the read or write class (ViewItem renders item,
+#: bid history and seller data; AboutMe aggregates a user's activity).
+INTERACTIONS = (
+    Interaction("Home", False, app_weight=0.3, db_weight=0.2,
+                popularity=3.0),
+    Interaction("Register", False, app_weight=0.3, db_weight=0.2,
+                popularity=0.4),
+    Interaction("Browse", False, app_weight=0.4, db_weight=0.3,
+                popularity=2.5),
+    Interaction("BrowseCategories", False, app_weight=0.8, db_weight=0.8,
+                popularity=2.5),
+    Interaction("SearchItemsByCategory", False, app_weight=1.4,
+                db_weight=1.4, popularity=3.0),
+    Interaction("BrowseRegions", False, app_weight=0.8, db_weight=0.8,
+                popularity=1.5),
+    Interaction("BrowseCategoriesByRegion", False, app_weight=0.9,
+                db_weight=0.9, popularity=1.2),
+    Interaction("SearchItemsByRegion", False, app_weight=1.5,
+                db_weight=1.5, popularity=1.8),
+    Interaction("ViewItem", False, app_weight=1.6, db_weight=1.3,
+                popularity=3.5),
+    Interaction("ViewUserInfo", False, app_weight=1.1, db_weight=1.0,
+                popularity=1.2),
+    Interaction("ViewBidHistory", False, app_weight=1.3, db_weight=1.2,
+                popularity=1.0),
+    Interaction("AboutMe", False, app_weight=1.8, db_weight=1.6,
+                popularity=0.8),
+    Interaction("BuyNowAuth", False, app_weight=0.5, db_weight=0.4,
+                popularity=0.4),
+    Interaction("BuyNow", False, app_weight=1.0, db_weight=0.9,
+                popularity=0.4),
+    Interaction("PutBidAuth", False, app_weight=0.5, db_weight=0.4,
+                popularity=1.0),
+    Interaction("PutBid", False, app_weight=1.2, db_weight=1.1,
+                popularity=1.0),
+    Interaction("PutCommentAuth", False, app_weight=0.5, db_weight=0.4,
+                popularity=0.4),
+    Interaction("PutComment", False, app_weight=0.9, db_weight=0.8,
+                popularity=0.4),
+    Interaction("Sell", False, app_weight=0.5, db_weight=0.4,
+                popularity=0.5),
+    Interaction("SelectCategoryToSellItem", False, app_weight=0.6,
+                db_weight=0.5, popularity=0.5),
+    Interaction("SellItemForm", False, app_weight=0.6, db_weight=0.4,
+                popularity=0.5),
+    # Write interactions: the transaction itself is database work; the
+    # app tier mostly forwards it ("most operations involve writes to
+    # the database which does not stress the application tier much").
+    Interaction("RegisterUser", True, app_weight=1.0, db_weight=1.1,
+                popularity=0.5),
+    Interaction("StoreBuyNow", True, app_weight=1.0, db_weight=1.2,
+                popularity=0.7),
+    Interaction("StoreBid", True, app_weight=1.0, db_weight=0.9,
+                popularity=2.5),
+    Interaction("StoreComment", True, app_weight=1.0, db_weight=1.0,
+                popularity=0.8),
+    Interaction("RegisterItem", True, app_weight=1.0, db_weight=1.3,
+                popularity=0.7),
+)
+
+STATE_NAMES = tuple(i.name for i in INTERACTIONS)
+
+#: The write ratio of the stock bidding matrix (Section III.B).
+BIDDING_WRITE_RATIO = 0.15
+
+
+class RubisModel:
+    """The complete workload model for one (mix, write ratio) point."""
+
+    def __init__(self, write_ratio):
+        if not 0 <= write_ratio <= 0.95:
+            raise WorkloadError(
+                f"RUBiS write ratio must be within [0, 0.95]: {write_ratio}"
+            )
+        self.benchmark = "rubis"
+        self.write_ratio = write_ratio
+        self.calibration = RUBIS
+        mix = mix_for_write_ratio(INTERACTIONS, write_ratio)
+        self.matrix = TransitionMatrix.memoryless(STATE_NAMES, mix)
+        self.demands = normalized_demands(
+            INTERACTIONS, mix,
+            web_s=RUBIS.web_s,
+            app_read_s=RUBIS.app_read_s,
+            app_write_s=RUBIS.app_write_s,
+            db_read_s=RUBIS.db_read_s,
+            db_write_s=RUBIS.db_write_s,
+        )
+        self.initial_state = "Home"
+
+    def demand(self, state):
+        try:
+            return self.demands[state]
+        except KeyError:
+            raise WorkloadError(f"unknown RUBiS interaction {state!r}")
+
+    def mean_demands(self):
+        """Mix-weighted mean (web, app, db) demands — the calibration
+        formulas, recovered from the per-interaction table."""
+        stationary = self.matrix.stationary()
+        web = app = db = 0.0
+        for state, probability in stationary.items():
+            demand = self.demands[state]
+            web += probability * demand.web_s
+            app += probability * demand.app_s
+            db += probability * demand.db_s
+        return web, app, db
+
+
+def build_model(write_ratio, mix=None):
+    """Build the RUBiS model; *mix* is accepted for interface symmetry.
+
+    The browsing matrix is exactly the zero-write-ratio morphing; the
+    bidding matrix is the 15% point, so the (mix, write_ratio) pair
+    degenerates to write_ratio alone.
+    """
+    if mix == "browsing" and write_ratio != 0:
+        raise WorkloadError(
+            "the browsing mix is read-only; write ratio must be 0"
+        )
+    return RubisModel(write_ratio)
+
+
+def browsing_matrix():
+    """The stock read-only matrix."""
+    return RubisModel(0.0).matrix
+
+
+def bidding_matrix():
+    """The stock 15%-writes matrix."""
+    return RubisModel(BIDDING_WRITE_RATIO).matrix

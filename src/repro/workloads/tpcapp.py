@@ -1,0 +1,125 @@
+"""TPC-App workload model — the paper's anticipated next benchmark.
+
+Section I: "our experiments show promising results for two
+representative benchmarks (RUBiS and RUBBoS) and potentially rapid
+inclusion of new benchmarks such as TPC-App when a mature
+implementation is released."  This module is that inclusion: TPC-App's
+seven web-service interactions [18] with the standard transaction mix,
+wired through the same catalog/generator/simulation pipeline as the
+other two benchmarks — demonstrating the claimed extensibility.
+
+TPC-App is application-server heavy (SOAP/XML processing per service
+call) with a substantial write component (order capture), so its
+bottleneck profile sits between RUBiS (app-bound) and RUBBoS
+(db-bound).
+"""
+
+from __future__ import annotations
+
+
+
+from repro.errors import WorkloadError
+from repro.workloads.calibration import BenchmarkCalibration
+from repro.workloads.interactions import (
+    Interaction,
+    TransitionMatrix,
+    mix_for_write_ratio,
+    normalized_demands,
+)
+
+#: TPC-App's seven service interactions.  Popularities follow the
+#: specification's standard mix (CreateOrder-dominated); app weights
+#: reflect per-call SOAP processing cost, db weights the transaction
+#: footprint.
+INTERACTIONS = (
+    Interaction("NewProducts", False, app_weight=1.0, db_weight=1.0,
+                popularity=7.0),
+    Interaction("ProductDetail", False, app_weight=0.9, db_weight=0.9,
+                popularity=13.0),
+    Interaction("OrderStatus", False, app_weight=0.8, db_weight=1.1,
+                popularity=5.0),
+    Interaction("NewCustomer", True, app_weight=1.2, db_weight=1.3,
+                popularity=1.0),
+    Interaction("ChangePaymentMethod", True, app_weight=0.7,
+                db_weight=0.8, popularity=5.0),
+    Interaction("CreateOrder", True, app_weight=1.4, db_weight=1.5,
+                popularity=50.0),
+    Interaction("ChangeItem", True, app_weight=1.0, db_weight=1.0,
+                popularity=19.0),
+)
+
+STATE_NAMES = tuple(i.name for i in INTERACTIONS)
+
+#: Write share of the standard TPC-App mix (order-capture dominated).
+STANDARD_WRITE_RATIO = 0.75
+
+#: Calibration: SOAP processing keeps the app tier busy (~20 ms/call on
+#: the reference core => ~350 users/app server at the standard mix);
+#: transactional writes are the heavier DB operations.
+CALIBRATION = BenchmarkCalibration(
+    benchmark="tpcapp",
+    think_time_s=7.0,
+    web_s=0.0015,
+    app_read_s=0.018,
+    app_write_s=0.021,
+    db_read_s=0.003,
+    db_write_s=0.006,
+)
+
+
+class TpcAppModel:
+    """The TPC-App workload model for one write-ratio point."""
+
+    def __init__(self, write_ratio):
+        if not 0.05 <= write_ratio <= 0.95:
+            raise WorkloadError(
+                f"TPC-App write ratio must be within [0.05, 0.95]: "
+                f"{write_ratio} (the mix is transaction-dominated)"
+            )
+        self.benchmark = "tpcapp"
+        self.mix = "standard"
+        self.write_ratio = write_ratio
+        self.calibration = CALIBRATION
+        shares = mix_for_write_ratio(INTERACTIONS, write_ratio)
+        self.matrix = TransitionMatrix.memoryless(STATE_NAMES, shares)
+        self.demands = normalized_demands(
+            INTERACTIONS, shares,
+            web_s=CALIBRATION.web_s,
+            app_read_s=CALIBRATION.app_read_s,
+            app_write_s=CALIBRATION.app_write_s,
+            db_read_s=CALIBRATION.db_read_s,
+            db_write_s=CALIBRATION.db_write_s,
+        )
+        self.initial_state = "NewProducts"
+
+    def demand(self, state):
+        try:
+            return self.demands[state]
+        except KeyError:
+            raise WorkloadError(f"unknown TPC-App interaction {state!r}")
+
+    def mean_demands(self):
+        stationary = self.matrix.stationary()
+        web = app = db = 0.0
+        for state, probability in stationary.items():
+            demand = self.demands[state]
+            web += probability * demand.web_s
+            app += probability * demand.app_s
+            db += probability * demand.db_s
+        return web, app, db
+
+
+def build_model(write_ratio, mix=None):
+    """Build the TPC-App model; the standard mix is the only mix."""
+    if mix not in (None, "standard"):
+        raise WorkloadError(
+            f"TPC-App defines only the standard mix, got {mix!r}"
+        )
+    return TpcAppModel(write_ratio)
+
+
+# Register with the shared calibration lookup (kept here to avoid a
+# circular import; rubis/rubbos are registered in calibration.py).
+from repro.workloads import calibration as _calibration  # noqa: E402
+
+_calibration.CALIBRATIONS.setdefault("tpcapp", CALIBRATION)

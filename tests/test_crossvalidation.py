@@ -1,0 +1,119 @@
+"""Cross-validation anchors: simulation vs theory, determinism, means.
+
+These tests pin the simulator to analytically known results wherever
+product-form theory applies, so calibration drift or event-loop bugs
+cannot silently bend the reproduced figures.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import NTierSimulation, mva
+from repro.workloads.calibration import RUBIS
+from repro.workloads.interactions import (
+    Interaction,
+    mix_for_write_ratio,
+    normalized_demands,
+)
+from tests.conftest import make_driver, make_system
+
+
+class TestSimVsMvaFullHarness:
+    """The full 3-tier harness against exact MVA at moderate load."""
+
+    def _observe(self, users):
+        driver = make_driver(users=users, warmup=20.0, run=60.0,
+                             cooldown=5.0, timeout=100.0)
+        system = make_system(driver=driver)
+        harness = NTierSimulation(system)
+        records = harness.run()
+        window = (20.0, 80.0)
+        ok = [r for r in records
+              if r.status == "ok" and window[0] <= r.finished_at
+              <= window[1]]
+        throughput = len(ok) / 60.0
+        mean_rt = sum(r.response_time() for r in ok) / len(ok)
+        return throughput, mean_rt
+
+    def _predict(self, users):
+        stations = [
+            mva.MvaStation("web", RUBIS.web_s),
+            mva.MvaStation("app", RUBIS.app_mean(0.15)),
+            mva.MvaStation("db", RUBIS.db_mean(0.15)),
+        ]
+        return mva.solve(stations, RUBIS.think_time_s, users)
+
+    @pytest.mark.parametrize("users", [60, 140, 200])
+    def test_throughput_tracks_mva(self, users):
+        observed_x, _rt = self._observe(users)
+        predicted = self._predict(users)
+        assert observed_x == pytest.approx(predicted.throughput, rel=0.08)
+
+    def test_response_time_tracks_mva_below_knee(self):
+        _x, observed_rt = self._observe(140)
+        predicted = self._predict(140)
+        # Allow the hop latencies and disk stage the MVA model omits.
+        overhead = 6 * 0.0002 + 0.001
+        assert observed_rt == pytest.approx(
+            predicted.response_time + overhead, rel=0.30)
+
+
+class TestDeterminismEndToEnd:
+    def test_campaign_csv_identical_across_runs(self):
+        from repro.core import ObservationCampaign
+        from repro.results.export import to_csv
+
+        tbl = """
+        benchmark rubis; platform emulab;
+        experiment "det" {
+            topology 1-1-1; workload 120;
+            trial { warmup 14s; run 12s; cooldown 2s; }
+            seed 99;
+        }
+        """
+
+        def run_once():
+            campaign = ObservationCampaign(tbl, node_count=8)
+            campaign.run()
+            return to_csv(campaign.database.query())
+
+        assert run_once() == run_once()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ratio=st.floats(min_value=0.05, max_value=0.9),
+    read_weights=st.lists(st.floats(min_value=0.2, max_value=3.0),
+                          min_size=2, max_size=6),
+    write_weights=st.lists(st.floats(min_value=0.2, max_value=3.0),
+                           min_size=1, max_size=4),
+)
+def test_normalized_demands_preserve_class_means(ratio, read_weights,
+                                                 write_weights):
+    """For ANY weight profile, the mix-weighted class means equal the
+    calibration targets exactly — the normalization invariant the
+    figure shapes depend on."""
+    interactions = tuple(
+        Interaction(f"r{i}", False, app_weight=w, db_weight=w,
+                    popularity=1.0 + i)
+        for i, w in enumerate(read_weights)
+    ) + tuple(
+        Interaction(f"w{i}", True, app_weight=w, db_weight=w,
+                    popularity=1.0 + i)
+        for i, w in enumerate(write_weights)
+    )
+    mix = mix_for_write_ratio(interactions, ratio)
+    demands = normalized_demands(
+        interactions, mix,
+        web_s=0.001, app_read_s=0.03, app_write_s=0.004,
+        db_read_s=0.004, db_write_s=0.005,
+    )
+    app_mean = sum(share * demands[i.name].app_s
+                   for i, share in zip(interactions, mix))
+    db_mean = sum(share * demands[i.name].db_s
+                  for i, share in zip(interactions, mix))
+    expected_app = (1 - ratio) * 0.03 + ratio * 0.004
+    expected_db = (1 - ratio) * 0.004 + ratio * 0.005
+    assert app_mean == pytest.approx(expected_app, rel=1e-9)
+    assert db_mean == pytest.approx(expected_db, rel=1e-9)

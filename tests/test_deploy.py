@@ -1,0 +1,202 @@
+"""End-to-end tests: generated bundles deploy onto the virtual cluster."""
+
+import pytest
+
+from repro.deploy import DeploymentEngine, extract_deployed_system
+from repro.errors import DeployError, VerificationError
+from repro.generator import HostPlan, Mulini
+from repro.spec.mof import load_resource_model, render_resource_mof
+from repro.spec.tbl import parse as parse_tbl
+from repro.spec.topology import Topology
+from repro.vcluster import VirtualCluster
+
+RUBIS_TBL = """
+benchmark rubis; platform emulab;
+experiment "deploytest" {
+    topology 1-2-2;
+    workload 300;
+    write_ratio 15%;
+    trial { warmup 6s; run 30s; cooldown 6s; }
+}
+"""
+
+
+@pytest.fixture
+def cluster():
+    return VirtualCluster("emulab", node_count=20)
+
+
+@pytest.fixture
+def experiment():
+    return parse_tbl(RUBIS_TBL).experiment("deploytest")
+
+
+@pytest.fixture
+def mulini():
+    return Mulini(load_resource_model(render_resource_mof("rubis", "emulab")))
+
+
+def make_deployment(cluster, mulini, experiment, topology,
+                    workload=300, write_ratio=0.15):
+    allocation = cluster.allocate(topology)
+    plan = HostPlan.from_allocation(allocation)
+    bundle = mulini.generate(experiment, topology, workload, write_ratio,
+                             host_plan=plan)
+    engine = DeploymentEngine(cluster)
+    deployment = engine.deploy(bundle, allocation, experiment=experiment,
+                               topology=topology, workload=workload,
+                               write_ratio=write_ratio)
+    return engine, deployment
+
+
+class TestDeployment:
+    def test_full_deploy_1_2_2(self, cluster, mulini, experiment):
+        _engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(1, 2, 2)
+        )
+        system = deployment.system
+        assert system.topology() == Topology(1, 2, 2)
+        assert len(system.app_servers) == 2
+        assert len(system.db_backends) == 2
+        assert system.controller is not None
+        # Every server host plus the client carries a sar monitor.
+        assert len(system.monitors) == 5 + 1
+
+    def test_daemons_actually_running(self, cluster, mulini, experiment):
+        _engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(1, 1, 1)
+        )
+        app_host = deployment.system.app_servers[0].host
+        names = {p.name for p in app_host.live_processes()}
+        assert "catalina.sh" in names
+        assert "jonas" in names
+        assert "sar" in names
+
+    def test_config_files_deployed_to_vendor_paths(self, cluster, mulini,
+                                                   experiment):
+        _engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(1, 1, 1)
+        )
+        web_host = deployment.system.web_servers[0].host
+        assert web_host.fs.is_file("/opt/apache/conf/workers2.properties")
+        db_host = deployment.system.db_backends[0].host
+        assert db_host.fs.is_file("/opt/mysql/my.cnf")
+
+    def test_driver_parameters_roundtrip(self, cluster, mulini, experiment):
+        _engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(1, 1, 1)
+        )
+        driver = deployment.system.driver
+        assert driver.users == 300
+        assert driver.write_ratio == pytest.approx(0.15)
+        assert driver.run == pytest.approx(30.0)
+
+    def test_app_server_efficiency_recovered(self, cluster, mulini,
+                                             experiment):
+        _engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(1, 1, 1)
+        )
+        assert deployment.system.app_servers[0].server_name == "jonas"
+        assert deployment.system.app_servers[0].efficiency == 1.0
+
+    def test_weblogic_deployment(self, cluster):
+        spec = parse_tbl("""
+        benchmark rubis; platform warp; app_server weblogic;
+        experiment "wl" { topology 1-1-1; workload 100; }
+        """)
+        experiment = spec.experiment("wl")
+        mulini = Mulini(load_resource_model(
+            render_resource_mof("rubis", "emulab", app_server="weblogic")
+        ))
+        _engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(1, 1, 1),
+            workload=100,
+        )
+        server = deployment.system.app_servers[0]
+        assert server.server_name == "weblogic"
+        assert server.efficiency == pytest.approx(1.0)
+
+    def test_teardown_stops_everything(self, cluster, mulini, experiment):
+        engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(1, 2, 1)
+        )
+        engine.teardown(deployment)
+        for host in deployment.allocation.all_server_hosts():
+            assert host.live_processes() == []
+
+    def test_collect_after_monitor_output(self, cluster, mulini, experiment):
+        engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(1, 1, 1)
+        )
+        # Simulate monitors/driver having produced output files.
+        for monitor in deployment.system.monitors:
+            monitor.host.fs.write(monitor.output_path, "sysstat data\n")
+        client = deployment.system.client_host
+        client.fs.write("/var/log/driver/requests.log", "req 1 0.05 OK\n")
+        results_dir = engine.collect(deployment)
+        control = deployment.allocation.control
+        collected = list(control.fs.walk_files(results_dir))
+        assert any(path.endswith("requests.log") for path in collected)
+        assert sum(1 for path in collected
+                   if path.endswith(".sysstat.dat")) == 4
+
+    def test_verification_catches_wrong_workload(self, cluster, mulini,
+                                                 experiment):
+        topology = Topology(1, 1, 1)
+        allocation = cluster.allocate(topology)
+        plan = HostPlan.from_allocation(allocation)
+        bundle = mulini.generate(experiment, topology, 300, 0.15,
+                                 host_plan=plan)
+        engine = DeploymentEngine(cluster)
+        with pytest.raises(VerificationError, match="users"):
+            engine.deploy(bundle, allocation, experiment=experiment,
+                          topology=topology, workload=999, write_ratio=0.15)
+
+    def test_verification_catches_killed_daemon(self, cluster, mulini,
+                                                experiment):
+        engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(1, 2, 1)
+        )
+        # Kill one app server behind the system's back, then re-extract.
+        victim = deployment.system.app_servers[1].host
+        victim.kill_by_name("jonas")
+        victim.kill_by_name("catalina.sh")
+        hosts = [deployment.allocation.client] + \
+            deployment.allocation.all_server_hosts()
+        from repro.deploy import verify_deployment
+        system = extract_deployed_system(hosts)
+        with pytest.raises(VerificationError, match="topology"):
+            verify_deployment(system, experiment, Topology(1, 2, 1),
+                              300, 0.15)
+
+    def test_rubbos_two_tier_deployment(self, cluster):
+        spec = parse_tbl("""
+        benchmark rubbos; platform emulab;
+        experiment "bb" { topology 0-1-1; workload 500; }
+        """)
+        experiment = spec.experiment("bb")
+        mulini = Mulini(load_resource_model(
+            render_resource_mof("rubbos", "emulab")
+        ))
+        _engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(0, 1, 1), workload=500
+        )
+        system = deployment.system
+        assert system.web_servers == []
+        assert system.app_servers[0].server_name == "tomcat"
+        # Driver targets the servlet container directly.
+        assert system.driver.target_port == 8009
+
+    def test_extract_requires_driver(self, cluster):
+        with pytest.raises(DeployError, match="driver"):
+            extract_deployed_system(list(cluster.hosts.values()))
+
+    def test_deployment_scale_out_1_8_2(self, cluster, mulini, experiment):
+        _engine, deployment = make_deployment(
+            cluster, mulini, experiment, Topology(1, 8, 2)
+        )
+        system = deployment.system
+        assert len(system.app_servers) == 8
+        workers = system.web_servers[0].workers
+        assert len(workers) == 8
+        assert len(system.controller.backend_specs) == 2

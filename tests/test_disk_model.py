@@ -1,0 +1,113 @@
+"""Tests for the database disk-I/O substrate."""
+
+import pytest
+
+from repro.monitoring import attach_monitors, parse_sysstat
+from repro.sim import NTierSimulation
+from repro.workloads.calibration import (
+    DB_DISK_READ_S,
+    DB_DISK_WRITE_S,
+    disk_speed_factor,
+)
+from repro.spec import get_platform
+from tests.conftest import make_driver, make_system
+
+
+def run_system(platform="emulab", users=200, write_ratio=0.15, dbs=1,
+               run=25.0):
+    driver = make_driver(users=users, write_ratio=write_ratio,
+                         warmup=14.0, run=run, cooldown=4.0)
+    system = make_system(apps=2, dbs=dbs, driver=driver,
+                         platform=platform)
+    harness = NTierSimulation(system)
+    emitters = attach_monitors(harness)
+    harness.run()
+    for emitter in emitters:
+        emitter.stop()
+        emitter.flush()
+    return system, harness
+
+
+class TestDiskSpeedFactors:
+    def test_reference_spindle(self):
+        assert disk_speed_factor(
+            get_platform("rohan").node_type()) == pytest.approx(1.0)
+
+    def test_warp_5400rpm_slower(self):
+        assert disk_speed_factor(
+            get_platform("warp").node_type()) == pytest.approx(0.54)
+
+    def test_write_io_heavier_than_read(self):
+        assert DB_DISK_WRITE_S > DB_DISK_READ_S
+
+
+class TestDiskStations:
+    def test_db_hosts_have_disk_stations(self):
+        system, harness = run_system(users=50, run=10.0)
+        db_host = system.db_backends[0].host
+        assert db_host.name in harness.disk_by_host
+        app_host = system.app_servers[0].host
+        assert app_host.name not in harness.disk_by_host
+
+    def test_disk_sees_every_db_operation(self):
+        system, harness = run_system(users=100, run=20.0)
+        backend = harness.db_backends[0]
+        # CPU and spindle process the same operations, sequentially.
+        assert backend.disk.completed == backend.cpu.completed
+
+    def test_writes_flush_on_every_replica_disk(self):
+        system, harness = run_system(users=100, write_ratio=0.9, dbs=2,
+                                     run=20.0)
+        first, second = harness.db_backends
+        assert first.disk.completed > 0
+        # Writes broadcast: both spindles see comparable operation
+        # counts even though reads are split.
+        ratio = first.disk.completed / second.disk.completed
+        assert 0.8 < ratio < 1.25
+
+    def test_disk_never_the_bottleneck_at_calibrated_demands(self):
+        system, harness = run_system(users=300, run=20.0)
+        backend = harness.db_backends[0]
+        _t, cpu_area = backend.cpu.area_reading()
+        _t2, disk_area = backend.disk.area_reading()
+        assert disk_area < cpu_area
+
+    def test_slow_warp_disk_busier_than_rohan(self):
+        def disk_utilization(platform):
+            _system, harness = run_system(platform=platform, users=250,
+                                          write_ratio=0.5, run=20.0)
+            backend = harness.db_backends[0]
+            t, area = backend.disk.area_reading()
+            return area / t
+
+        # Same workload: the 5400 RPM Warp spindle runs ~1.85x busier
+        # than Rohan's 10000 RPM disk (Table 2).
+        assert disk_utilization("warp") > \
+            1.4 * disk_utilization("rohan")
+
+
+class TestDiskMonitoring:
+    def test_sar_disk_channel_measured_on_db_host(self):
+        system, _harness = run_system(users=250, run=25.0)
+        db_host = system.db_backends[0].host
+        monitor = [m for m in system.monitors if m.host is db_host][0]
+        series = parse_sysstat(db_host.fs.read(monitor.output_path))
+        window = (14.0, 39.0)
+        points = series.series("disk")
+        in_window = [values for t, values in points
+                     if window[0] <= t <= window[1]]
+        tps = [v[0] for v in in_window]
+        utils = [v[1] for v in in_window]
+        # ~36 req/s hit the DB; each is one disk op.
+        assert sum(tps) / len(tps) == pytest.approx(36, rel=0.25)
+        # Utilization is real but modest (CPU is the bottleneck tier).
+        assert 1.0 < sum(utils) / len(utils) < 40.0
+
+    def test_app_host_disk_is_synthetic(self):
+        system, _harness = run_system(users=100, run=15.0)
+        app_host = system.app_servers[0].host
+        monitor = [m for m in system.monitors if m.host is app_host][0]
+        series = parse_sysstat(app_host.fs.read(monitor.output_path))
+        # Two channels either way (tps, util).
+        _t, values = series.series("disk")[0]
+        assert len(values) == 2

@@ -1,0 +1,265 @@
+"""Edge-case coverage across modules: error paths and small helpers."""
+
+import pytest
+
+from repro.errors import (
+    DeployError,
+    GenerationError,
+    ResultsError,
+    TrialFailed,
+    VerificationError,
+)
+
+
+class TestVerifyEdges:
+    def _system_and_experiment(self):
+        from repro.experiments import build_experiment
+        from repro.spec.topology import Topology
+        from tests.conftest import make_driver, make_system
+        experiment, _tbl = build_experiment(
+            name="edge", benchmark="rubis", platform="emulab",
+            topologies=[Topology(1, 1, 1)], workloads=(100,),
+            trial=None, scale=0.1,
+        )
+        driver = make_driver(users=100, warmup=14.0,
+                             run=experiment.trial.run,
+                             cooldown=experiment.trial.cooldown,
+                             target_host="node-3")
+        system = make_system(driver=driver)
+        return system, experiment
+
+    def test_driver_mix_mismatch(self):
+        from repro.deploy import verify_deployment
+        from repro.spec.topology import Topology
+        system, experiment = self._system_and_experiment()
+        # Verify against wr=0: the deployed driver says 'bidding'.
+        with pytest.raises(VerificationError, match="mix|ratio"):
+            verify_deployment(system, experiment, Topology(1, 1, 1),
+                              100, 0.0)
+
+    def test_run_period_mismatch(self):
+        from dataclasses import replace
+        from repro.deploy import verify_deployment
+        from repro.spec.tbl import TrialPhases
+        from repro.spec.topology import Topology
+        system, experiment = self._system_and_experiment()
+        wrong = replace(experiment, trial=TrialPhases(14.0, 999.0, 3.0))
+        with pytest.raises(VerificationError, match="run period"):
+            verify_deployment(system, wrong, Topology(1, 1, 1), 100, 0.15)
+
+    def test_driver_target_not_a_web_host(self):
+        from repro.deploy import verify_deployment
+        from repro.spec.topology import Topology
+        from tests.conftest import make_driver, make_system
+        system, experiment = self._system_and_experiment()
+        driver = make_driver(users=100, warmup=14.0,
+                             run=experiment.trial.run,
+                             cooldown=experiment.trial.cooldown,
+                             target_host="nonexistent-host")
+        bad = make_system(driver=driver)
+        with pytest.raises(VerificationError, match="targets"):
+            verify_deployment(bad, experiment, Topology(1, 1, 1),
+                              100, 0.15)
+
+
+class TestEngineEdges:
+    def test_collect_missing_script(self):
+        from repro.deploy import DeploymentEngine, Deployment
+        from repro.generator import Bundle
+        from repro.vcluster import VirtualCluster
+        from repro.spec.topology import Topology
+        cluster = VirtualCluster("emulab", node_count=8)
+        allocation = cluster.allocate(Topology(1, 1, 1))
+        bundle = Bundle("edge")
+        bundle.add("run.sh", "echo hello")
+        bundle.install_to(allocation.control)
+        deployment = Deployment(bundle=bundle, allocation=allocation,
+                                system=None, transcript="")
+        engine = DeploymentEngine(cluster)
+        with pytest.raises(DeployError, match="collect.sh"):
+            engine.collect(deployment)
+
+
+class TestReportEdges:
+    def test_render_series(self):
+        from repro.results.report import render_series
+        text = render_series("T", [(1, 2.5), (2, 3.5)], y_label="ms")
+        assert "T" in text and "2.5" in text and "ms" in text
+
+    def test_render_surface_missing_cells(self):
+        from repro.results.report import render_surface
+        text = render_surface("S", {(100, 0.0): 40.0, (200, 0.5): 50.0})
+        assert text.count("-") > 2      # the two absent corners
+
+
+class TestCharacterizationEdges:
+    def _map(self):
+        from repro.core import PerformanceMap
+        from tests.test_results import make_result
+        return PerformanceMap([
+            make_result(workload=100, mean_rt=0.05),
+            make_result(workload=200, mean_rt=0.06),
+        ])
+
+    def test_point_lookup(self):
+        result = self._map().point("1-1-1", 100, 0.15)
+        assert result.workload == 100
+
+    def test_point_missing(self):
+        with pytest.raises(ResultsError):
+            self._map().point("1-1-1", 999, 0.15)
+
+    def test_inventory(self):
+        pmap = self._map()
+        assert pmap.workloads("1-1-1") == [100, 200]
+        assert pmap.write_ratios("1-1-1") == [0.15]
+
+    def test_knee_needs_two_workloads(self):
+        from repro.core import PerformanceMap
+        from tests.test_results import make_result
+        pmap = PerformanceMap([make_result(workload=100)])
+        with pytest.raises(ResultsError):
+            pmap.knee("1-1-1")
+
+    def test_no_knee_returns_none(self):
+        assert self._map().knee("1-1-1") is None
+
+    def test_empty_map_rejected(self):
+        from repro.core import PerformanceMap
+        with pytest.raises(ResultsError):
+            PerformanceMap([])
+
+
+class TestShellBuiltinEdges:
+    @pytest.fixture
+    def host_and_interp(self):
+        from repro.shellvm import ShellInterpreter
+        from repro.spec import get_platform
+        from repro.vcluster import VirtualHost, VirtualNetwork
+        network = VirtualNetwork()
+        host = VirtualHost("h", get_platform("warp").node_type())
+        network.attach(host)
+        return host, ShellInterpreter(network)
+
+    def test_cd_missing_directory(self, host_and_interp):
+        host, interp = host_and_interp
+        status, out = interp.run_text_on(host, "cd /nope")
+        assert status == 1
+
+    def test_cp_directory_needs_r(self, host_and_interp):
+        host, interp = host_and_interp
+        host.fs.mkdir("/src")
+        status, out = interp.run_text_on(host, "cp /src /dst")
+        assert status == 1
+        assert "-r" in out
+
+    def test_scp_directory_needs_r(self, host_and_interp):
+        host, interp = host_and_interp
+        host.fs.write("/tree/file", "x")
+        status, out = interp.run_text_on(host, "scp /tree h:/copy")
+        assert status == 1
+
+    def test_chmod_missing_target(self, host_and_interp):
+        host, interp = host_and_interp
+        status, _out = interp.run_text_on(host, "chmod +x /nope")
+        assert status == 1
+
+    def test_tar_create_unsupported(self, host_and_interp):
+        host, interp = host_and_interp
+        host.fs.write("/f", "x")
+        status, out = interp.run_text_on(host, "tar -czf /a.tar.gz -C /")
+        assert status == 127
+        assert "extraction" in out
+
+    def test_export_without_value(self, host_and_interp):
+        host, interp = host_and_interp
+        status, _out = interp.run_text_on(host, "export PATH")
+        assert status == 0
+
+    def test_unknown_set_option(self, host_and_interp):
+        host, interp = host_and_interp
+        status, out = interp.run_text_on(host, "set -x")
+        assert status == 127
+
+    def test_process_describe(self, host_and_interp):
+        host, _interp = host_and_interp
+        process = host.spawn(["tool", "--flag"])
+        assert "tool --flag" in process.describe()
+        assert "running" in process.describe()
+
+
+class TestGeneratorEdges:
+    def test_mix_name_unknown_benchmark(self):
+        from repro.generator.workload import mix_name
+        with pytest.raises(GenerationError):
+            mix_name("tpcw", 0.15)
+
+    def test_driver_properties_reject_nonpositive_workload(self):
+        from repro.experiments import build_experiment
+        from repro.generator.workload import render_driver_properties
+        from repro.spec.topology import Topology
+        experiment, _tbl = build_experiment(
+            name="x", benchmark="rubis", platform="emulab",
+            topologies=[Topology(1, 1, 1)], workloads=(100,),
+        )
+        with pytest.raises(GenerationError):
+            render_driver_properties(experiment, Topology(1, 1, 1), 0,
+                                     0.15, "h", 80)
+
+    def test_mulini_records_validation_warnings(self):
+        from repro.generator import Mulini
+        from repro.spec.mof import load_resource_model, render_resource_mof
+        from repro.spec.tbl import parse
+        spec = parse("""
+        benchmark rubbos; platform emulab;
+        experiment "w" { topology 0-1-1; workload 100; }
+        """)
+        model = load_resource_model(render_resource_mof("rubbos", "emulab"))
+        mulini = Mulini(model, spec)
+        assert any("web" in warning for warning in
+                   mulini.validation_warnings)
+
+
+class TestErrorTypes:
+    def test_trial_failed_carries_partial(self):
+        error = TrialFailed("overloaded", partial={"rt": 9.0})
+        assert error.partial == {"rt": 9.0}
+
+    def test_spec_error_location_formatting(self):
+        from repro.errors import SpecError
+        error = SpecError("bad", line=3, column=7, source="x.tbl")
+        assert "x.tbl:3:7" in str(error)
+
+    def test_shell_error_location_formatting(self):
+        from repro.errors import ShellError
+        error = ShellError("bad", line=9, script="run.sh")
+        assert "run.sh:9" in str(error)
+
+
+class TestCollectorEdges:
+    def test_peak_and_byte_size(self):
+        from repro.monitoring import parse_sysstat
+        series = parse_sysstat(
+            "#sysstat 6.0.2 host=n1 interval=1 metrics=cpu\n"
+            "1 cpu 10\n2 cpu 90\n3 cpu 50\n"
+        )
+        assert series.peak("cpu") == 90.0
+        assert series.mean("cpu", window=(2, 3)) == pytest.approx(70.0)
+        assert series.byte_size() > 0
+
+    def test_unknown_metric(self):
+        from repro.errors import MonitoringError
+        from repro.monitoring import parse_sysstat
+        series = parse_sysstat(
+            "#sysstat 6.0.2 host=n1 interval=1 metrics=cpu\n1 cpu 10\n"
+        )
+        with pytest.raises(MonitoringError):
+            series.series("entropy")
+
+
+class TestHeuristicsEdges:
+    def test_outcome_requires_trials(self):
+        from repro.core.heuristics import ScaleOutOutcome
+        from repro.errors import ExperimentError
+        with pytest.raises(ExperimentError):
+            ScaleOutOutcome().final_topology()

@@ -1,0 +1,137 @@
+"""Integration tests: the experiment runner and sweep construction."""
+
+import pytest
+
+from repro.experiments import COMPLETED, DNF, ExperimentRunner, \
+    build_experiment, measurement_window
+from repro.experiments.figures import estimate_collected_bytes, make_runner
+from repro.spec.tbl import TrialPhases
+from repro.spec.topology import Topology
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return make_runner("emulab", "rubis", node_count=16)
+
+
+def _experiment(name="itest", topologies=(Topology(1, 1, 1),),
+                workloads=(100,), write_ratios=(0.15,), scale=0.1,
+                **kwargs):
+    experiment, _tbl = build_experiment(
+        name=name, benchmark="rubis", platform="emulab",
+        topologies=topologies, workloads=workloads,
+        write_ratios=write_ratios, scale=scale, **kwargs,
+    )
+    return experiment
+
+
+class TestBuildExperiment:
+    def test_roundtrips_through_tbl(self):
+        experiment, tbl = build_experiment(
+            name="x", benchmark="rubis", platform="emulab",
+            topologies=[Topology(1, 2, 1)], workloads=(100, 200),
+            scale=0.1,
+        )
+        assert "experiment \"x\"" in tbl
+        assert experiment.trial.run == pytest.approx(30.0)
+        assert experiment.workloads == (100, 200)
+
+    def test_scale_shrinks_phases_with_warmup_floor(self):
+        # Run/cool-down scale; warm-up is floored at two think times.
+        experiment = _experiment(scale=0.05)
+        assert experiment.trial == TrialPhases(14.0, 15.0, 3.0)
+
+    def test_warmup_floor_can_be_lowered(self):
+        experiment = _experiment(scale=0.05, min_warmup=0.0)
+        assert experiment.trial == TrialPhases(3.0, 15.0, 3.0)
+
+    def test_measurement_window(self):
+        experiment = _experiment(scale=0.1)
+        assert measurement_window(experiment.trial) == (14.0, 44.0)
+
+
+class TestRunner:
+    def test_light_load_trial_completes(self, runner):
+        result = runner.run_point(_experiment(), Topology(1, 1, 1),
+                                  100, 0.15)
+        assert result.status == COMPLETED
+        assert result.metrics.completed > 100
+        assert result.metrics.error_ratio < 0.02
+        assert result.response_time_ms() < 200
+        assert result.machine_count == 5
+        assert result.script_lines > 100
+        assert result.collected_bytes > 1000
+
+    def test_tier_cpu_recorded(self, runner):
+        result = runner.run_point(_experiment(), Topology(1, 1, 1),
+                                  220, 0.15)
+        assert result.tier_cpu("app") > result.tier_cpu("db")
+        assert result.tier_cpu("app") > 50
+        assert result.bottleneck_tier() == "app"
+
+    def test_overload_records_dnf(self, runner):
+        result = runner.run_point(_experiment(), Topology(1, 1, 1),
+                                  900, 0.15)
+        assert result.status == DNF
+        assert result.metrics.error_ratio > 0.10
+
+    def test_nodes_released_after_trial(self, runner):
+        free_before = runner.cluster.free_count()
+        runner.run_point(_experiment(), Topology(1, 2, 1), 100, 0.15)
+        assert runner.cluster.free_count() == free_before
+
+    def test_nodes_released_even_for_dnf(self, runner):
+        free_before = runner.cluster.free_count()
+        runner.run_point(_experiment(), Topology(1, 1, 1), 900, 0.15)
+        assert runner.cluster.free_count() == free_before
+
+    def test_run_experiment_covers_all_points(self, runner):
+        experiment = _experiment(workloads=(50, 100),
+                                 write_ratios=(0.0, 0.3))
+        seen = []
+        results = runner.run_experiment(
+            experiment, on_result=lambda r: seen.append(r.key()))
+        assert len(results) == 4
+        assert len(seen) == 4
+        assert len({r.key() for r in results}) == 4
+
+    def test_scale_out_moves_knee(self, runner):
+        experiment = _experiment(topologies=(Topology(1, 1, 1),
+                                             Topology(1, 2, 1)),
+                                 workloads=(400,))
+        results = runner.run_experiment(experiment)
+        by_topology = {r.topology_label: r for r in results}
+        assert by_topology["1-2-1"].response_time_ms() < \
+            by_topology["1-1-1"].response_time_ms() / 3
+
+    def test_db_node_type_honoured(self):
+        runner = make_runner("emulab", "rubis", db_node_type="emulab-low",
+                             node_count=16)
+        experiment = _experiment(db_node_type="emulab_low",
+                                 workloads=(150,), write_ratios=(0.9,))
+        result = runner.run_point(experiment, Topology(1, 1, 1), 150, 0.9)
+        # On the 600 MHz node the DB dominates at a 90% write mix.
+        assert result.tier_cpu("db") > result.tier_cpu("app")
+
+    def test_determinism_across_runs(self, runner):
+        experiment = _experiment(workloads=(150,), seed=9)
+        first = runner.run_point(experiment, Topology(1, 1, 1), 150, 0.15)
+        second = runner.run_point(experiment, Topology(1, 1, 1), 150, 0.15)
+        assert first.metrics.mean_response_s == \
+            second.metrics.mean_response_s
+        assert first.metrics.completed == second.metrics.completed
+
+
+class TestEstimates:
+    def test_collected_bytes_scale_with_topology(self):
+        experiment = _experiment(scale=1.0)
+        small = estimate_collected_bytes(experiment, Topology(1, 1, 1), 100)
+        large = estimate_collected_bytes(experiment, Topology(1, 8, 2), 100)
+        assert large > small
+
+    def test_collected_bytes_scale_with_workload(self):
+        experiment = _experiment(scale=1.0)
+        light = estimate_collected_bytes(experiment, Topology(1, 1, 1), 100)
+        heavy = estimate_collected_bytes(experiment, Topology(1, 1, 1),
+                                         2000)
+        assert heavy > light

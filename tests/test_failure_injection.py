@@ -1,0 +1,149 @@
+"""Failure-injection tests: broken inputs must fail loudly, not softly.
+
+The Elba staging story (Section VI) is precisely about catching broken
+deployments before production; these tests corrupt various stages and
+assert the pipeline surfaces the damage instead of producing numbers
+from a half-deployed system.
+"""
+
+import pytest
+
+from repro.deploy import DeploymentEngine, extract_deployed_system
+from repro.errors import (
+    AllocationError,
+    DeployError,
+    VerificationError,
+)
+from repro.generator import HostPlan, Mulini
+from repro.spec.mof import load_resource_model, render_resource_mof
+from repro.spec.tbl import parse as parse_tbl
+from repro.spec.topology import Topology
+from repro.vcluster import VirtualCluster
+
+
+@pytest.fixture
+def setup():
+    cluster = VirtualCluster("emulab", node_count=14)
+    spec = parse_tbl("""
+    benchmark rubis; platform emulab;
+    experiment "inject" {
+        topology 1-1-1;
+        workload 100;
+        write_ratio 15%;
+        trial { warmup 14s; run 15s; cooldown 3s; }
+    }
+    """)
+    experiment = spec.experiment("inject")
+    mulini = Mulini(load_resource_model(
+        render_resource_mof("rubis", "emulab")))
+    return cluster, experiment, mulini
+
+
+def _prepare(cluster, experiment, mulini, topology=Topology(1, 1, 1)):
+    allocation = cluster.allocate(topology)
+    plan = HostPlan.from_allocation(allocation)
+    bundle = mulini.generate(experiment, topology, 100, 0.15,
+                             host_plan=plan)
+    return allocation, bundle
+
+
+class TestDeploymentFailures:
+    def test_corrupt_package_archive_aborts_run(self, setup):
+        cluster, experiment, mulini = setup
+        allocation, bundle = _prepare(cluster, experiment, mulini)
+        # Corrupt the MySQL tarball in the control host's repository.
+        cluster.control.fs.write("/packages/mysql-max-4.0.27.tar.gz",
+                                 "garbage, not a tarball\n")
+        engine = DeploymentEngine(cluster)
+        with pytest.raises(DeployError):
+            engine.deploy(bundle, allocation)
+
+    def test_missing_generated_script_aborts_run(self, setup):
+        cluster, experiment, mulini = setup
+        allocation, bundle = _prepare(cluster, experiment, mulini)
+        run_path = bundle.install_to(allocation.control)
+        # Delete one subscript after installation, before execution.
+        victim = bundle.path_of("scripts/MYSQL1_ignition.sh")
+        allocation.control.fs.remove(victim)
+        engine = DeploymentEngine(cluster)
+        with pytest.raises(Exception):
+            engine.interpreter.run_script_file(allocation.control,
+                                               run_path)
+
+    def test_sabotaged_run_sh_fails_loudly(self, setup):
+        cluster, experiment, mulini = setup
+        allocation, bundle = _prepare(cluster, experiment, mulini)
+        bundle.files["run.sh"] = ("set -e\n"
+                                  "frobnicate_the_cluster --now\n")
+        engine = DeploymentEngine(cluster)
+        with pytest.raises(DeployError, match="aborted|status"):
+            engine.deploy(bundle, allocation)
+
+    def test_missing_driver_config_detected(self, setup):
+        cluster, experiment, mulini = setup
+        allocation, bundle = _prepare(cluster, experiment, mulini)
+        engine = DeploymentEngine(cluster)
+        deployment = engine.deploy(bundle, allocation)
+        # Remove the deployed driver parameters, then re-extract.
+        client = deployment.system.client_host
+        client.fs.remove("/opt/driver/driver.properties")
+        hosts = [allocation.client] + allocation.all_server_hosts()
+        with pytest.raises(DeployError, match="driver"):
+            extract_deployed_system(hosts)
+
+    def test_killed_database_detected(self, setup):
+        cluster, experiment, mulini = setup
+        allocation, bundle = _prepare(cluster, experiment, mulini)
+        engine = DeploymentEngine(cluster)
+        deployment = engine.deploy(bundle, allocation)
+        db_host = deployment.system.db_backends[0].host
+        db_host.kill_by_name("mysqld")
+        hosts = [allocation.client] + allocation.all_server_hosts()
+        with pytest.raises(DeployError, match="mysqld"):
+            extract_deployed_system(hosts)
+
+    def test_corrupted_workers2_detected(self, setup):
+        cluster, experiment, mulini = setup
+        allocation, bundle = _prepare(cluster, experiment, mulini)
+        engine = DeploymentEngine(cluster)
+        deployment = engine.deploy(bundle, allocation)
+        web_host = deployment.system.web_servers[0].host
+        web_host.fs.write("/opt/apache/conf/workers2.properties",
+                          "[ajp13:app1]\nhost=node-2\n")  # port missing
+        hosts = [allocation.client] + allocation.all_server_hosts()
+        with pytest.raises(DeployError, match="incomplete"):
+            extract_deployed_system(hosts)
+
+    def test_monitor_killed_fails_verification(self, setup):
+        cluster, experiment, mulini = setup
+        allocation, bundle = _prepare(cluster, experiment, mulini)
+        engine = DeploymentEngine(cluster)
+        deployment = engine.deploy(bundle, allocation)
+        deployment.system.db_backends[0].host.kill_by_name("sar")
+        hosts = [allocation.client] + allocation.all_server_hosts()
+        system = extract_deployed_system(hosts)
+        from repro.deploy import verify_deployment
+        with pytest.raises(VerificationError, match="monitor"):
+            verify_deployment(system, experiment, Topology(1, 1, 1),
+                              100, 0.15)
+
+    def test_cluster_exhaustion_raises_cleanly(self, setup):
+        cluster, experiment, _mulini = setup
+        # 14 nodes: control + client + 12 workers (some low-end).
+        with pytest.raises(AllocationError):
+            cluster.allocate(Topology(1, 12, 3))
+        # Pool unchanged: a normal allocation still succeeds.
+        allocation = cluster.allocate(Topology(1, 1, 1))
+        assert allocation.machine_count() == 5
+
+    def test_teardown_reports_survivors(self, setup):
+        cluster, experiment, mulini = setup
+        allocation, bundle = _prepare(cluster, experiment, mulini)
+        engine = DeploymentEngine(cluster)
+        deployment = engine.deploy(bundle, allocation)
+        # Break the teardown script for one daemon.
+        control = allocation.control
+        stop_path = bundle.path_of("scripts/MYSQL1_stop.sh")
+        control.fs.write(stop_path, "echo skipping the kill\n")
+        with pytest.raises(DeployError, match="mysqld"):
+            engine.teardown(deployment)

@@ -1,0 +1,175 @@
+"""Fuzz tests: the parsers must reject garbage with typed errors.
+
+Front ends (MOF, TBL, the shell dialect, monitor/driver file formats)
+face generated *and* hand-edited inputs; whatever arrives, they must
+either parse it or raise the module's typed error — never an
+AttributeError/IndexError escape.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    MofError,
+    MonitoringError,
+    ReproError,
+    ShellError,
+    TblError,
+)
+from repro.monitoring import parse_request_log, parse_sysstat
+from repro.shellvm import parse as parse_shell
+from repro.spec.mof import parse as parse_mof
+from repro.spec.tbl import parse as parse_tbl
+
+# Character soup biased toward each grammar's own alphabet, so the
+# fuzzer spends its budget near the parsers' edge cases.
+_MOF_ALPHABET = 'clasinterofbd {}[]();=,"0123456789.\n\t _-'
+_TBL_ALPHABET = 'benchmarkxptopologywd {};,%"0123456789.-\ns'
+_SHELL_ALPHABET = "abcdefish $\"'{}&|;><=/-\n\t0123456789#"
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(alphabet=_MOF_ALPHABET, max_size=120))
+def test_mof_parser_total(text):
+    try:
+        parse_mof(text)
+    except MofError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(alphabet=_TBL_ALPHABET, max_size=120))
+def test_tbl_parser_total(text):
+    try:
+        parse_tbl(text)
+    except TblError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(alphabet=_SHELL_ALPHABET, max_size=120))
+def test_shell_parser_total(text):
+    try:
+        parse_shell(text)
+    except ShellError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=100))
+def test_mof_parser_total_unicode(text):
+    try:
+        parse_mof(text)
+    except MofError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=100))
+def test_tbl_parser_total_unicode(text):
+    try:
+        parse_tbl(text)
+    except TblError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=100))
+def test_shell_parser_total_unicode(text):
+    try:
+        parse_shell(text)
+    except ShellError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=200))
+def test_sysstat_parser_total(text):
+    try:
+        parse_sysstat(text)
+    except (MonitoringError, ValueError):
+        # float() on header tokens may raise ValueError via our own
+        # guarded paths; anything else would be a real bug.
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=200))
+def test_request_log_parser_total(text):
+    try:
+        parse_request_log(text)
+    except (MonitoringError, ValueError):
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    web=st.integers(min_value=0, max_value=2),
+    app=st.integers(min_value=1, max_value=12),
+    db=st.integers(min_value=1, max_value=3),
+    workloads=st.lists(st.integers(min_value=1, max_value=5000),
+                       min_size=1, max_size=5, unique=True),
+    ratios=st.lists(
+        st.sampled_from([0.0, 0.05, 0.1, 0.15, 0.3, 0.5, 0.75, 0.9]),
+        min_size=1, max_size=4, unique=True),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_tbl_writer_parser_roundtrip(web, app, db, workloads, ratios,
+                                     seed):
+    """Any sweep the writer can render, the parser must accept, with
+    identical semantics."""
+    from repro.spec.tbl import render_tbl, parse
+    from repro.spec.topology import Topology
+
+    topology = Topology(web, app, db)
+    text = render_tbl("rubis", "emulab", [dict(
+        name="fuzz", topologies=(topology,),
+        workloads=tuple(sorted(workloads)),
+        write_ratios=tuple(sorted(ratios)),
+        seed=seed,
+    )])
+    spec = parse(text)
+    experiment = spec.experiment("fuzz")
+    assert experiment.topologies == (topology,)
+    assert experiment.workloads == tuple(sorted(workloads))
+    assert experiment.seed == seed
+    for expected, parsed in zip(sorted(ratios), experiment.write_ratios):
+        assert parsed == pytest.approx(expected, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hosts=st.lists(
+        st.text(alphabet="abcdef123-", min_size=1, max_size=10),
+        min_size=1, max_size=6, unique=True),
+    port=st.integers(min_value=1, max_value=65535),
+)
+def test_workers2_roundtrip_property(hosts, port):
+    from repro.generator.configfiles import parse_workers2, render_workers2
+    workers = [{"name": f"app{i}", "host": host, "port": port}
+               for i, host in enumerate(hosts, 1)]
+    assert parse_workers2(render_workers2(workers)) == workers
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hosts=st.lists(
+        st.text(alphabet="abcdef123-", min_size=1, max_size=10),
+        min_size=1, max_size=4, unique=True),
+)
+def test_raidb_roundtrip_property(hosts):
+    from repro.generator.configfiles import (
+        parse_raidb_config,
+        render_raidb_config,
+    )
+    backends = [{"name": f"db{i}", "host": host, "port": 3306}
+                for i, host in enumerate(hosts, 1)]
+    database, parsed = parse_raidb_config(render_raidb_config(backends))
+    assert parsed == backends
+
+
+def test_everything_raises_repro_errors():
+    """The typed errors all descend from ReproError (one catch point)."""
+    for error_class in (MofError, TblError, ShellError, MonitoringError):
+        assert issubclass(error_class, ReproError)

@@ -1,0 +1,294 @@
+"""Tests for Mulini: config files, bundles, shell and SmartFrog backends."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.generator import Bundle, HostPlan, Mulini, experiment_point_id
+from repro.generator.backends import parse_smartfrog
+from repro.generator import configfiles, workload
+from repro.spec.mof import load_resource_model, render_resource_mof
+from repro.spec.tbl import parse as parse_tbl
+from repro.spec.topology import Topology
+
+
+@pytest.fixture
+def rubis_model():
+    return load_resource_model(render_resource_mof("rubis", "emulab"))
+
+
+@pytest.fixture
+def rubis_spec():
+    return parse_tbl("""
+    benchmark rubis; platform emulab;
+    experiment "baseline" {
+        topology 1-1-1;
+        workload 50 to 250 step 50;
+        write_ratio 0% to 90% step 10%;
+    }
+    experiment "scaleout" {
+        topology 1-2-2;
+        workload 300;
+        write_ratio 15%;
+    }
+    """)
+
+
+@pytest.fixture
+def mulini(rubis_model, rubis_spec):
+    return Mulini(rubis_model, rubis_spec)
+
+
+class TestConfigFiles:
+    def test_workers2_roundtrip(self):
+        workers = [{"name": "app1", "host": "node-3", "port": 8009},
+                   {"name": "app2", "host": "node-4", "port": 8009}]
+        text = configfiles.render_workers2(workers)
+        parsed = configfiles.parse_workers2(text)
+        assert parsed == workers
+
+    def test_workers2_line_count_close_to_paper(self):
+        # Table 5: 22 lines for the 2-app-server configuration.
+        workers = [{"name": f"app{i}", "host": f"n{i}", "port": 8009}
+                   for i in (1, 2)]
+        text = configfiles.render_workers2(workers)
+        assert 15 <= text.count("\n") + 1 <= 30
+
+    def test_raidb_roundtrip(self):
+        backends = [{"name": "db1", "host": "node-5", "port": 3306},
+                    {"name": "db2", "host": "node-6", "port": 3306}]
+        text = configfiles.render_raidb_config(backends, database="rubis")
+        database, parsed = configfiles.parse_raidb_config(text)
+        assert database == "rubis"
+        assert parsed == backends
+
+    def test_raidb_rejects_empty(self):
+        with pytest.raises(Exception):
+            configfiles.parse_raidb_config("<C-JDBC></C-JDBC>")
+
+    def test_monitor_properties_six_keys_or_fewer(self):
+        # Table 5: monitor-local.properties is a 6-line file.
+        text = configfiles.render_monitor_properties(
+            "node-3", 1.0, ("cpu", "memory"), "/var/log/appmon/node-3.dat"
+        )
+        values = configfiles.parse_properties(text)
+        assert values["probe.host"] == "node-3"
+        assert len(values) <= 6
+
+    def test_tomcat_server_xml_roundtrip(self):
+        text = configfiles.render_tomcat_server_xml(8009, 300)
+        parsed = configfiles.parse_tomcat_server_xml(text)
+        assert parsed == {"port": 8009, "max_threads": 300}
+
+    def test_mysql_cnf(self):
+        text = configfiles.render_mysql_cnf(3306, 500)
+        values = configfiles.parse_simple_conf(text)
+        assert values["port"] == "3306"
+        assert values["max_connections"] == "500"
+
+    def test_httpd_conf(self):
+        text = configfiles.render_httpd_conf(80, 512, "/opt/apache/conf/w2.p")
+        values = configfiles.parse_simple_conf(text)
+        assert values["Listen"] == "80"
+        assert values["MaxClients"] == "512"
+
+    def test_properties_rejects_garbage(self):
+        with pytest.raises(Exception):
+            configfiles.parse_properties("no equals sign here")
+
+
+class TestBundle:
+    def test_accounting(self):
+        bundle = Bundle("exp-1")
+        bundle.add("run.sh", "a\nb\nc")
+        bundle.add_script("X_install.sh", "1\n2")
+        bundle.add_config("y.conf", "k=v")
+        assert bundle.script_line_total() == 3 + 2
+        assert bundle.config_line_total() == 1
+        assert bundle.file_count() == 3
+
+    def test_duplicate_rejected(self):
+        bundle = Bundle("exp-1")
+        bundle.add("run.sh", "x")
+        with pytest.raises(GenerationError):
+            bundle.add("run.sh", "y")
+
+    def test_missing_file(self):
+        with pytest.raises(GenerationError):
+            Bundle("exp-1").content("nope")
+
+    def test_manifest_lists_everything(self):
+        bundle = Bundle("exp-1")
+        bundle.add("run.sh", "x")
+        bundle.add_script("a.sh", "y")
+        manifest = bundle.manifest()
+        assert "run.sh" in manifest
+        assert "scripts/a.sh" in manifest
+
+    def test_bad_experiment_id(self):
+        with pytest.raises(GenerationError):
+            Bundle("a/b")
+
+
+class TestHostPlan:
+    def test_synthetic_plan_names(self):
+        plan = HostPlan.synthetic(Topology(1, 2, 1))
+        assert plan.host_for("web", 1) == "node-1"
+        assert plan.host_for("app", 2) == "node-3"
+        assert plan.host_for("db", 1) == "node-4"
+
+    def test_server_hosts_order(self):
+        plan = HostPlan.synthetic(Topology(1, 1, 1))
+        assert [t for t, _i, _h in plan.server_hosts()] == \
+            ["web", "app", "db"]
+
+    def test_out_of_range(self):
+        plan = HostPlan.synthetic(Topology(1, 1, 1))
+        with pytest.raises(GenerationError):
+            plan.host_for("db", 2)
+
+
+class TestShellBackend:
+    def _bundle(self, mulini, rubis_spec, topo="1-2-2", workload_users=300):
+        experiment = rubis_spec.experiment("scaleout")
+        return mulini.generate(experiment, Topology.parse(topo),
+                               workload_users, 0.15)
+
+    def test_table4_script_family_present(self, mulini, rubis_spec):
+        # Table 4's examples for the (1-2-2) configuration.
+        bundle = self._bundle(mulini, rubis_spec)
+        scripts = bundle.script_names()
+        for expected in ("TOMCAT1_install.sh", "TOMCAT1_configure.sh",
+                         "TOMCAT1_ignition.sh", "TOMCAT1_stop.sh",
+                         "TOMCAT2_install.sh", "JONAS1_ignition.sh",
+                         "MYSQL2_install.sh", "CJDBC1_configure.sh",
+                         "APACHE1_install.sh", "SYS_MON_APP1_install.sh",
+                         "SYS_MON_APP1_ignition.sh", "SYS_MON_DB2_install.sh",
+                         "SYS_MON_CLIENT_install.sh", "CLIENT_install.sh",
+                         "CLIENT_ignition.sh"):
+            assert expected in scripts, expected
+
+    def test_single_controller_for_replicated_db(self, mulini, rubis_spec):
+        bundle = self._bundle(mulini, rubis_spec)
+        scripts = bundle.script_names()
+        assert "CJDBC1_install.sh" in scripts
+        assert "CJDBC2_install.sh" not in scripts
+
+    def test_table5_config_files_present(self, mulini, rubis_spec):
+        bundle = self._bundle(mulini, rubis_spec)
+        configs = bundle.config_names()
+        assert "APACHE1_workers2.properties" in configs
+        assert "CJDBC1_mysqldb-raidb1-elba.xml" in configs
+        assert "JONAS1_monitor-local.properties" in configs
+
+    def test_workers2_lists_all_app_servers(self, mulini, rubis_spec):
+        bundle = self._bundle(mulini, rubis_spec)
+        text = bundle.content("config/APACHE1_workers2.properties")
+        workers = configfiles.parse_workers2(text)
+        assert len(workers) == 2
+        assert {w["host"] for w in workers} == {"node-2", "node-3"}
+
+    def test_raidb_lists_all_backends(self, mulini, rubis_spec):
+        bundle = self._bundle(mulini, rubis_spec)
+        text = bundle.content("config/CJDBC1_mysqldb-raidb1-elba.xml")
+        _db, backends = configfiles.parse_raidb_config(text)
+        assert [b["host"] for b in backends] == ["node-4", "node-5"]
+
+    def test_driver_properties_parse_back(self, mulini, rubis_spec):
+        bundle = self._bundle(mulini, rubis_spec, workload_users=300)
+        params = workload.parse_driver_properties(
+            bundle.content("config/driver.properties")
+        )
+        assert params.users == 300
+        assert params.write_ratio == pytest.approx(0.15)
+        assert params.mix == "bidding"
+        assert params.target_host == "node-1"   # web1
+        assert params.target_port == 80
+
+    def test_run_sh_orders_phases(self, mulini, rubis_spec):
+        bundle = self._bundle(mulini, rubis_spec)
+        run_sh = bundle.content("run.sh")
+        install = run_sh.index("MYSQL1_install.sh")
+        configure = run_sh.index("MYSQL1_configure.sh")
+        ignite_db = run_sh.index("MYSQL1_ignition.sh")
+        ignite_web = run_sh.index("APACHE1_ignition.sh")
+        driver = run_sh.index("CLIENT_ignition.sh")
+        assert install < configure < ignite_db < ignite_web < driver
+
+    def test_scripts_reference_real_bundle_paths(self, mulini, rubis_spec):
+        bundle = self._bundle(mulini, rubis_spec)
+        configure = bundle.content("scripts/TOMCAT1_configure.sh")
+        src = bundle.path_of("config/TOMCAT1_server.xml")
+        assert src in configure
+
+    def test_weblogic_variant(self, rubis_model):
+        spec = parse_tbl("""
+        benchmark rubis; platform emulab; app_server weblogic;
+        experiment "wl" { topology 1-1-1; workload 100; }
+        """)
+        mulini = Mulini(rubis_model)
+        bundle = mulini.generate(spec.experiment("wl"), Topology(1, 1, 1),
+                                 100, 0.15)
+        assert "WEBLOGIC1_ignition.sh" in bundle.script_names()
+        assert "JONAS1_ignition.sh" not in bundle.script_names()
+
+    def test_browsing_mix_for_zero_write_ratio(self, mulini, rubis_spec):
+        experiment = rubis_spec.experiment("baseline")
+        bundle = mulini.generate(experiment, Topology(1, 1, 1), 50, 0.0)
+        params = workload.parse_driver_properties(
+            bundle.content("config/driver.properties")
+        )
+        assert params.mix == "browsing"
+
+    def test_rejects_bad_write_ratio(self, mulini, rubis_spec):
+        with pytest.raises(GenerationError):
+            mulini.generate(rubis_spec.experiment("baseline"),
+                            Topology(1, 1, 1), 50, 1.5)
+
+    def test_point_id_stable(self, rubis_spec):
+        experiment = rubis_spec.experiment("baseline")
+        point = experiment_point_id(experiment, Topology(1, 1, 1), 50, 0.1)
+        assert point == "rubis-baseline-1-1-1-u50-w10"
+
+
+class TestSweepGeneration:
+    def test_sweep_covers_all_points(self, mulini, rubis_spec):
+        experiment = rubis_spec.experiment("baseline")
+        bundles = list(mulini.generate_sweep(experiment))
+        assert len(bundles) == experiment.point_count() == 50
+
+    def test_sweep_ids_unique(self, mulini, rubis_spec):
+        experiment = rubis_spec.experiment("baseline")
+        ids = [b.experiment_id for *_p, b in
+               mulini.generate_sweep(experiment)]
+        assert len(set(ids)) == len(ids)
+
+    def test_scale_out_bundle_grows_with_topology(self, mulini, rubis_spec):
+        experiment = rubis_spec.experiment("scaleout")
+        small = mulini.generate(experiment, Topology(1, 1, 1), 300, 0.15)
+        large = mulini.generate(experiment, Topology(1, 8, 2), 300, 0.15)
+        assert large.script_line_total() > small.script_line_total()
+        assert large.file_count() > small.file_count()
+
+
+class TestSmartFrogBackend:
+    def test_roundtrip(self, mulini, rubis_spec):
+        experiment = rubis_spec.experiment("scaleout")
+        text = mulini.generate(experiment, Topology(1, 2, 2), 300, 0.15,
+                               backend="smartfrog")
+        header, components = parse_smartfrog(text)
+        assert header["topology"] == "1-2-2"
+        servers = [c for c in components if c["kind"] == "DeployedServer"]
+        monitors = [c for c in components if c["kind"] == "SystemMonitor"]
+        # web apache + 2x(tomcat+jonas) + 2 mysql + 1 controller = 8
+        assert len(servers) == 8
+        # one monitor per distinct host: 5 servers + client = 6
+        assert len(monitors) == 6
+
+    def test_unknown_backend(self, mulini, rubis_spec):
+        with pytest.raises(GenerationError):
+            mulini.generate(rubis_spec.experiment("scaleout"),
+                            Topology(1, 1, 1), 100, 0.15, backend="ant")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(GenerationError):
+            parse_smartfrog("not smartfrog")

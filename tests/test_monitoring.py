@@ -1,0 +1,185 @@
+"""Tests for sysstat emitters, collectors and application metrics."""
+
+import pytest
+
+from repro.errors import MonitoringError
+from repro.monitoring import (
+    TrialMetrics,
+    attach_monitors,
+    collect_sysstat_files,
+    parse_request_log,
+    parse_sysstat,
+    render_request_log,
+    summarize_log,
+    summarize_records,
+)
+from repro.sim import NTierSimulation
+from repro.sim.ntier import RequestRecord
+from repro.vcluster import VirtualHost
+from repro.spec import get_platform
+from tests.conftest import make_driver, make_system
+
+
+def _record(issued, finished, status="ok", state="Home", user=0):
+    return RequestRecord(user=user, state=state, issued_at=issued,
+                         finished_at=finished, status=status,
+                         is_write=False)
+
+
+class TestSummarizeRecords:
+    def test_basic_summary(self):
+        records = [
+            _record(1.0, 1.1), _record(2.0, 2.3), _record(3.0, 3.2),
+            _record(4.0, 4.5, status="timeout"),
+        ]
+        metrics = summarize_records(records, (0.0, 10.0))
+        assert metrics.completed == 3
+        assert metrics.timeouts == 1
+        assert metrics.errors == 1
+        assert metrics.throughput == pytest.approx(0.3)
+        assert metrics.mean_response_s == pytest.approx((0.1 + 0.3 + 0.2) / 3)
+        assert metrics.error_ratio == pytest.approx(0.25)
+
+    def test_window_filters_by_completion_time(self):
+        records = [_record(0.5, 1.5), _record(5.0, 12.0)]
+        metrics = summarize_records(records, (1.0, 10.0))
+        assert metrics.completed == 1
+
+    def test_in_flight_requests_ignored(self):
+        records = [_record(1.0, float("nan"))]
+        metrics = summarize_records(records, (0.0, 10.0))
+        assert metrics.total == 0
+
+    def test_percentiles_ordered(self):
+        records = [_record(i, i + 0.01 * (i + 1)) for i in range(100)]
+        metrics = summarize_records(records, (0.0, 200.0))
+        assert metrics.p50_response_s <= metrics.p90_response_s
+        assert metrics.p90_response_s <= metrics.p99_response_s
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(MonitoringError):
+            summarize_records([], (5.0, 5.0))
+
+    def test_slo_check(self):
+        from repro.spec.tbl import ServiceLevelObjective
+        metrics = TrialMetrics(
+            completed=90, errors=10, timeouts=10, rejections=0,
+            duration_s=10, throughput=9.0, mean_response_s=0.5,
+            p50_response_s=0.4, p90_response_s=0.9, p99_response_s=1.5,
+        )
+        assert metrics.satisfies(ServiceLevelObjective(2.0, 0.2))
+        assert not metrics.satisfies(ServiceLevelObjective(2.0, 0.05))
+        assert not metrics.satisfies(ServiceLevelObjective(0.1, 0.2))
+
+
+class TestRequestLog:
+    def test_roundtrip(self):
+        records = [_record(1.0, 1.25, state="ViewItem"),
+                   _record(2.0, 2.5, status="timeout", state="StoreBid")]
+        text = render_request_log(records)
+        parsed = parse_request_log(text)
+        assert len(parsed) == 2
+        assert parsed[0].state == "ViewItem"
+        assert parsed[0].response_s == pytest.approx(0.25)
+        assert parsed[1].status == "timeout"
+
+    def test_summarize_log_matches_records(self):
+        records = [_record(float(i), i + 0.2) for i in range(1, 50)]
+        text = render_request_log(records)
+        from_log = summarize_log(text, (0.0, 100.0))
+        direct = summarize_records(records, (0.0, 100.0))
+        assert from_log.completed == direct.completed
+        assert from_log.mean_response_s == pytest.approx(
+            direct.mean_response_s, abs=1e-4)
+
+    def test_bad_log_rejected(self):
+        with pytest.raises(MonitoringError):
+            parse_request_log("not a log")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(MonitoringError):
+            parse_request_log("#requests hdr\n1.0 only three\n")
+
+
+class TestSysstat:
+    def test_emitters_write_parseable_files(self):
+        driver = make_driver(users=80, warmup=5.0, run=20.0, cooldown=5.0)
+        system = make_system(driver=driver)
+        harness = NTierSimulation(system)
+        emitters = attach_monitors(harness)
+        harness.run()
+        for emitter in emitters:
+            emitter.flush()
+        monitor = system.monitors[0]
+        series = parse_sysstat(monitor.host.fs.read(monitor.output_path))
+        assert series.host == monitor.host.name
+        assert series.interval == 1.0
+        # ~30 seconds of samples at 1 Hz.
+        assert 25 <= len(series.series("cpu")) <= 31
+
+    def test_app_cpu_reflects_load(self):
+        driver = make_driver(users=300, warmup=5.0, run=30.0, cooldown=5.0)
+        system = make_system(driver=driver)
+        harness = NTierSimulation(system)
+        emitters = attach_monitors(harness)
+        harness.run()
+        for emitter in emitters:
+            emitter.flush()
+        app_host = system.app_servers[0].host
+        app_monitor = [m for m in system.monitors
+                       if m.host is app_host][0]
+        series = parse_sysstat(app_host.fs.read(app_monitor.output_path))
+        # 300 users on one JOnAS server: saturated in steady state.
+        assert series.mean("cpu", window=(10.0, 35.0)) > 85.0
+
+    def test_client_host_reports_baseline(self):
+        driver = make_driver(users=50, warmup=2.0, run=10.0, cooldown=2.0)
+        system = make_system(driver=driver)
+        harness = NTierSimulation(system)
+        emitters = attach_monitors(harness)
+        harness.run()
+        for emitter in emitters:
+            emitter.flush()
+        client_monitor = [m for m in system.monitors
+                          if m.host is system.client_host][0]
+        series = parse_sysstat(
+            system.client_host.fs.read(client_monitor.output_path))
+        assert 0 < series.mean("cpu") < 10
+
+    def test_memory_grows_with_load(self):
+        light_driver = make_driver(users=30, warmup=2, run=15, cooldown=2)
+        heavy_driver = make_driver(users=300, warmup=2, run=15, cooldown=2)
+
+        def app_memory(driver):
+            system = make_system(driver=driver)
+            harness = NTierSimulation(system)
+            emitters = attach_monitors(harness)
+            harness.run()
+            for emitter in emitters:
+                emitter.flush()
+            host = system.app_servers[0].host
+            monitor = [m for m in system.monitors if m.host is host][0]
+            series = parse_sysstat(host.fs.read(monitor.output_path))
+            return series.peak("memory")
+
+        assert app_memory(heavy_driver) > app_memory(light_driver)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(MonitoringError):
+            parse_sysstat("no header\n1 cpu 2\n")
+
+    def test_parse_rejects_missing_header_fields(self):
+        with pytest.raises(MonitoringError):
+            parse_sysstat("#sysstat 6.0.2 host=n1\n")
+
+    def test_collect_sysstat_files(self):
+        host = VirtualHost("control", get_platform("warp").node_type())
+        host.fs.write(
+            "/results/x/node-1.sysstat.dat",
+            "#sysstat 6.0.2 host=node-1 interval=1 metrics=cpu\n"
+            "1 cpu 50\n2 cpu 70\n",
+        )
+        host.fs.write("/results/x/requests.log", "#requests hdr\n")
+        collected = collect_sysstat_files(host, "/results/x")
+        assert set(collected) == {"node-1"}
+        assert collected["node-1"].mean("cpu") == pytest.approx(60.0)

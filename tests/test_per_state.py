@@ -1,0 +1,113 @@
+"""Tests for per-interaction response-time breakdowns."""
+
+import pytest
+
+from repro.monitoring import (
+    render_request_log,
+    summarize_by_state,
+    summarize_log_by_state,
+)
+from repro.sim.ntier import RequestRecord
+
+
+def _record(issued, finished, state, status="ok"):
+    return RequestRecord(user=0, state=state, issued_at=issued,
+                         finished_at=finished, status=status,
+                         is_write=False)
+
+
+class TestSummarizeByState:
+    def test_groups_and_means(self):
+        records = [
+            _record(1.0, 1.1, "ViewItem"),
+            _record(2.0, 2.3, "ViewItem"),
+            _record(3.0, 3.05, "Home"),
+            _record(4.0, 4.5, "StoreBid", status="timeout"),
+        ]
+        by_state = summarize_by_state(records, (0.0, 10.0))
+        assert by_state["ViewItem"]["count"] == 2
+        assert by_state["ViewItem"]["mean_response_s"] == \
+            pytest.approx(0.2)
+        assert by_state["Home"]["count"] == 1
+        assert by_state["StoreBid"]["errors"] == 1
+        assert by_state["StoreBid"]["count"] == 0
+
+    def test_window_applies(self):
+        records = [_record(1.0, 1.2, "Home"), _record(50.0, 50.2, "Home")]
+        by_state = summarize_by_state(records, (0.0, 10.0))
+        assert by_state["Home"]["count"] == 1
+
+    def test_log_roundtrip(self):
+        records = [_record(1.0, 1.25, "ViewItem"),
+                   _record(2.0, 2.1, "Browse")]
+        text = render_request_log(records)
+        by_state = summarize_log_by_state(text, (0.0, 10.0))
+        assert set(by_state) == {"ViewItem", "Browse"}
+        assert by_state["ViewItem"]["mean_response_s"] == \
+            pytest.approx(0.25, abs=1e-4)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def trial(self):
+        from repro.experiments import build_experiment
+        from repro.experiments.figures import make_runner
+        from repro.spec.topology import Topology
+        runner = make_runner("emulab", "rubis", node_count=10)
+        experiment, _tbl = build_experiment(
+            name="states", benchmark="rubis", platform="emulab",
+            topologies=[Topology(1, 1, 1)], workloads=(150,),
+            scale=0.08,
+        )
+        return runner.run_point(experiment, Topology(1, 1, 1), 150, 0.15)
+
+    def test_trial_carries_per_state(self, trial):
+        assert len(trial.per_state) > 10       # many of the 26 states hit
+        total = sum(stats["count"] for stats in trial.per_state.values())
+        assert total == trial.metrics.completed
+
+    def test_heavy_reads_slower_than_writes(self, trial):
+        # ViewItem renders item+bids+seller (app-heavy); StoreBid is a
+        # forwarded transaction.
+        view = trial.per_state["ViewItem"]["mean_response_s"]
+        store = trial.per_state["StoreBid"]["mean_response_s"]
+        assert view > store
+
+    def test_heaviest_interactions_ranked(self, trial):
+        heaviest = trial.heaviest_interactions(limit=3)
+        assert len(heaviest) == 3
+        means = [stats["mean_response_s"] for _state, stats in heaviest]
+        assert means == sorted(means, reverse=True)
+
+    def test_database_roundtrip_preserves_per_state(self, trial):
+        from repro.results import ResultsDatabase
+        with ResultsDatabase() as db:
+            db.insert(trial)
+            loaded = db.query()[0]
+            assert loaded.per_state.keys() == trial.per_state.keys()
+            for state in trial.per_state:
+                assert loaded.per_state[state]["count"] == \
+                    trial.per_state[state]["count"]
+                assert loaded.per_state[state]["mean_response_s"] == \
+                    pytest.approx(
+                        trial.per_state[state]["mean_response_s"])
+
+    def test_render_state_table(self, trial):
+        from repro.results.report import render_state_table
+        text = render_state_table("By interaction", trial.per_state,
+                                  limit=5)
+        assert "interaction" in text
+        assert len(text.splitlines()) == 2 + 5
+
+    def test_cli_report_by_interaction(self, trial, tmp_path, capsys):
+        from repro.cli import main
+        from repro.results import ResultsDatabase
+        db_path = tmp_path / "obs.sqlite"
+        with ResultsDatabase(str(db_path)) as db:
+            db.insert(trial)
+        status = main(["report", "--db", str(db_path),
+                       "--by-interaction"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "by interaction" in out
+        assert "ViewItem" in out or "AboutMe" in out

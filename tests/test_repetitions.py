@@ -1,0 +1,81 @@
+"""Tests for trial repetitions and saturation-noise quantification."""
+
+import pytest
+
+from repro.experiments import build_experiment
+from repro.experiments.figures import make_runner
+from repro.results import analysis
+from repro.spec.tbl import parse as parse_tbl
+from repro.spec.topology import Topology
+
+
+class TestSpec:
+    def test_repetitions_parse(self):
+        spec = parse_tbl("""
+        benchmark rubis; platform emulab;
+        experiment "r" { topology 1-1-1; workload 100; repetitions 3; }
+        """)
+        assert spec.experiment("r").repetitions == 3
+
+    def test_repetitions_default_one(self):
+        spec = parse_tbl("""
+        benchmark rubis; platform emulab;
+        experiment "r" { topology 1-1-1; workload 100; }
+        """)
+        assert spec.experiment("r").repetitions == 1
+
+    def test_repetitions_must_be_positive(self):
+        from repro.errors import TblError
+        with pytest.raises(TblError):
+            parse_tbl("""
+            benchmark rubis; platform emulab;
+            experiment "r" { topology 1-1-1; workload 100; repetitions 0; }
+            """)
+
+    def test_writer_roundtrip(self):
+        experiment, tbl = build_experiment(
+            name="r", benchmark="rubis", platform="emulab",
+            topologies=[Topology(1, 1, 1)], workloads=(100,),
+            repetitions=4,
+        )
+        assert "repetitions 4;" in tbl
+        assert experiment.repetitions == 4
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def repeated_results(self):
+        runner = make_runner("emulab", "rubis", node_count=10)
+        experiment, _tbl = build_experiment(
+            name="noise", benchmark="rubis", platform="emulab",
+            topologies=[Topology(1, 1, 1)], workloads=(100, 300),
+            scale=0.06, repetitions=3, seed=20,
+        )
+        return runner.run_experiment(experiment)
+
+    def test_repetitions_multiply_trials(self, repeated_results):
+        assert len(repeated_results) == 2 * 3
+
+    def test_seeds_distinct_per_repetition(self, repeated_results):
+        seeds = {r.seed for r in repeated_results if r.workload == 100}
+        assert seeds == {20, 21, 22}
+
+    def test_aggregate_repetitions(self, repeated_results):
+        aggregated = analysis.aggregate_repetitions(repeated_results)
+        assert len(aggregated) == 2
+        light = aggregated[("1-1-1", 100, 0.15)]
+        assert light["n"] == 3
+        assert light["mean_rt_ms"] > 0
+        assert light["dnf"] == 0
+
+    def test_saturation_noise_exceeds_light_load_noise(self,
+                                                       repeated_results):
+        # The paper: measured results "show the uncertainties that arise
+        # at saturation".  Relative RT spread at 300 users (saturated)
+        # dwarfs the spread at 100 users.
+        aggregated = analysis.aggregate_repetitions(repeated_results)
+        light = aggregated[("1-1-1", 100, 0.15)]
+        heavy = aggregated[("1-1-1", 300, 0.15)]
+        light_cv = light["std_rt_ms"] / light["mean_rt_ms"]
+        assert heavy["std_rt_ms"] > 2 * light["std_rt_ms"]
+        assert light_cv < 0.25

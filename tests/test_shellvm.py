@@ -1,0 +1,330 @@
+"""Tests for the restricted shell interpreter."""
+
+import pytest
+
+from repro.errors import ShellError
+from repro.shellvm import ShellInterpreter, parse, tokenize
+from repro.spec import get_package, get_platform
+from repro.vcluster import VirtualHost, VirtualNetwork, build_archive
+
+
+@pytest.fixture
+def net():
+    network = VirtualNetwork()
+    for name in ("control", "node-1", "node-2"):
+        network.attach(VirtualHost(name, get_platform("warp").node_type()))
+    return network
+
+
+@pytest.fixture
+def interp(net):
+    return ShellInterpreter(net)
+
+
+def run(interp, host, text, **kwargs):
+    return interp.run_text_on(host, text, **kwargs)
+
+
+class TestLexer:
+    def test_simple_words(self):
+        tokens = tokenize("echo hello world")
+        words = [t for t in tokens if t.kind == "word"]
+        assert len(words) == 3
+
+    def test_operators(self):
+        tokens = tokenize("a && b || c; d &")
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops == ["&&", "||", ";", "&", "\n"]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("echo hi # comment here")
+        words = [t for t in tokens if t.kind == "word"]
+        assert len(words) == 2
+
+    def test_single_quotes_literal(self):
+        tokens = tokenize("echo '$HOME and stuff'")
+        word = [t for t in tokens if t.kind == "word"][1]
+        assert word.value == (("lit", "$HOME and stuff", True),)
+
+    def test_double_quotes_expand(self):
+        tokens = tokenize('echo "port=$PORT"')
+        word = [t for t in tokens if t.kind == "word"][1]
+        assert ("var", "PORT", True) in word.value
+
+    def test_braced_var(self):
+        tokens = tokenize("echo ${NAME}_suffix")
+        word = [t for t in tokens if t.kind == "word"][1]
+        assert word.value[0] == ("var", "NAME", False)
+        assert word.value[1] == ("lit", "_suffix", False)
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ShellError):
+            tokenize("echo 'oops")
+
+    def test_line_continuation(self):
+        tokens = tokenize("echo a \\\n  b")
+        words = [t for t in tokens if t.kind == "word"]
+        assert len(words) == 3
+
+    def test_positional_var(self):
+        tokens = tokenize("echo $1$2")
+        word = [t for t in tokens if t.kind == "word"][1]
+        assert word.value == (("var", "1", False), ("var", "2", False))
+
+
+class TestParser:
+    def test_and_or_chain(self):
+        script = parse("a && b || c")
+        node = script.statements[0]
+        assert len(node.rest) == 2
+
+    def test_if_else(self):
+        script = parse(
+            "if [ -f /x ]; then\n  echo yes\nelse\n  echo no\nfi\n"
+        )
+        node = script.statements[0]
+        assert len(node.then_body) == 1
+        assert len(node.else_body) == 1
+
+    def test_for_loop(self):
+        script = parse("for H in a b c; do\n  echo $H\ndone\n")
+        node = script.statements[0]
+        assert node.variable == "H"
+        assert len(node.items) == 3
+
+    def test_unterminated_if(self):
+        with pytest.raises(ShellError):
+            parse("if true; then\necho x\n")
+
+    def test_assignment_detected(self):
+        script = parse("PORT=8009 VERBOSE=1")
+        node = script.statements[0]
+        assert [a[0] for a in node.assignments] == ["PORT", "VERBOSE"]
+        assert node.words == ()
+
+    def test_redirect(self):
+        script = parse("echo hi > /tmp/out")
+        assert script.statements[0].redirect is not None
+        assert not script.statements[0].redirect.append
+
+    def test_append_redirect(self):
+        script = parse("echo hi >> /tmp/out")
+        assert script.statements[0].redirect.append
+
+    def test_background(self):
+        script = parse("/opt/x/daemon --port 80 &")
+        assert script.statements[0].background
+
+    def test_line_count(self):
+        script = parse("echo a\necho b\n")
+        assert script.line_count() == 2
+
+
+class TestExecution:
+    def test_echo_output(self, interp, net):
+        status, out = run(interp, net.host("node-1"), "echo hello world")
+        assert status == 0
+        assert out == "hello world\n"
+
+    def test_variable_expansion(self, interp, net):
+        status, out = run(interp, net.host("node-1"),
+                          'NAME=tomcat\necho "server: $NAME"')
+        assert out == "server: tomcat\n"
+
+    def test_unset_variable_empty(self, interp, net):
+        _status, out = run(interp, net.host("node-1"), 'echo "[$MISSING]"')
+        assert out == "[]\n"
+
+    def test_unquoted_expansion_splits(self, interp, net):
+        _status, out = run(
+            interp, net.host("node-1"),
+            'HOSTS="node-1 node-2"\n'
+            "for H in $HOSTS; do echo $H; done",
+        )
+        assert out == "node-1\nnode-2\n"
+
+    def test_quoted_expansion_single_field(self, interp, net):
+        _status, out = run(
+            interp, net.host("node-1"),
+            'HOSTS="a b"\nfor H in "$HOSTS"; do echo one:$H; done',
+        )
+        assert out == "one:a b\n"
+
+    def test_and_short_circuit(self, interp, net):
+        status, out = run(interp, net.host("node-1"),
+                          "false && echo skipped")
+        assert status == 1
+        assert out == ""
+
+    def test_or_fallback(self, interp, net):
+        status, out = run(interp, net.host("node-1"),
+                          "false || echo rescued")
+        assert status == 0
+        assert out == "rescued\n"
+
+    def test_if_file_test(self, interp, net):
+        host = net.host("node-1")
+        host.fs.write("/etc/app.conf", "x")
+        _status, out = run(
+            interp, host,
+            "if [ -f /etc/app.conf ]; then echo found; else echo missing; fi",
+        )
+        assert out == "found\n"
+
+    def test_numeric_test(self, interp, net):
+        status, _out = run(interp, net.host("node-1"), "[ 3 -gt 2 ]")
+        assert status == 0
+        status, _out = run(interp, net.host("node-1"), "[ 2 -gt 3 ]")
+        assert status == 1
+
+    def test_negated_test(self, interp, net):
+        status, _out = run(interp, net.host("node-1"), "[ ! -f /missing ]")
+        assert status == 0
+
+    def test_redirect_writes_file(self, interp, net):
+        host = net.host("node-1")
+        run(interp, host, "echo line1 > /tmp/log\necho line2 >> /tmp/log")
+        assert host.fs.read("/tmp/log") == "line1\nline2\n"
+
+    def test_errexit_aborts(self, interp, net):
+        with pytest.raises(ShellError):
+            run(interp, net.host("node-1"),
+                "set -e\nfalse\necho unreachable")
+
+    def test_errexit_spares_conditions(self, interp, net):
+        status, out = run(
+            interp, net.host("node-1"),
+            "set -e\nif false; then echo a; else echo b; fi\n"
+            "false || echo c\n",
+        )
+        assert out == "b\nc\n"
+        assert status == 0
+
+    def test_exit_status(self, interp, net):
+        status, _out = run(interp, net.host("node-1"),
+                           "exit 3\necho unreachable")
+        assert status == 3
+
+    def test_command_not_found(self, interp, net):
+        status, out = run(interp, net.host("node-1"), "frobnicate")
+        assert status == 127
+        assert "command not found" in out
+
+    def test_mkdir_cp_rm(self, interp, net):
+        host = net.host("node-1")
+        run(interp, host,
+            "mkdir -p /opt/app/conf\n"
+            "echo data > /opt/app/conf/x\n"
+            "cp /opt/app/conf/x /opt/app/conf/y\n"
+            "rm /opt/app/conf/x\n")
+        assert not host.fs.exists("/opt/app/conf/x")
+        assert host.fs.read("/opt/app/conf/y") == "data\n"
+
+    def test_cat(self, interp, net):
+        host = net.host("node-1")
+        host.fs.write("/a", "1\n")
+        host.fs.write("/b", "2\n")
+        _status, out = run(interp, host, "cat /a /b")
+        assert out == "1\n2\n"
+
+    def test_cd_and_pwd(self, interp, net):
+        host = net.host("node-1")
+        host.fs.mkdir("/opt/deep")
+        _status, out = run(interp, host, "cd /opt/deep\npwd")
+        assert out == "/opt/deep\n"
+
+    def test_hostname(self, interp, net):
+        _status, out = run(interp, net.host("node-2"), "hostname")
+        assert out == "node-2\n"
+
+    def test_sleep_accumulates(self, interp, net):
+        run(interp, net.host("node-1"), "sleep 2\nsleep 0.5")
+        assert interp.slept_seconds == pytest.approx(2.5)
+
+    def test_execution_log(self, interp, net):
+        run(interp, net.host("node-1"), "echo a\nfalse")
+        entries = interp.commands_on("node-1")
+        assert [e.status for e in entries] == [0, 1]
+        assert len(interp.failed_commands()) == 1
+
+
+class TestRemoteOperations:
+    def test_ssh_runs_remotely(self, interp, net):
+        status, out = run(interp, net.host("control"),
+                          "ssh node-1 hostname")
+        assert status == 0
+        assert out == "node-1\n"
+
+    def test_ssh_quoted_command(self, interp, net):
+        run(interp, net.host("control"),
+            "ssh node-1 'mkdir -p /var/run/app'")
+        assert net.host("node-1").fs.is_dir("/var/run/app")
+
+    def test_ssh_unknown_host(self, interp, net):
+        with pytest.raises(Exception):
+            run(interp, net.host("control"), "ssh ghost hostname")
+
+    def test_scp_pushes_file(self, interp, net):
+        control = net.host("control")
+        control.fs.write("/bundle/conf.xml", "<x/>")
+        run(interp, control, "scp /bundle/conf.xml node-1:/etc/conf.xml")
+        assert net.host("node-1").fs.read("/etc/conf.xml") == "<x/>"
+
+    def test_scp_pulls_file(self, interp, net):
+        net.host("node-2").fs.write("/var/log/out.dat", "data")
+        run(interp, net.host("control"),
+            "scp node-2:/var/log/out.dat /results/out.dat")
+        assert net.host("control").fs.read("/results/out.dat") == "data"
+
+    def test_tar_extracts_archive(self, interp, net):
+        host = net.host("node-1")
+        package = get_package("tomcat")
+        host.fs.write("/tmp/pkg.tar.gz", build_archive(package))
+        run(interp, host, "mkdir -p /opt/tomcat\n"
+                          "tar -xzf /tmp/pkg.tar.gz -C /opt/tomcat")
+        assert host.fs.is_file("/opt/tomcat/VERSION")
+        assert host.fs.is_file("/opt/tomcat/bin/catalina.sh")
+
+    def test_background_daemon_spawns(self, interp, net):
+        host = net.host("node-1")
+        host.fs.write("/opt/d/bin/server", "#!binary")
+        run(interp, host, "/opt/d/bin/server --port 80 &")
+        assert host.daemon_running("/opt/d/bin/server")
+
+    def test_killall_stops_daemon(self, interp, net):
+        host = net.host("node-1")
+        host.fs.write("/opt/d/bin/server", "#!binary")
+        run(interp, host, "/opt/d/bin/server &\nkillall server")
+        assert not host.daemon_running("/opt/d/bin/server")
+
+    def test_subscript_invocation(self, interp, net):
+        host = net.host("control")
+        host.fs.write("/scripts/child.sh", "echo child:$1\n")
+        status, out = run(interp, host, "bash /scripts/child.sh arg1")
+        assert status == 0
+        assert out == "child:arg1\n"
+
+    def test_subscript_vars_do_not_leak(self, interp, net):
+        host = net.host("control")
+        host.fs.write("/scripts/child.sh", "LEAK=yes\n")
+        _status, out = run(
+            interp, host,
+            'LEAK=no\nbash /scripts/child.sh\necho "leak=$LEAK"',
+        )
+        assert out == "leak=no\n"
+
+    def test_direct_sh_invocation(self, interp, net):
+        host = net.host("control")
+        host.fs.write("/scripts/run.sh", "echo direct\n")
+        _status, out = run(interp, host, "/scripts/run.sh")
+        assert out == "direct\n"
+
+    def test_depth_guard(self, interp, net):
+        host = net.host("control")
+        host.fs.write("/scripts/loop.sh", "bash /scripts/loop.sh\n")
+        with pytest.raises(ShellError, match="nesting"):
+            run(interp, host, "bash /scripts/loop.sh")
+
+    def test_missing_script(self, interp, net):
+        with pytest.raises(ShellError):
+            interp.run_script_file(net.host("control"), "/missing.sh")

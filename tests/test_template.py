@@ -1,0 +1,97 @@
+"""Tests for the Mulini template engine."""
+
+import pytest
+
+from repro.errors import TemplateError
+from repro.generator.template import lookup, render
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert render("host={{ host }}", {"host": "node-1"}) == "host=node-1"
+
+    def test_dotted_path_dict(self):
+        assert render("{{ a.b }}", {"a": {"b": 3}}) == "3"
+
+    def test_dotted_path_attribute(self):
+        class Thing:
+            port = 8009
+        assert render("{{ t.port }}", {"t": Thing()}) == "8009"
+
+    def test_multiple_on_one_line(self):
+        out = render("{{ a }}:{{ b }}", {"a": 1, "b": 2})
+        assert out == "1:2"
+
+    def test_unknown_name_is_fatal(self):
+        with pytest.raises(TemplateError):
+            render("{{ missing }}", {})
+
+    def test_unknown_nested_name_is_fatal(self):
+        with pytest.raises(TemplateError):
+            render("{{ a.missing }}", {"a": {"b": 1}})
+
+
+class TestFor:
+    def test_loop(self):
+        template = "{% for h in hosts %}\nhost {{ h }}\n{% endfor %}"
+        out = render(template, {"hosts": ["a", "b"]})
+        assert out == "host a\nhost b"
+
+    def test_empty_loop(self):
+        template = "start\n{% for h in hosts %}\nx\n{% endfor %}\nend"
+        assert render(template, {"hosts": []}) == "start\nend"
+
+    def test_loop_over_dicts(self):
+        template = "{% for w in workers %}\n{{ w.host }}:{{ w.port }}\n{% endfor %}"
+        out = render(template, {"workers": [
+            {"host": "n1", "port": 1}, {"host": "n2", "port": 2},
+        ]})
+        assert out == "n1:1\nn2:2"
+
+    def test_nested_loops(self):
+        template = (
+            "{% for a in outer %}\n{% for b in inner %}\n{{ a }}{{ b }}\n"
+            "{% endfor %}\n{% endfor %}"
+        )
+        out = render(template, {"outer": [1, 2], "inner": ["x", "y"]})
+        assert out == "1x\n1y\n2x\n2y"
+
+    def test_unterminated_for(self):
+        with pytest.raises(TemplateError):
+            render("{% for x in xs %}\nbody", {"xs": [1]})
+
+    def test_malformed_for(self):
+        with pytest.raises(TemplateError):
+            render("{% for in xs %}\n{% endfor %}", {"xs": []})
+
+
+class TestIf:
+    def test_true_branch(self):
+        template = "{% if flag %}\nyes\n{% else %}\nno\n{% endif %}"
+        assert render(template, {"flag": True}) == "yes"
+
+    def test_false_branch(self):
+        template = "{% if flag %}\nyes\n{% else %}\nno\n{% endif %}"
+        assert render(template, {"flag": False}) == "no"
+
+    def test_if_without_else(self):
+        template = "a\n{% if flag %}\nb\n{% endif %}\nc"
+        assert render(template, {"flag": False}) == "a\nc"
+
+    def test_truthiness_of_empty_list(self):
+        template = "{% if items %}\nsome\n{% endif %}\ndone"
+        assert render(template, {"items": []}) == "done"
+
+    def test_unterminated_if(self):
+        with pytest.raises(TemplateError):
+            render("{% if flag %}\nbody", {"flag": True})
+
+    def test_unknown_directive(self):
+        with pytest.raises(TemplateError):
+            render("{% while x %}", {"x": 1})
+
+
+def test_lookup_helper():
+    assert lookup({"a": {"b": [1, 2]}}, "a.b") == [1, 2]
+    with pytest.raises(TemplateError):
+        lookup({}, "nope")

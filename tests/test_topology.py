@@ -1,0 +1,121 @@
+"""Tests for the w-a-d topology notation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.spec.topology import (
+    TIER_ORDER,
+    Topology,
+    topology_grid,
+    topology_range,
+)
+
+
+class TestParse:
+    def test_parse_baseline(self):
+        assert Topology.parse("1-1-1") == Topology(1, 1, 1)
+
+    def test_parse_scale_out(self):
+        topo = Topology.parse("1-8-2")
+        assert (topo.web, topo.app, topo.db) == (1, 8, 2)
+
+    def test_parse_strips_whitespace(self):
+        assert Topology.parse("  1-2-1 ") == Topology(1, 2, 1)
+
+    @pytest.mark.parametrize("bad", ["1-1", "1-1-1-1", "a-b-c", "1.5-1-1", ""])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(SpecError):
+            Topology.parse(bad)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(SpecError):
+            Topology(1, -1, 1)
+
+    def test_rejects_zero_app_tier(self):
+        with pytest.raises(SpecError):
+            Topology(1, 0, 1)
+
+    def test_rejects_zero_db_tier(self):
+        with pytest.raises(SpecError):
+            Topology(1, 1, 0)
+
+    def test_zero_web_tier_allowed(self):
+        # RUBBoS is effectively 2-tier; a web-less topology is legal.
+        assert Topology(0, 1, 1).web == 0
+
+
+class TestAccessors:
+    def test_label_roundtrip(self):
+        assert Topology.parse("1-12-3").label() == "1-12-3"
+
+    def test_count(self):
+        topo = Topology(1, 8, 2)
+        assert [topo.count(t) for t in TIER_ORDER] == [1, 8, 2]
+
+    def test_count_unknown_tier(self):
+        with pytest.raises(SpecError):
+            Topology(1, 1, 1).count("cache")
+
+    def test_with_count(self):
+        assert Topology(1, 1, 1).with_count("app", 5) == Topology(1, 5, 1)
+
+    def test_scaled_defaults_to_one(self):
+        assert Topology(1, 7, 1).scaled("db") == Topology(1, 7, 2)
+
+    def test_total_servers(self):
+        assert Topology(1, 8, 2).total_servers() == 11
+
+    def test_machine_count_adds_client_and_control(self):
+        assert Topology(1, 1, 1).machine_count() == 5
+
+    def test_server_names_are_one_based(self):
+        assert Topology(1, 3, 1).server_names("app") == ["app1", "app2", "app3"]
+
+    def test_all_server_names_order(self):
+        names = Topology(1, 2, 1).all_server_names()
+        assert names == ["web1", "app1", "app2", "db1"]
+
+    def test_dominates(self):
+        assert Topology(1, 8, 2).dominates(Topology(1, 2, 1))
+        assert not Topology(1, 2, 3).dominates(Topology(1, 3, 1))
+
+
+class TestRanges:
+    def test_topology_range_grows_one_tier(self):
+        ladder = list(topology_range(Topology(1, 1, 1), "app", 4))
+        assert [t.label() for t in ladder] == [
+            "1-1-1", "1-2-1", "1-3-1", "1-4-1"
+        ]
+
+    def test_topology_range_rejects_shrinking(self):
+        with pytest.raises(SpecError):
+            list(topology_range(Topology(1, 5, 1), "app", 3))
+
+    def test_topology_grid_covers_paper_family(self):
+        grid = list(topology_grid(1, range(2, 9), range(1, 4)))
+        assert len(grid) == 7 * 3
+        assert grid[0].label() == "1-2-1"
+        assert grid[-1].label() == "1-8-3"
+
+
+@given(
+    web=st.integers(min_value=0, max_value=4),
+    app=st.integers(min_value=1, max_value=16),
+    db=st.integers(min_value=1, max_value=4),
+)
+def test_label_parse_is_identity(web, app, db):
+    topo = Topology(web, app, db)
+    assert Topology.parse(topo.label()) == topo
+
+
+@given(
+    app=st.integers(min_value=1, max_value=16),
+    delta=st.integers(min_value=1, max_value=8),
+)
+def test_scaled_monotone(app, delta):
+    base = Topology(1, app, 1)
+    grown = base.scaled("app", delta)
+    assert grown.dominates(base)
+    assert grown.total_servers() == base.total_servers() + delta

@@ -1,0 +1,84 @@
+"""Tests for the TPC-App extension (the paper's anticipated benchmark)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import build_model, get_calibration, tpcapp
+
+
+class TestModel:
+    def test_seven_interactions(self):
+        assert len(tpcapp.INTERACTIONS) == 7
+        names = {i.name for i in tpcapp.INTERACTIONS}
+        assert "CreateOrder" in names and "ProductDetail" in names
+
+    def test_standard_mix_is_write_heavy(self):
+        writes = [i for i in tpcapp.INTERACTIONS if i.is_write]
+        assert len(writes) == 4
+        model = tpcapp.build_model(tpcapp.STANDARD_WRITE_RATIO)
+        assert model.matrix.write_fraction(tpcapp.INTERACTIONS) == \
+            pytest.approx(0.75)
+
+    def test_mean_demands_match_calibration(self):
+        model = tpcapp.build_model(0.75)
+        _web, app, db = model.mean_demands()
+        assert app == pytest.approx(
+            tpcapp.CALIBRATION.app_mean(0.75), rel=1e-6)
+        assert db == pytest.approx(
+            tpcapp.CALIBRATION.db_mean(0.75), rel=1e-6)
+
+    def test_app_tier_dominates(self):
+        # SOAP processing: TPC-App is app-bound like RUBiS.
+        model = tpcapp.build_model(0.75)
+        _web, app, db = model.mean_demands()
+        assert app > 2 * db
+
+    def test_registered_in_shared_builders(self):
+        model = build_model("tpcapp", 0.75)
+        assert model.benchmark == "tpcapp"
+        assert get_calibration("tpcapp") is tpcapp.CALIBRATION
+
+    def test_rejects_out_of_range_ratio(self):
+        with pytest.raises(WorkloadError):
+            tpcapp.build_model(0.0)
+
+    def test_rejects_unknown_mix(self):
+        with pytest.raises(WorkloadError):
+            tpcapp.build_model(0.75, mix="browse")
+
+    def test_create_order_is_heaviest_write(self):
+        model = tpcapp.build_model(0.75)
+        create = model.demand("CreateOrder")
+        change = model.demand("ChangePaymentMethod")
+        assert create.app_s > change.app_s
+        assert create.db_s > change.db_s
+
+
+class TestPipelineIntegration:
+    def test_generation_and_deployment(self):
+        """TPC-App flows through generator, deployment and simulation —
+        the 'rapid inclusion of new benchmarks' claim, demonstrated."""
+        from repro.core import ObservationCampaign
+        campaign = ObservationCampaign("""
+        benchmark tpcapp; platform rohan;
+        experiment "tpcapp-smoke" {
+            topology 1-1-1, 1-2-1;
+            workload 200, 600;
+            write_ratio 75%;
+            trial { warmup 14s; run 20s; cooldown 4s; }
+        }
+        """, node_count=10)
+        report = campaign.run()
+        assert report.trials == 4
+        pmap = campaign.performance_map()
+        # App-bound: scaling the app tier helps at 600 users.
+        rt_1 = pmap.response_time("1-1-1", 600, write_ratio=0.75)
+        rt_2 = pmap.response_time("1-2-1", 600, write_ratio=0.75)
+        assert rt_2 < rt_1
+
+    def test_app_server_knee_near_calibration(self):
+        from repro.workloads.tpcapp import CALIBRATION
+        demand = CALIBRATION.app_mean(0.75)
+        knee = CALIBRATION.saturation_users(demand)
+        # Rohan nodes have two cores: one app server ~ 2x this knee.
+        assert 300 <= knee <= 400

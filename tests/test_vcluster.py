@@ -1,0 +1,290 @@
+"""Tests for the virtual cluster substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, ClusterError
+from repro.spec import get_package, get_platform
+from repro.spec.topology import Topology
+from repro.vcluster import (
+    VirtualCluster,
+    VirtualFileSystem,
+    VirtualHost,
+    VirtualNetwork,
+    archive_package_name,
+    build_archive,
+    normalize,
+    parse_archive,
+)
+
+
+class TestFilesystem:
+    def setup_method(self):
+        self.fs = VirtualFileSystem()
+
+    def test_write_read_roundtrip(self):
+        self.fs.write("/etc/motd", "hello\n")
+        assert self.fs.read("/etc/motd") == "hello\n"
+
+    def test_write_creates_parents(self):
+        self.fs.write("/a/b/c/file", "x")
+        assert self.fs.is_dir("/a/b/c")
+
+    def test_append(self):
+        self.fs.write("/log", "a\n")
+        self.fs.write("/log", "b\n", append=True)
+        assert self.fs.read("/log") == "a\nb\n"
+
+    def test_read_missing_raises(self):
+        with pytest.raises(ClusterError):
+            self.fs.read("/nope")
+
+    def test_mkdir_then_listdir(self):
+        self.fs.mkdir("/opt/app")
+        self.fs.write("/opt/app/x", "1")
+        self.fs.write("/opt/app/y", "2")
+        assert self.fs.listdir("/opt/app") == ["x", "y"]
+
+    def test_listdir_shows_subdirs_once(self):
+        self.fs.write("/opt/a/deep/file", "1")
+        assert self.fs.listdir("/opt") == ["a"]
+
+    def test_remove_file(self):
+        self.fs.write("/f", "1")
+        self.fs.remove("/f")
+        assert not self.fs.exists("/f")
+
+    def test_remove_dir_requires_recursive(self):
+        self.fs.mkdir("/d")
+        with pytest.raises(ClusterError):
+            self.fs.remove("/d")
+        self.fs.remove("/d", recursive=True)
+        assert not self.fs.exists("/d")
+
+    def test_recursive_remove_counts_files(self):
+        self.fs.write("/d/a", "1")
+        self.fs.write("/d/sub/b", "2")
+        assert self.fs.remove("/d", recursive=True) == 2
+
+    def test_copy_file_into_dir(self):
+        self.fs.write("/src/file", "data")
+        self.fs.mkdir("/dst")
+        self.fs.copy("/src/file", "/dst")
+        assert self.fs.read("/dst/file") == "data"
+
+    def test_copy_tree(self):
+        self.fs.write("/tree/a", "1")
+        self.fs.write("/tree/sub/b", "2")
+        assert self.fs.copy("/tree", "/clone") == 2
+        assert self.fs.read("/clone/sub/b") == "2"
+
+    def test_line_count(self):
+        self.fs.write("/f", "a\nb\nc\n")
+        assert self.fs.line_count("/f") == 3
+        self.fs.write("/g", "a\nb")
+        assert self.fs.line_count("/g") == 2
+        self.fs.write("/h", "")
+        assert self.fs.line_count("/h") == 0
+
+    def test_total_bytes(self):
+        self.fs.write("/a", "xx")
+        self.fs.write("/b/c", "yyy")
+        assert self.fs.total_bytes() == 5
+
+    def test_mtime_monotonic(self):
+        self.fs.write("/a", "1")
+        first = self.fs.mtime("/a")
+        self.fs.write("/a", "2")
+        assert self.fs.mtime("/a") > first
+
+    def test_relative_path_normalization(self):
+        assert normalize("b", cwd="/a") == "/a/b"
+        assert normalize("/a/../c") == "/c"
+
+    def test_rejects_binary(self):
+        with pytest.raises(ClusterError):
+            self.fs.write("/f", b"bytes")
+
+
+@given(st.lists(
+    st.tuples(
+        st.text(alphabet="abcd", min_size=1, max_size=3),
+        st.text(alphabet="xyz\n", max_size=20),
+    ),
+    min_size=1, max_size=20,
+))
+def test_fs_total_bytes_matches_sum(entries):
+    fs = VirtualFileSystem()
+    expected = {}
+    for name, content in entries:
+        path = f"/data/{name}"
+        fs.write(path, content)
+        expected[path] = content
+    assert fs.total_bytes("/data") == sum(len(c) for c in expected.values())
+    for path, content in expected.items():
+        assert fs.read(path) == content
+
+
+class TestArchives:
+    def test_roundtrip(self):
+        package = get_package("tomcat")
+        text = build_archive(package)
+        members = parse_archive(text)
+        assert "VERSION" in members
+        assert package.daemon in members
+        assert "conf/server.xml" in members
+
+    def test_header_name(self):
+        text = build_archive(get_package("mysql"))
+        assert archive_package_name(text) == "mysql"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ClusterError):
+            parse_archive("not a tarball")
+
+    def test_member_content_preserved(self):
+        package = get_package("apache")
+        members = parse_archive(build_archive(package))
+        assert "apache 2.0.54" in members["VERSION"]
+
+
+class TestHost:
+    def _host(self):
+        return VirtualHost("node-1", get_platform("emulab").node_type())
+
+    def test_spawn_and_kill(self):
+        host = self._host()
+        host.fs.write("/opt/x/bin/daemon", "#!/bin/sh\n")
+        process = host.spawn(["/opt/x/bin/daemon", "--port", "80"],
+                             background=True)
+        assert process.alive
+        assert host.daemon_running("/opt/x/bin/daemon")
+        host.kill(process.pid)
+        assert not host.daemon_running("/opt/x/bin/daemon")
+
+    def test_spawn_missing_executable(self):
+        with pytest.raises(ClusterError):
+            self._host().spawn(["/missing/daemon"])
+
+    def test_spawn_bare_command_allowed(self):
+        process = self._host().spawn(["hostname"])
+        assert process.name == "hostname"
+
+    def test_arg_value(self):
+        host = self._host()
+        process = host.spawn(["tool", "--port", "80", "--mode=fast"])
+        assert process.arg_value("--port") == "80"
+        assert process.arg_value("--mode") == "fast"
+        assert process.arg_value("--none", "d") == "d"
+
+    def test_kill_by_name(self):
+        host = self._host()
+        host.spawn(["sar", "-u"])
+        host.spawn(["sar", "-r"])
+        assert len(host.kill_by_name("sar")) == 2
+        assert host.processes_named("sar") == []
+
+    def test_install_recording(self):
+        host = self._host()
+        host.record_install("tomcat", "/opt/tomcat")
+        assert host.is_installed("tomcat")
+        assert not host.is_installed("jonas")
+
+
+class TestNetwork:
+    def test_transfer_file(self):
+        net = VirtualNetwork()
+        a = VirtualHost("a", get_platform("warp").node_type())
+        b = VirtualHost("b", get_platform("warp").node_type())
+        net.attach(a)
+        net.attach(b)
+        a.fs.write("/src/data", "payload")
+        net.transfer(a, "/src/data", b, "/dst/data")
+        assert b.fs.read("/dst/data") == "payload"
+        assert net.bytes_transferred == len("payload")
+
+    def test_transfer_into_directory(self):
+        net = VirtualNetwork()
+        a = VirtualHost("a", get_platform("warp").node_type())
+        b = VirtualHost("b", get_platform("warp").node_type())
+        net.attach(a)
+        net.attach(b)
+        a.fs.write("/pkg/file.tar.gz", "x")
+        b.fs.mkdir("/drop")
+        net.transfer(a, "/pkg/file.tar.gz", b, "/drop")
+        assert b.fs.read("/drop/file.tar.gz") == "x"
+
+    def test_transfer_tree(self):
+        net = VirtualNetwork()
+        a = VirtualHost("a", get_platform("warp").node_type())
+        b = VirtualHost("b", get_platform("warp").node_type())
+        net.attach(a)
+        net.attach(b)
+        a.fs.write("/tree/x", "1")
+        a.fs.write("/tree/sub/y", "22")
+        assert net.transfer(a, "/tree", b, "/copy") == 2
+        assert b.fs.read("/copy/sub/y") == "22"
+
+    def test_unknown_host(self):
+        net = VirtualNetwork()
+        with pytest.raises(ClusterError):
+            net.host("ghost")
+
+    def test_latency_scales_with_payload(self):
+        net = VirtualNetwork(link_gbps=1.0)
+        assert net.message_latency(10_000_000) > net.message_latency(100)
+
+
+class TestCluster:
+    def test_construction_stock(self):
+        cluster = VirtualCluster("emulab", node_count=10)
+        assert cluster.control.fs.is_file("/packages/mysql-max-4.0.27.tar.gz")
+        assert cluster.free_count() == 8
+
+    def test_allocate_topology(self):
+        cluster = VirtualCluster("emulab", node_count=12)
+        allocation = cluster.allocate(Topology(1, 2, 1))
+        assert len(allocation.tier_hosts["app"]) == 2
+        assert allocation.machine_count() == 6
+        assert cluster.free_count() == 10 - 4
+
+    def test_allocation_exhaustion_is_atomic(self):
+        cluster = VirtualCluster("warp", node_count=5)  # 3 free nodes
+        with pytest.raises(AllocationError):
+            cluster.allocate(Topology(1, 3, 1))
+        assert cluster.free_count() == 3
+
+    def test_allocate_specific_node_type(self):
+        cluster = VirtualCluster("emulab", node_count=20)
+        allocation = cluster.allocate(
+            Topology(1, 1, 1), tier_node_types={"db": "emulab-low"}
+        )
+        assert allocation.host_for("db", 1).node_type.name == "emulab-low"
+        assert allocation.host_for("app", 1).node_type.name == "emulab-high"
+
+    def test_release_recycles_and_wipes(self):
+        cluster = VirtualCluster("emulab", node_count=8)
+        allocation = cluster.allocate(Topology(1, 1, 1))
+        host = allocation.host_for("app", 1)
+        host.fs.write("/opt/tomcat/VERSION", "tomcat")
+        cluster.release(allocation)
+        assert cluster.free_count() == 6
+        recycled = cluster.host(host.name)
+        assert not recycled.fs.exists("/opt/tomcat/VERSION")
+
+    def test_emulab_has_low_end_nodes(self):
+        cluster = VirtualCluster("emulab", node_count=20)
+        low = sum(1 for h in cluster.hosts.values()
+                  if h.node_type.name == "emulab-low")
+        assert low >= 2
+
+    def test_host_for_out_of_range(self):
+        cluster = VirtualCluster("emulab", node_count=10)
+        allocation = cluster.allocate(Topology(1, 1, 1))
+        with pytest.raises(ClusterError):
+            allocation.host_for("app", 2)
+
+    def test_minimum_cluster_size(self):
+        with pytest.raises(ClusterError):
+            VirtualCluster("warp", node_count=2)

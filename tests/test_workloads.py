@@ -1,0 +1,226 @@
+"""Tests for the RUBiS/RUBBoS workload models and calibration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    RUBBOS,
+    RUBIS,
+    TransitionMatrix,
+    build_model,
+    get_calibration,
+    mix_for_write_ratio,
+    rubbos,
+    rubis,
+)
+from repro.workloads.calibration import RUBBOS_DB_READ_LIGHT_S
+
+
+class TestTransitionMatrix:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            TransitionMatrix(("a", "b"), [(0.5, 0.6), (0.5, 0.5)])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(WorkloadError):
+            TransitionMatrix(("a", "b"), [(-0.1, 1.1), (0.5, 0.5)])
+
+    def test_next_state_deterministic_draws(self):
+        matrix = TransitionMatrix(("a", "b"), [(0.3, 0.7), (1.0, 0.0)])
+        assert matrix.next_state("a", 0.1) == "a"
+        assert matrix.next_state("a", 0.5) == "b"
+        assert matrix.next_state("b", 0.99) == "a"
+
+    def test_stationary_of_structured_chain(self):
+        # Classic 2-state chain with known stationary (2/3, 1/3).
+        matrix = TransitionMatrix(("a", "b"), [(0.75, 0.25), (0.5, 0.5)])
+        pi = matrix.stationary()
+        assert pi["a"] == pytest.approx(2 / 3, abs=1e-6)
+        assert pi["b"] == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_memoryless_stationary_is_mix(self):
+        matrix = TransitionMatrix.memoryless(("a", "b", "c"),
+                                             (0.5, 0.3, 0.2))
+        pi = matrix.stationary()
+        assert pi["a"] == pytest.approx(0.5)
+        assert pi["c"] == pytest.approx(0.2)
+
+    def test_unknown_state(self):
+        matrix = TransitionMatrix.memoryless(("a",), (1.0,))
+        with pytest.raises(WorkloadError):
+            matrix.next_state("zzz", 0.5)
+
+
+class TestRubisModel:
+    def test_has_26_interactions(self):
+        assert len(rubis.INTERACTIONS) == 26
+        assert len(set(i.name for i in rubis.INTERACTIONS)) == 26
+
+    def test_five_write_interactions(self):
+        writes = [i for i in rubis.INTERACTIONS if i.is_write]
+        assert len(writes) == 5
+
+    def test_write_fraction_exact(self):
+        for ratio in (0.0, 0.15, 0.5, 0.9):
+            model = rubis.build_model(ratio)
+            assert model.matrix.write_fraction(rubis.INTERACTIONS) == \
+                pytest.approx(ratio, abs=1e-9)
+
+    def test_mean_app_demand_matches_calibration(self):
+        for ratio in (0.0, 0.15, 0.3, 0.9):
+            model = rubis.build_model(ratio)
+            _web, app, _db = model.mean_demands()
+            assert app == pytest.approx(RUBIS.app_mean(ratio), rel=1e-6)
+
+    def test_mean_db_demand_matches_calibration(self):
+        for ratio in (0.0, 0.15, 0.9):
+            model = rubis.build_model(ratio)
+            _web, _app, db = model.mean_demands()
+            assert db == pytest.approx(RUBIS.db_mean(ratio), rel=1e-6)
+
+    def test_app_demand_falls_with_write_ratio(self):
+        # The paper's inversion: high write ratio -> light app tier.
+        lo = rubis.build_model(0.0).mean_demands()[1]
+        hi = rubis.build_model(0.9).mean_demands()[1]
+        assert hi < lo / 3
+
+    def test_read_interactions_heavier_on_app(self):
+        model = rubis.build_model(0.15)
+        view_item = model.demand("ViewItem")
+        store_bid = model.demand("StoreBid")
+        assert view_item.app_s > store_bid.app_s
+
+    def test_write_flag_propagates(self):
+        model = rubis.build_model(0.15)
+        assert model.demand("StoreBid").is_write
+        assert not model.demand("Browse").is_write
+
+    def test_browsing_mix_requires_zero_ratio(self):
+        with pytest.raises(WorkloadError):
+            rubis.build_model(0.15, mix="browsing")
+
+    def test_matrices_exported(self):
+        browsing = rubis.browsing_matrix()
+        bidding = rubis.bidding_matrix()
+        assert browsing.write_fraction(rubis.INTERACTIONS) == 0.0
+        assert bidding.write_fraction(rubis.INTERACTIONS) == \
+            pytest.approx(0.15)
+
+    def test_ratio_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            rubis.build_model(0.99)
+
+
+class TestRubbosModel:
+    def test_has_24_interactions(self):
+        assert len(rubbos.INTERACTIONS) == 24
+        assert len(set(i.name for i in rubbos.INTERACTIONS)) == 24
+
+    def test_readonly_db_heavier_than_submission(self):
+        # Figure 4's inversion: read-only saturates earlier.
+        readonly = rubbos.build_model(0.0, mix="readonly")
+        submission = rubbos.build_model(0.15, mix="submission")
+        db_readonly = readonly.mean_demands()[2]
+        db_submission = submission.mean_demands()[2]
+        assert db_readonly == pytest.approx(RUBBOS.db_read_s, rel=1e-6)
+        assert db_submission < db_readonly
+
+    def test_submission_mean_db_demand(self):
+        model = rubbos.build_model(0.15, mix="submission")
+        expected = (0.85 * RUBBOS_DB_READ_LIGHT_S
+                    + 0.15 * RUBBOS.db_write_s)
+        assert model.mean_demands()[2] == pytest.approx(expected, rel=1e-6)
+
+    def test_mix_inferred_from_ratio(self):
+        assert build_model("rubbos", 0.0).mix == "readonly"
+        assert build_model("rubbos", 0.15).mix == "submission"
+
+    def test_readonly_rejects_writes(self):
+        with pytest.raises(WorkloadError):
+            rubbos.build_model(0.15, mix="readonly")
+
+    def test_unknown_mix(self):
+        with pytest.raises(WorkloadError):
+            rubbos.build_model(0.15, mix="chaos")
+
+    def test_viewstory_is_db_heavy(self):
+        model = rubbos.build_model(0.0, mix="readonly")
+        assert model.demand("ViewStory").db_s > model.demand("Home").db_s
+
+    def test_no_web_demand(self):
+        model = rubbos.build_model(0.15)
+        assert model.demand("ViewStory").web_s == 0.0
+
+
+class TestCalibration:
+    def test_rubis_app_knee_at_bidding_ratio(self):
+        demand = RUBIS.app_mean(0.15)
+        knee = RUBIS.saturation_users(demand)
+        assert 240 <= knee <= 250     # ~250 users per JOnAS server (V.B)
+
+    def test_rubis_db_knee_single_backend(self):
+        demand = RUBIS.db_backend_mean(0.15, replicas=1)
+        knee = RUBIS.saturation_users(demand)
+        assert 1650 <= knee <= 1750   # ~1700 users on one DB (V.B)
+
+    def test_rubis_db_knee_two_backends(self):
+        demand = RUBIS.db_backend_mean(0.15, replicas=2)
+        knee = 2 * RUBIS.saturation_users(demand) / 2
+        # Each of the two backends saturates near 2860 total users: the
+        # RAIDb-1 write-all rule caps scaling well below 2x1700.
+        total = RUBIS.saturation_users(demand)
+        assert 2700 <= total <= 3000
+
+    def test_raidb_scaling_sublinear(self):
+        one = RUBIS.db_backend_mean(0.15, 1)
+        two = RUBIS.db_backend_mean(0.15, 2)
+        three = RUBIS.db_backend_mean(0.15, 3)
+        assert one / two < 2.0        # speedup below linear
+        assert two > three            # but still improving
+
+    def test_rubbos_knees_inside_figure4_range(self):
+        readonly_knee = RUBBOS.saturation_users(RUBBOS.db_read_s)
+        mix_demand = 0.85 * RUBBOS_DB_READ_LIGHT_S + 0.15 * RUBBOS.db_write_s
+        mix_knee = RUBBOS.saturation_users(mix_demand)
+        assert 1800 <= readonly_knee <= 2200
+        assert 2900 <= mix_knee <= 3500
+        assert readonly_knee < mix_knee
+
+    def test_web_tier_never_bottleneck_below_2700(self):
+        knee = RUBIS.saturation_users(RUBIS.web_s)
+        assert knee > 2900
+
+    def test_get_calibration(self):
+        assert get_calibration("RUBiS") is RUBIS
+        with pytest.raises(WorkloadError):
+            get_calibration("tpcw")
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(WorkloadError):
+            RUBIS.app_mean(1.5)
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(WorkloadError):
+            RUBIS.db_backend_mean(0.15, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ratio=st.floats(min_value=0.0, max_value=0.9))
+def test_rubis_mix_write_mass_property(ratio):
+    mix = mix_for_write_ratio(rubis.INTERACTIONS, ratio)
+    assert sum(mix) == pytest.approx(1.0)
+    write_mass = sum(share for i, share in zip(rubis.INTERACTIONS, mix)
+                     if i.is_write)
+    assert write_mass == pytest.approx(ratio, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ratio=st.floats(min_value=0.0, max_value=0.9))
+def test_rubis_demands_positive_property(ratio):
+    model = rubis.build_model(ratio)
+    for name in rubis.STATE_NAMES:
+        demand = model.demand(name)
+        assert demand.app_s > 0
+        assert demand.db_s > 0
