@@ -6,8 +6,6 @@ station, Mulini generation, MVA solving, and a full deploy cycle.
 Regressions here multiply directly into figure-bench wall time.
 """
 
-import pytest
-
 from repro.generator import Mulini
 from repro.sim import ProcessorSharingStation, Simulator, mva
 from repro.spec.mof import load_resource_model, render_resource_mof

@@ -75,6 +75,9 @@ def build_parser():
                           "(default: observations.sqlite)")
     run.add_argument("--nodes", type=int, default=36,
                      help="virtual cluster size (default 36)")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="parallel trial workers (default 1; results "
+                          "are identical for any value)")
     run.add_argument("--quiet", action="store_true")
     run.set_defaults(handler=cmd_run)
 
@@ -99,6 +102,9 @@ def build_parser():
                         help="figure1..figure8, table1..table7")
     figure.add_argument("--scale", type=float, default=None,
                         help="trial-phase scale (default: bench scale)")
+    figure.add_argument("--jobs", type=int, default=1,
+                        help="parallel trial workers (default 1; results "
+                             "are identical for any value)")
     figure.add_argument("--out", default=None,
                         help="directory for the rendering")
     figure.set_defaults(handler=cmd_figure)
@@ -196,23 +202,25 @@ def cmd_run(args):
     from repro.results import ResultsDatabase
 
     _spec, _model, tbl_text, mof_text = _load_specs(args)
-    database = ResultsDatabase(args.db)
-    campaign = ObservationCampaign(tbl_text, mof_text=mof_text,
-                                   database=database,
-                                   node_count=args.nodes,
-                                   tbl_source=args.tbl)
+    with ResultsDatabase(args.db) as database:
+        campaign = ObservationCampaign(tbl_text, mof_text=mof_text,
+                                       database=database,
+                                       node_count=args.nodes,
+                                       tbl_source=args.tbl)
 
-    def progress(result):
-        if not args.quiet:
-            print(f"  {result.experiment_name} {result.topology_label} "
-                  f"u={result.workload} wr={result.write_ratio:.0%} -> "
-                  f"{result.status} rt={result.response_time_ms():.1f}ms "
-                  f"x={result.throughput():.1f}/s")
+        def progress(result):
+            if not args.quiet:
+                print(f"  {result.experiment_name} "
+                      f"{result.topology_label} "
+                      f"u={result.workload} wr={result.write_ratio:.0%} -> "
+                      f"{result.status} "
+                      f"rt={result.response_time_ms():.1f}ms "
+                      f"x={result.throughput():.1f}/s")
 
-    report = campaign.run(on_result=progress)
-    for warning in report.warnings:
-        print(f"warning: {warning}")
-    print(report.summary())
+        report = campaign.run(on_result=progress, jobs=args.jobs)
+        for warning in report.warnings:
+            print(f"warning: {warning}")
+        print(report.summary())
     print(f"observations stored in {args.db}")
     return 0
 
@@ -285,12 +293,13 @@ def cmd_figure(args):
 
     if args.figure_id == "all":
         results = reproduce_all(output_dir=args.out, scale=args.scale,
-                                on_progress=print)
+                                on_progress=print, jobs=args.jobs)
         print(f"reproduced {len(results)} figures/tables"
               + (f" into {args.out}" if args.out else ""))
         return 0
     try:
-        result = reproduce(args.figure_id, scale=args.scale)
+        result = reproduce(args.figure_id, scale=args.scale,
+                           jobs=args.jobs)
     except KeyError:
         print(f"error: unknown figure id {args.figure_id!r}; known: "
               f"all, {', '.join(FIGURE_IDS)}", file=sys.stderr)

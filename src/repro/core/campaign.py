@@ -9,11 +9,13 @@ the necessary modifications are propagated automatically").
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.characterization import PerformanceMap
 from repro.errors import ExperimentError
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scheduler import TrialScheduler, enumerate_tasks
 from repro.results.database import ResultsDatabase
 from repro.spec.mof import load_resource_model, render_resource_mof
 from repro.spec.tbl import parse as parse_tbl
@@ -30,6 +32,8 @@ class CampaignReport:
     dnf: int = 0
     experiments: list = field(default_factory=list)
     warnings: list = field(default_factory=list)
+    #: experiment name -> number of trials stored for it
+    by_experiment: dict = field(default_factory=dict)
 
     def summary(self):
         return (f"{self.trials} trials ({self.completed} completed, "
@@ -62,11 +66,21 @@ class ObservationCampaign:
         self.database = database if database is not None \
             else ResultsDatabase()
 
-    def run(self, experiment_names=None, on_result=None, replace=True):
+    def run(self, experiment_names=None, on_result=None, replace=True,
+            jobs=1, backend=None, on_progress=None):
         """Run the spec's experiments, storing every trial.
 
         *experiment_names* restricts to a subset; *on_result* is a
-        progress callback receiving each :class:`TrialResult`.
+        progress callback receiving each :class:`TrialResult` (its
+        ``experiment_name`` identifies the producing experiment, since
+        with ``jobs>1`` trials from different experiments interleave on
+        the pool); *on_progress* receives human-readable one-liners,
+        each tagged with the producing experiment's name.
+
+        ``jobs=N`` executes the whole campaign's trial tasks — across
+        all selected experiments — on a worker pool; results are stored
+        in enumeration order, so the resulting database rows match a
+        ``jobs=1`` run exactly.
         """
         report = CampaignReport(warnings=list(self.validation_warnings))
         experiments = self.spec.experiments
@@ -75,21 +89,49 @@ class ObservationCampaign:
                            for name in experiment_names]
         if not experiments:
             raise ExperimentError("campaign selects no experiments")
+        tasks = []
         for experiment in experiments:
             report.experiments.append(experiment.name)
+            tasks.extend(enumerate_tasks(experiment,
+                                         start_index=len(tasks)))
+        total = len(tasks)
+        # One store closure shared by every experiment; counts are
+        # aggregated under a lock because scheduler configurations may
+        # invoke it from worker threads.
+        lock = threading.Lock()
 
-            def store(result):
+        def store(result):
+            with lock:
                 self.database.insert(result, replace=replace)
                 report.trials += 1
+                report.by_experiment[result.experiment_name] = \
+                    report.by_experiment.get(result.experiment_name, 0) + 1
                 if result.completed:
                     report.completed += 1
                 else:
                     report.dnf += 1
-                if on_result is not None:
-                    on_result(result)
+                stored = report.trials
+            if on_result is not None:
+                on_result(result)
+            if on_progress is not None:
+                on_progress(
+                    f"[{result.experiment_name}] trial {stored}/{total}: "
+                    f"{result.topology_label} u={result.workload} "
+                    f"wr={result.write_ratio:.0%} -> {result.status}"
+                )
 
-            self.runner.run_experiment(experiment, on_result=store)
+        if jobs == 1:
+            for task in tasks:
+                store(self.runner.run_task(task))
+        else:
+            scheduler = TrialScheduler(self._worker_runner, jobs=jobs,
+                                       backend=backend)
+            scheduler.run(tasks, on_result=store)
         return report
+
+    def _worker_runner(self):
+        """A fresh runner on a fresh cluster for one scheduler worker."""
+        return self.runner.clone()
 
     def performance_map(self, experiment_name=None):
         """A :class:`PerformanceMap` over this campaign's observations."""

@@ -1,7 +1,12 @@
-"""Experiments: trial protocol, end-to-end runner, figure definitions."""
+"""Experiments: trial protocol, runner, scheduler, figure definitions."""
 
 from repro.experiments import figures
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scheduler import (
+    TrialScheduler,
+    TrialTask,
+    enumerate_tasks,
+)
 from repro.experiments.sweep import build_experiment
 from repro.experiments.trial import (
     COMPLETED,
@@ -13,6 +18,9 @@ from repro.experiments.trial import (
 __all__ = [
     "figures",
     "ExperimentRunner",
+    "TrialScheduler",
+    "TrialTask",
+    "enumerate_tasks",
     "build_experiment",
     "COMPLETED",
     "DNF",

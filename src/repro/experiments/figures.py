@@ -68,7 +68,8 @@ def _run(figure_id, title, runner, experiment, tbl):
 # ---------------------------------------------------------------------------
 
 def run_rubis_jonas_baseline(scale=BENCH_SCALE, workload_step=50,
-                             ratio_step=0.1, cluster=None, seed=42):
+                             ratio_step=0.1, cluster=None, seed=42,
+                             jobs=1):
     """The Figure 1/2 sweep: 50..250 users x 0..90% writes (IV.A)."""
     experiment, tbl = build_experiment(
         name="rubis-jonas-baseline", benchmark="rubis", platform="emulab",
@@ -80,15 +81,15 @@ def run_rubis_jonas_baseline(scale=BENCH_SCALE, workload_step=50,
     )
     runner = make_runner("emulab", "rubis", db_node_type="emulab-low",
                          cluster=cluster, node_count=12)
-    return runner.run_experiment(experiment), tbl
+    return runner.run_experiment(experiment, jobs=jobs), tbl
 
 
 def figure1(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
-            results=None, tbl=""):
+            results=None, tbl="", jobs=1):
     """Figure 1: RUBiS on JOnAS response-time surface."""
     if results is None:
         results, tbl = run_rubis_jonas_baseline(scale, workload_step,
-                                                ratio_step)
+                                                ratio_step, jobs=jobs)
     surface = analysis.response_surface(results, "1-1-1", value="response")
     rendered = report.render_surface(
         "Figure 1. RUBiS on JOnAS response time (ms), 1-1-1 on Emulab",
@@ -99,11 +100,11 @@ def figure1(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
 
 
 def figure2(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
-            results=None, tbl=""):
+            results=None, tbl="", jobs=1):
     """Figure 2: RUBiS on JOnAS application-server CPU utilization."""
     if results is None:
         results, tbl = run_rubis_jonas_baseline(scale, workload_step,
-                                                ratio_step)
+                                                ratio_step, jobs=jobs)
     surface = analysis.response_surface(results, "1-1-1", value="app_cpu")
     rendered = report.render_surface(
         "Figure 2. RUBiS on JOnAS app-server CPU utilization (%), 1-1-1",
@@ -118,7 +119,7 @@ def figure2(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
 # ---------------------------------------------------------------------------
 
 def figure3(scale=BENCH_SCALE, workload_step=100, ratio_step=0.1,
-            cluster=None, seed=42):
+            cluster=None, seed=42, jobs=1):
     """Figure 3: Weblogic replaces JOnAS; 100..600 users (IV.B)."""
     experiment, tbl = build_experiment(
         name="rubis-weblogic-baseline", benchmark="rubis", platform="warp",
@@ -129,7 +130,7 @@ def figure3(scale=BENCH_SCALE, workload_step=100, ratio_step=0.1,
     )
     runner = make_runner("warp", "rubis", app_server="weblogic",
                          cluster=cluster, node_count=12)
-    results = runner.run_experiment(experiment)
+    results = runner.run_experiment(experiment, jobs=jobs)
     surface = analysis.response_surface(results, "1-1-1", value="response")
     rendered = report.render_surface(
         "Figure 3. RUBiS on Weblogic response time (ms), 1-1-1 on Warp",
@@ -143,7 +144,8 @@ def figure3(scale=BENCH_SCALE, workload_step=100, ratio_step=0.1,
 # Figure 4: RUBBoS baseline (Emulab, 1-1-1, two mixes).
 # ---------------------------------------------------------------------------
 
-def figure4(scale=BENCH_SCALE, workload_step=500, cluster=None, seed=42):
+def figure4(scale=BENCH_SCALE, workload_step=500, cluster=None, seed=42,
+            jobs=1):
     """Figure 4: RUBBoS 100% read vs 85/15, 500..5000 users (IV.C)."""
     experiment, tbl = build_experiment(
         name="rubbos-baseline", benchmark="rubbos", platform="emulab",
@@ -154,7 +156,7 @@ def figure4(scale=BENCH_SCALE, workload_step=500, cluster=None, seed=42):
     )
     runner = make_runner("emulab", "rubbos", cluster=cluster,
                          node_count=12)
-    results = runner.run_experiment(experiment)
+    results = runner.run_experiment(experiment, jobs=jobs)
     readonly = analysis.response_time_series(results, "1-1-1",
                                              write_ratio=0.0)
     mixed = analysis.response_time_series(results, "1-1-1",
@@ -172,7 +174,8 @@ def figure4(scale=BENCH_SCALE, workload_step=500, cluster=None, seed=42):
 # Figures 5 and 6: RUBiS on JOnAS scale-out (Emulab, wr = 15%).
 # ---------------------------------------------------------------------------
 
-def _scaleout(name, app_range, db_range, workloads, scale, cluster, seed):
+def _scaleout(name, app_range, db_range, workloads, scale, cluster, seed,
+              jobs=1):
     experiment, tbl = build_experiment(
         name=name, benchmark="rubis", platform="emulab",
         topologies=list(topology_grid(1, app_range, db_range)),
@@ -180,16 +183,16 @@ def _scaleout(name, app_range, db_range, workloads, scale, cluster, seed):
         scale=scale, seed=seed,
     )
     runner = make_runner("emulab", "rubis", cluster=cluster, node_count=36)
-    return runner.run_experiment(experiment), tbl
+    return runner.run_experiment(experiment, jobs=jobs), tbl
 
 
 def figure5(scale=BENCH_SCALE, workload_step=300, max_workload=2100,
-            cluster=None, seed=42):
+            cluster=None, seed=42, jobs=1):
     """Figure 5: scale-out response time, 2-8 app x 1-3 db servers."""
     results, tbl = _scaleout(
         "rubis-scaleout-2to8", range(2, 9), range(1, 4),
         expand_range(300, max_workload, workload_step), scale, cluster,
-        seed,
+        seed, jobs=jobs,
     )
     data = {
         topology: analysis.response_time_series(results, topology)
@@ -204,11 +207,13 @@ def figure5(scale=BENCH_SCALE, workload_step=300, max_workload=2100,
                         data, rendered, results, tbl)
 
 
-def figure6(scale=BENCH_SCALE, workload_step=400, cluster=None, seed=42):
+def figure6(scale=BENCH_SCALE, workload_step=400, cluster=None, seed=42,
+            jobs=1):
     """Figure 6: scale-out response time, 8-12 app x 1-3 db servers."""
     results, tbl = _scaleout(
         "rubis-scaleout-8to12", range(8, 13), range(1, 4),
         expand_range(1700, 2900, workload_step), scale, cluster, seed,
+        jobs=jobs,
     )
     data = {
         topology: analysis.response_time_series(results, topology)
@@ -228,7 +233,7 @@ def figure6(scale=BENCH_SCALE, workload_step=400, cluster=None, seed=42):
 # ---------------------------------------------------------------------------
 
 def run_db_scaleout(scale=BENCH_SCALE, workload_step=300, cluster=None,
-                    seed=42):
+                    seed=42, jobs=1):
     """The Figure 7/8 sweep: the five configurations the paper plots."""
     topologies = [Topology(1, 8, 1), Topology(1, 8, 2), Topology(1, 8, 3),
                   Topology(1, 12, 2), Topology(1, 12, 3)]
@@ -239,14 +244,15 @@ def run_db_scaleout(scale=BENCH_SCALE, workload_step=300, cluster=None,
         write_ratios=(0.15,), scale=scale, seed=seed,
     )
     runner = make_runner("emulab", "rubis", cluster=cluster, node_count=36)
-    return runner.run_experiment(experiment), tbl
+    return runner.run_experiment(experiment, jobs=jobs), tbl
 
 
 def figure7(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
-            cluster=None, seed=42):
+            cluster=None, seed=42, jobs=1):
     """Figure 7: response-time differences between DB configurations."""
     if results is None:
-        results, tbl = run_db_scaleout(scale, workload_step, cluster, seed)
+        results, tbl = run_db_scaleout(scale, workload_step, cluster, seed,
+                                       jobs=jobs)
     data = {
         "1DB-2DB (8 app)": analysis.response_time_difference(
             results, "1-8-1", "1-8-2"),
@@ -264,7 +270,7 @@ def figure7(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
 
 
 def figure8(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
-            cluster=None, seed=42):
+            cluster=None, seed=42, jobs=1):
     """Figure 8: DB-tier CPU utilization, the three critical cases.
 
     The paper's three curves show "gradual saturation of the database
@@ -274,7 +280,8 @@ def figure8(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
     longer caps the load before the DB knees).
     """
     if results is None:
-        results, tbl = run_db_scaleout(scale, workload_step, cluster, seed)
+        results, tbl = run_db_scaleout(scale, workload_step, cluster, seed,
+                                       jobs=jobs)
     data = {
         topology: analysis.db_cpu_series(results, topology)
         for topology in ("1-8-1", "1-12-2", "1-12-3")
@@ -291,7 +298,8 @@ def figure8(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
 # Table 6: improvement of adding app vs DB servers at 500 users.
 # ---------------------------------------------------------------------------
 
-def table6(scale=BENCH_SCALE, cluster=None, seed=42, workload=500):
+def table6(scale=BENCH_SCALE, cluster=None, seed=42, workload=500,
+           jobs=1):
     """Table 6: % RT improvement from 1-1-1 at 500 users (V.B)."""
     topologies = [Topology(1, 1, 1), Topology(1, 2, 1), Topology(1, 3, 1),
                   Topology(1, 4, 1), Topology(1, 1, 2), Topology(1, 1, 3)]
@@ -301,7 +309,7 @@ def table6(scale=BENCH_SCALE, cluster=None, seed=42, workload=500):
         scale=scale, seed=seed,
     )
     runner = make_runner("emulab", "rubis", cluster=cluster, node_count=12)
-    results = runner.run_experiment(experiment)
+    results = runner.run_experiment(experiment, jobs=jobs)
     table = analysis.improvement_table(
         results, "1-1-1", workload, 0.15,
         app_range=range(2, 5), db_range=range(2, 4),
@@ -318,7 +326,8 @@ def table6(scale=BENCH_SCALE, cluster=None, seed=42, workload=500):
 # Table 7: average throughput per configuration and load.
 # ---------------------------------------------------------------------------
 
-def table7(scale=BENCH_SCALE, workload_step=100, cluster=None, seed=42):
+def table7(scale=BENCH_SCALE, workload_step=100, cluster=None, seed=42,
+           jobs=1):
     """Table 7: throughput for 1-2-1..1-4-3, loads 300..1000 (V.B)."""
     topologies = list(topology_grid(1, range(2, 5), range(1, 4)))
     workloads = expand_range(300, 1000, workload_step)
@@ -328,7 +337,7 @@ def table7(scale=BENCH_SCALE, workload_step=100, cluster=None, seed=42):
         scale=scale, seed=seed,
     )
     runner = make_runner("emulab", "rubis", cluster=cluster, node_count=12)
-    results = runner.run_experiment(experiment)
+    results = runner.run_experiment(experiment, jobs=jobs)
     table = analysis.throughput_table(
         results, [t.label() for t in topologies], workloads,
     )
@@ -345,7 +354,7 @@ def table7(scale=BENCH_SCALE, workload_step=100, cluster=None, seed=42):
 # ---------------------------------------------------------------------------
 
 def supplemental_rubbos_scaleout(scale=BENCH_SCALE, workload_step=500,
-                                 cluster=None, seed=42):
+                                 cluster=None, seed=42, jobs=1):
     """RUBBoS scale-out on its bottleneck, the database tier.
 
     The conclusion mentions "the scale-out experiments ... for RUBBoS
@@ -363,7 +372,7 @@ def supplemental_rubbos_scaleout(scale=BENCH_SCALE, workload_step=500,
     )
     runner = make_runner("emulab", "rubbos", cluster=cluster,
                          node_count=14)
-    results = runner.run_experiment(experiment)
+    results = runner.run_experiment(experiment, jobs=jobs)
     data = {
         topology: analysis.response_time_series(results, topology)
         for topology in ("1-1-1", "1-1-2", "1-1-3")
@@ -378,7 +387,7 @@ def supplemental_rubbos_scaleout(scale=BENCH_SCALE, workload_step=500,
 
 
 def supplemental_weblogic_scaleout(scale=BENCH_SCALE, workload_step=300,
-                                   cluster=None, seed=42):
+                                   cluster=None, seed=42, jobs=1):
     """Scale-out RUBiS on Weblogic (Table 3's fourth experiment set).
 
     The paper ran 1-2-1 .. 1-6-2 on Warp; with two CPUs per node each
@@ -395,7 +404,7 @@ def supplemental_weblogic_scaleout(scale=BENCH_SCALE, workload_step=300,
     )
     runner = make_runner("warp", "rubis", app_server="weblogic",
                          cluster=cluster, node_count=14)
-    results = runner.run_experiment(experiment)
+    results = runner.run_experiment(experiment, jobs=jobs)
     data = {
         topology: analysis.response_time_series(results, topology)
         for topology in sorted({r.topology_label for r in results})

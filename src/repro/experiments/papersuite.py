@@ -39,25 +39,40 @@ SUITE = (
 FIGURE_IDS = tuple(name for name, _fn, _scaled in SUITE)
 
 
-def reproduce(figure_id, scale=None):
-    """Run one reproduction by id; returns its FigureResult."""
+def _suite_kwargs(scaled, scale, jobs):
+    """Arguments for one suite entry: only trial-running (scaled)
+    reproductions take the scale/jobs knobs."""
+    kwargs = {}
+    if scaled:
+        if scale is not None:
+            kwargs["scale"] = scale
+        if jobs != 1:
+            kwargs["jobs"] = jobs
+    return kwargs
+
+
+def reproduce(figure_id, scale=None, jobs=1):
+    """Run one reproduction by id; returns its FigureResult.
+
+    ``jobs=N`` runs the figure's sweep on N scheduler workers; the
+    derived data is identical to a sequential run.
+    """
     for name, fn, scaled in SUITE:
         if name == figure_id:
-            if scaled and scale is not None:
-                return fn(scale=scale)
-            return fn()
+            return fn(**_suite_kwargs(scaled, scale, jobs))
     raise KeyError(
         f"unknown figure id {figure_id!r}; known: {', '.join(FIGURE_IDS)}"
     )
 
 
 def reproduce_all(output_dir=None, scale=None, database=None,
-                  on_progress=None, only=None):
+                  on_progress=None, only=None, jobs=1):
     """Run the full suite; returns {figure_id: FigureResult}.
 
     *output_dir* receives one ``<id>.txt`` per reproduction; *database*
     (a ResultsDatabase) collects every trial; *only* restricts to a
-    subset of ids.
+    subset of ids; *jobs* parallelizes each reproduction's sweep
+    without changing its results.
     """
     selected = [entry for entry in SUITE
                 if only is None or entry[0] in only]
@@ -65,7 +80,7 @@ def reproduce_all(output_dir=None, scale=None, database=None,
     for name, fn, scaled in selected:
         if on_progress is not None:
             on_progress(f"running {name} ...")
-        figure = fn(scale=scale) if (scaled and scale is not None) else fn()
+        figure = fn(**_suite_kwargs(scaled, scale, jobs))
         results[name] = figure
         if output_dir is not None:
             out = pathlib.Path(output_dir)

@@ -28,6 +28,7 @@ from repro.experiments.trial import (
     TrialResult,
     measurement_window,
 )
+from repro.experiments.scheduler import TrialScheduler, enumerate_tasks
 from repro.generator import HostPlan, Mulini
 from repro.monitoring import (
     attach_monitors,
@@ -41,13 +42,28 @@ from repro.sim import NTierSimulation
 
 
 class ExperimentRunner:
-    """Runs experiment points end to end on one virtual cluster."""
+    """Runs experiment points end to end on one virtual cluster.
 
-    def __init__(self, cluster, resource_model):
+    *wait_for_nodes* makes trials block for cluster nodes instead of
+    failing when concurrent trials hold them — the shared-cluster mode
+    of parallel scheduling.
+    """
+
+    def __init__(self, cluster, resource_model, wait_for_nodes=False):
         self.cluster = cluster
         self.resource_model = resource_model
+        self.wait_for_nodes = wait_for_nodes
         self.mulini = Mulini(resource_model)
         self.engine = DeploymentEngine(cluster)
+
+    def clone(self):
+        """A runner like this one on a fresh clone of its cluster.
+
+        Scheduler workers each run on a clone, so virtual-host state
+        never crosses workers.
+        """
+        return ExperimentRunner(self.cluster.clone(), self.resource_model,
+                                wait_for_nodes=self.wait_for_nodes)
 
     def run_point(self, experiment, topology, workload, write_ratio,
                   seed=None):
@@ -65,30 +81,47 @@ class ExperimentRunner:
             tier_node_types["db"] = \
                 self.cluster.platform.node_type(experiment.db_node_type).name
         allocation = self.cluster.allocate(topology,
-                                           tier_node_types=tier_node_types)
+                                           tier_node_types=tier_node_types,
+                                           wait=self.wait_for_nodes)
         try:
             return self._run_allocated(allocation, experiment, topology,
                                        workload, write_ratio)
         finally:
             self.cluster.release(allocation)
 
-    def run_experiment(self, experiment, on_result=None):
+    def run_task(self, task):
+        """Execute one enumerated :class:`TrialTask`."""
+        return self.run_point(task.experiment, task.topology,
+                              task.workload, task.write_ratio,
+                              seed=task.seed)
+
+    def run_experiment(self, experiment, on_result=None, jobs=1,
+                       backend=None):
         """Run every sweep point of *experiment*, with repetitions.
 
         Each repetition replays the point under seed, seed+1, ... so
         saturation noise can be quantified (the paper's "significant
         random fluctuations" at the CPU-saturated cells).
+
+        The sweep is first enumerated into tasks, then executed: with
+        ``jobs=1`` (the default) sequentially on this runner, otherwise
+        on a :class:`TrialScheduler` pool whose workers each clone this
+        runner.  Results arrive in enumeration order either way, and
+        trial metrics are identical across ``jobs`` settings because
+        every trial's random streams derive from ``(seed + repetition)``
+        alone.
         """
-        results = []
-        for topology, workload, write_ratio in experiment.points():
-            for repetition in range(experiment.repetitions):
-                result = self.run_point(experiment, topology, workload,
-                                        write_ratio,
-                                        seed=experiment.seed + repetition)
+        tasks = enumerate_tasks(experiment)
+        if jobs == 1:
+            results = []
+            for task in tasks:
+                result = self.run_task(task)
                 results.append(result)
                 if on_result is not None:
                     on_result(result)
-        return results
+            return results
+        scheduler = TrialScheduler(self.clone, jobs=jobs, backend=backend)
+        return scheduler.run(tasks, on_result=on_result)
 
     # -- internals ---------------------------------------------------------
 

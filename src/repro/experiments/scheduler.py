@@ -1,0 +1,174 @@
+"""Trial scheduling: sweep points as tasks, executed on a worker pool.
+
+The paper ran its "very large families of experiments" concurrently
+across three clusters (Warp, Rohan, Emulab); this module is the
+package's form of that: every ``(topology, workload, write_ratio,
+repetition)`` point of an experiment becomes an immutable
+:class:`TrialTask`, and a :class:`TrialScheduler` executes the tasks on
+``jobs`` workers, each worker owning its own virtual cluster and runner
+so no virtual-host state ever crosses workers.
+
+Determinism is the contract: every trial derives its random streams
+from ``(seed + repetition)`` alone, and the scheduler delivers results
+to the caller in task-enumeration order regardless of completion order,
+so a ``jobs=8`` campaign stores exactly the rows (in exactly the order)
+a ``jobs=1`` campaign would.
+
+Backends: ``"thread"`` shares the interpreter (cheap, but serialized by
+the GIL for this CPU-bound simulation) and ``"process"`` forks one
+interpreter per worker (true parallelism on multi-core hosts).  The
+default picks ``"process"`` where ``fork`` is available.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+THREAD = "thread"
+PROCESS = "process"
+BACKENDS = (THREAD, PROCESS)
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One schedulable trial: a sweep point plus its repetition."""
+
+    index: int                 # position in enumeration order
+    experiment: object         # spec.tbl ExperimentDef (frozen)
+    topology: object
+    workload: int
+    write_ratio: float
+    repetition: int = 0
+
+    @property
+    def seed(self):
+        """The seed this repetition replays under (seed, seed+1, ...)."""
+        return self.experiment.seed + self.repetition
+
+    def key(self):
+        """The trial's identity — the results database's UNIQUE key."""
+        return (self.experiment.name, self.topology.label(), self.workload,
+                self.write_ratio, self.seed)
+
+
+def enumerate_tasks(experiment, start_index=0):
+    """Every trial of *experiment* as :class:`TrialTask`\\ s, in the
+    canonical sweep order (points outer, repetitions inner) that a
+    sequential :meth:`ExperimentRunner.run_experiment` executes."""
+    tasks = []
+    index = start_index
+    for topology, workload, write_ratio in experiment.points():
+        for repetition in range(experiment.repetitions):
+            tasks.append(TrialTask(index, experiment, topology, workload,
+                                   write_ratio, repetition))
+            index += 1
+    return tasks
+
+
+def default_backend():
+    """Process workers where ``fork`` exists, threads otherwise."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return PROCESS
+    return THREAD
+
+
+# Per-process worker state for the process backend.  The initializer
+# runs once in each forked worker; the runner it builds (cluster and
+# all) lives for the worker's lifetime and never crosses processes.
+_WORKER_RUNNER = None
+
+
+def _process_init(runner_factory):
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = runner_factory()
+
+
+def _process_run(task):
+    return _WORKER_RUNNER.run_task(task)
+
+
+class TrialScheduler:
+    """Executes :class:`TrialTask`\\ s on ``jobs`` pooled workers.
+
+    *runner_factory* builds one ExperimentRunner (with its own
+    VirtualCluster) per worker; with ``jobs=1`` a single runner executes
+    the tasks inline, preserving strictly sequential behaviour.
+
+    :meth:`run` returns results in task order and invokes *on_result*
+    in task order from the calling thread, buffering out-of-order
+    completions, so downstream stores see a deterministic sequence.
+    """
+
+    def __init__(self, runner_factory, jobs=1, backend=None):
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be at least 1, got {jobs}")
+        if backend is not None and backend not in BACKENDS:
+            raise ExperimentError(
+                f"unknown scheduler backend {backend!r}; "
+                f"known: {', '.join(BACKENDS)}"
+            )
+        self.runner_factory = runner_factory
+        self.jobs = jobs
+        self.backend = backend or default_backend()
+
+    def run(self, tasks, on_result=None):
+        """Execute *tasks*; returns their TrialResults in task order."""
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return self._run_inline(tasks, on_result)
+        if self.backend == THREAD:
+            return self._run_threads(tasks, on_result)
+        return self._run_processes(tasks, on_result)
+
+    # -- backends ---------------------------------------------------------
+
+    def _run_inline(self, tasks, on_result):
+        runner = self.runner_factory()
+        results = []
+        for task in tasks:
+            result = runner.run_task(task)
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        return results
+
+    def _run_threads(self, tasks, on_result):
+        local = threading.local()
+
+        def run_one(task):
+            runner = getattr(local, "runner", None)
+            if runner is None:
+                runner = local.runner = self.runner_factory()
+            return runner.run_task(task)
+
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [pool.submit(run_one, task) for task in tasks]
+            return self._drain(futures, on_result)
+
+    def _run_processes(self, tasks, on_result):
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=self.jobs, mp_context=context,
+                                 initializer=_process_init,
+                                 initargs=(self.runner_factory,)) as pool:
+            futures = [pool.submit(_process_run, task) for task in tasks]
+            return self._drain(futures, on_result)
+
+    @staticmethod
+    def _drain(futures, on_result):
+        results = []
+        try:
+            for future in futures:
+                result = future.result()
+                results.append(result)
+                if on_result is not None:
+                    on_result(result)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results

@@ -10,6 +10,7 @@ holding results in ad-hoc lists.
 from __future__ import annotations
 
 import sqlite3
+import threading
 
 from repro.errors import ResultsError
 from repro.experiments.trial import TrialResult
@@ -65,16 +66,38 @@ CREATE INDEX IF NOT EXISTS idx_host_cpu_trial ON host_cpu (trial_id);
 
 
 class ResultsDatabase:
-    """Observation store with insert/query/replace semantics."""
+    """Observation store with insert/query/replace semantics.
+
+    Safe for concurrent use by scheduler workers: one connection is
+    shared (``check_same_thread=False``) behind a single writer lock,
+    so inserts serialize while keeping the UNIQUE-key replace
+    semantics; file-backed databases run in WAL mode so a reader (a
+    live report) never blocks the campaign's writer.
+    """
 
     def __init__(self, path=":memory:"):
         self.path = path
-        self._conn = sqlite3.connect(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.execute("PRAGMA foreign_keys = ON")
+        if path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode = WAL")
         self._conn.executescript(_SCHEMA)
 
+    @property
+    def _db(self):
+        if self._conn is None:
+            raise ResultsError(
+                f"results database {self.path!r} is closed"
+            )
+        return self._conn
+
     def close(self):
-        self._conn.close()
+        """Close the connection; idempotent."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
 
     def __enter__(self):
         return self
@@ -85,11 +108,21 @@ class ResultsDatabase:
     # -- writes -----------------------------------------------------------
 
     def insert(self, result, replace=False):
-        """Store a :class:`TrialResult`; returns its row id."""
+        """Store a :class:`TrialResult`; returns its row id.
+
+        Thread-safe: the whole multi-statement insert (trial row, host
+        CPU rows, per-state rows, commit) happens under the writer
+        lock, so concurrent workers never interleave half-inserted
+        trials.
+        """
+        with self._lock:
+            return self._insert_locked(result, replace)
+
+    def _insert_locked(self, result, replace):
         metrics = result.metrics
         verb = "INSERT OR REPLACE" if replace else "INSERT"
         try:
-            cursor = self._conn.execute(
+            cursor = self._db.execute(
                 f"""{verb} INTO trials (
                     experiment_name, benchmark, platform, topology,
                     workload, write_ratio, seed, status,
@@ -120,12 +153,12 @@ class ResultsDatabase:
             )
         trial_id = cursor.lastrowid
         if replace:
-            self._conn.execute("DELETE FROM host_cpu WHERE trial_id = ?",
-                               (trial_id,))
-            self._conn.execute(
+            self._db.execute("DELETE FROM host_cpu WHERE trial_id = ?",
+                             (trial_id,))
+            self._db.execute(
                 "DELETE FROM state_metrics WHERE trial_id = ?",
                 (trial_id,))
-        self._conn.executemany(
+        self._db.executemany(
             "INSERT INTO host_cpu (trial_id, host, tier, cpu_percent) "
             "VALUES (?,?,?,?)",
             [
@@ -133,7 +166,7 @@ class ResultsDatabase:
                 for host, cpu in sorted(result.host_cpu.items())
             ],
         )
-        self._conn.executemany(
+        self._db.executemany(
             "INSERT INTO state_metrics "
             "(trial_id, state, count, errors, mean_response_s) "
             "VALUES (?,?,?,?,?)",
@@ -143,7 +176,7 @@ class ResultsDatabase:
                 for state, stats in sorted(result.per_state.items())
             ],
         )
-        self._conn.commit()
+        self._db.commit()
         return trial_id
 
     def insert_many(self, results, replace=False):
@@ -169,44 +202,53 @@ class ResultsDatabase:
             clauses.append("ABS(write_ratio - ?) < 1e-9")
             params.append(write_ratio)
         where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
-        rows = self._conn.execute(
-            f"SELECT * FROM trials {where} "
-            f"ORDER BY topology, write_ratio, workload",
-            params,
-        ).fetchall()
-        columns = [d[0] for d in self._conn.execute(
-            "SELECT * FROM trials LIMIT 0").description]
-        return [self._to_result(dict(zip(columns, row))) for row in rows]
+        with self._lock:
+            rows = self._db.execute(
+                f"SELECT * FROM trials {where} "
+                f"ORDER BY topology, write_ratio, workload",
+                params,
+            ).fetchall()
+            columns = [d[0] for d in self._db.execute(
+                "SELECT * FROM trials LIMIT 0").description]
+            return [self._to_result(dict(zip(columns, row)))
+                    for row in rows]
 
     def count(self):
-        return self._conn.execute("SELECT COUNT(*) FROM trials").fetchone()[0]
+        with self._lock:
+            return self._db.execute(
+                "SELECT COUNT(*) FROM trials").fetchone()[0]
 
     def experiments(self):
-        rows = self._conn.execute(
-            "SELECT DISTINCT experiment_name FROM trials ORDER BY 1"
-        ).fetchall()
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT DISTINCT experiment_name FROM trials ORDER BY 1"
+            ).fetchall()
         return [row[0] for row in rows]
 
     def topologies(self, experiment_name=None):
-        if experiment_name is None:
-            rows = self._conn.execute(
-                "SELECT DISTINCT topology FROM trials ORDER BY 1").fetchall()
-        else:
-            rows = self._conn.execute(
-                "SELECT DISTINCT topology FROM trials "
-                "WHERE experiment_name = ? ORDER BY 1",
-                (experiment_name,)).fetchall()
+        with self._lock:
+            if experiment_name is None:
+                rows = self._db.execute(
+                    "SELECT DISTINCT topology FROM trials "
+                    "ORDER BY 1").fetchall()
+            else:
+                rows = self._db.execute(
+                    "SELECT DISTINCT topology FROM trials "
+                    "WHERE experiment_name = ? ORDER BY 1",
+                    (experiment_name,)).fetchall()
         return [row[0] for row in rows]
 
     def total_collected_bytes(self, experiment_name=None):
         """Table 3's collected-data accounting, from the database."""
-        if experiment_name is None:
-            row = self._conn.execute(
-                "SELECT SUM(collected_bytes) FROM trials").fetchone()
-        else:
-            row = self._conn.execute(
-                "SELECT SUM(collected_bytes) FROM trials "
-                "WHERE experiment_name = ?", (experiment_name,)).fetchone()
+        with self._lock:
+            if experiment_name is None:
+                row = self._db.execute(
+                    "SELECT SUM(collected_bytes) FROM trials").fetchone()
+            else:
+                row = self._db.execute(
+                    "SELECT SUM(collected_bytes) FROM trials "
+                    "WHERE experiment_name = ?",
+                    (experiment_name,)).fetchone()
         return row[0] or 0
 
     def _to_result(self, row):
@@ -222,10 +264,10 @@ class ResultsDatabase:
             p90_response_s=row["p90_response_s"],
             p99_response_s=row["p99_response_s"],
         )
-        cpu_rows = self._conn.execute(
+        cpu_rows = self._db.execute(
             "SELECT host, tier, cpu_percent FROM host_cpu "
             "WHERE trial_id = ?", (row["id"],)).fetchall()
-        state_rows = self._conn.execute(
+        state_rows = self._db.execute(
             "SELECT state, count, errors, mean_response_s "
             "FROM state_metrics WHERE trial_id = ?",
             (row["id"],)).fetchall()

@@ -9,6 +9,10 @@ the database on a 600 MHz node (Section IV.A).
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import Counter
+
 from repro.errors import AllocationError, ClusterError
 from repro.spec import catalog
 from repro.vcluster.archives import build_archive
@@ -60,16 +64,35 @@ class VirtualCluster:
         )
         self.hosts = {}
         self._free = []
+        self._host_order = {}
+        # Allocation is shared state when scheduler workers run trials
+        # concurrently on one cluster; the condition serializes the
+        # pool bookkeeping and lets `allocate(wait=True)` block until a
+        # `release` makes nodes available again.
+        self._nodes_available = threading.Condition(threading.RLock())
         node_count = node_count or platform.total_nodes
         if node_count < 3:
             raise ClusterError("a cluster needs at least 3 nodes")
+        self.node_count = node_count
         self.control = self._add_host(CONTROL_HOST, platform.node_type())
         self.client = self._add_host(CLIENT_HOST, platform.node_type())
         for index in range(1, node_count - 1):
             node_type = self._node_type_for_index(index, node_count - 2)
             host = self._add_host(f"node-{index}", node_type)
             self._free.append(host)
+        self._pool_capacity = Counter(host.node_type.name
+                                      for host in self._free)
         self._stock_package_repository()
+
+    def clone(self):
+        """A fresh cluster with this one's platform and pool shape.
+
+        Scheduler workers each own a clone, so virtual-host state never
+        crosses workers and every trial starts from pristine hosts —
+        exactly what a sequential run sees after `release` wipes them.
+        """
+        return VirtualCluster(self.platform, node_count=self.node_count,
+                              name=self.name)
 
     def _node_type_for_index(self, index, total):
         """Mixed platforms (Emulab) get a blend of node types.
@@ -91,6 +114,7 @@ class VirtualCluster:
     def _add_host(self, name, node_type):
         host = VirtualHost(name, node_type)
         self.hosts[name] = host
+        self._host_order[name] = len(self._host_order)
         self.network.attach(host)
         return host
 
@@ -111,22 +135,52 @@ class VirtualCluster:
             )
 
     def free_count(self, node_type_name=None):
-        if node_type_name is None:
-            return len(self._free)
-        return sum(1 for h in self._free
-                   if h.node_type.name == node_type_name)
+        with self._nodes_available:
+            if node_type_name is None:
+                return len(self._free)
+            return sum(1 for h in self._free
+                       if h.node_type.name == node_type_name)
 
     # -- allocation ------------------------------------------------------
 
-    def allocate(self, topology, tier_node_types=None):
+    def allocate(self, topology, tier_node_types=None, wait=False,
+                 timeout=None):
         """Allocate hosts for *topology*; returns an :class:`Allocation`.
 
         *tier_node_types* optionally maps tier -> node type name.  Raises
         :class:`AllocationError` (leaving the pool untouched) when the
         request cannot be satisfied — the paper notes experiment scale was
         limited by available nodes (Section III.C).
+
+        With ``wait=True`` a request that the cluster could satisfy but
+        cannot *right now* (nodes held by concurrent trials) blocks
+        until a release frees them, for up to *timeout* seconds; a
+        request exceeding the cluster's total capacity still raises
+        immediately, since no release could ever satisfy it.
         """
         tier_node_types = tier_node_types or {}
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._nodes_available:
+            while True:
+                try:
+                    return self._allocate_now(topology, tier_node_types)
+                except AllocationError:
+                    if not wait:
+                        raise
+                    self._require_satisfiable(topology, tier_node_types)
+                    if deadline is None:
+                        self._nodes_available.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or \
+                            not self._nodes_available.wait(remaining):
+                        raise AllocationError(
+                            f"cluster {self.name!r}: timed out after "
+                            f"{timeout}s waiting for nodes for topology "
+                            f"{topology.label()}"
+                        )
+
+    def _allocate_now(self, topology, tier_node_types):
         taken = []
         tier_hosts = {}
         try:
@@ -144,33 +198,62 @@ class VirtualCluster:
         return Allocation(control=self.control, client=self.client,
                           tier_hosts=tier_hosts)
 
+    def _require_satisfiable(self, topology, tier_node_types):
+        """Raise unless the whole pool (free + held) could fit the
+        request — the blocking-wait guard against waiting forever."""
+        default_name = self.platform.node_type().name
+        needed = Counter()
+        for tier, count in topology.tiers():
+            needed[tier_node_types.get(tier) or default_name] += count
+        for type_name, count in needed.items():
+            if count > self._pool_capacity.get(type_name, 0):
+                raise AllocationError(
+                    f"cluster {self.name!r} has only "
+                    f"{self._pool_capacity.get(type_name, 0)} "
+                    f"{type_name!r} node(s) in total but topology "
+                    f"{topology.label()} needs {count}"
+                )
+
     def _take(self, node_type_name=None):
         if node_type_name is None:
             # Unconstrained requests get the platform's default node
             # type; silently handing out a 600 MHz Emulab node instead
             # of a 3 GHz one would corrupt an experiment, so exhaustion
             # is an error rather than a degradation.
-            default_name = self.platform.node_type().name
-            for index, host in enumerate(self._free):
-                if host.node_type.name == default_name:
-                    return self._free.pop(index)
-            raise AllocationError(
-                f"cluster {self.name!r} has no free {default_name!r} "
+            wanted_name = self.platform.node_type().name
+            exhausted = AllocationError(
+                f"cluster {self.name!r} has no free {wanted_name!r} "
                 f"node ({len(self._free)} other nodes free; request a "
                 f"node type explicitly to use them)"
             )
-        for index, host in enumerate(self._free):
-            if host.node_type.name == node_type_name:
-                return self._free.pop(index)
-        raise AllocationError(
-            f"cluster {self.name!r} has no free {node_type_name!r} node"
-        )
+        else:
+            wanted_name = node_type_name
+            exhausted = AllocationError(
+                f"cluster {self.name!r} has no free {wanted_name!r} node"
+            )
+        # Always hand out the lowest-numbered matching node, so which
+        # host runs which tier is a function of the request alone — a
+        # fresh worker cluster and a long-lived sequential one agree on
+        # host names, keeping parallel and sequential runs equivalent.
+        best = None
+        for host in self._free:
+            if host.node_type.name != wanted_name:
+                continue
+            if best is None or \
+                    self._host_order[host.name] < self._host_order[best.name]:
+                best = host
+        if best is None:
+            raise exhausted
+        self._free.remove(best)
+        return best
 
     def release(self, allocation):
         """Return an allocation's hosts to the pool, wiping their state."""
-        for host in allocation.all_server_hosts():
-            fresh = VirtualHost(host.name, host.node_type)
-            # Replace in-place so the network keeps a valid registry.
-            self.hosts[host.name] = fresh
-            self.network._hosts[host.name] = fresh
-            self._free.append(fresh)
+        with self._nodes_available:
+            for host in allocation.all_server_hosts():
+                fresh = VirtualHost(host.name, host.node_type)
+                # Replace in-place so the network keeps a valid registry.
+                self.hosts[host.name] = fresh
+                self.network._hosts[host.name] = fresh
+                self._free.append(fresh)
+            self._nodes_available.notify_all()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import COMPLETED, DNF, ExperimentRunner, \
+from repro.experiments import COMPLETED, DNF, \
     build_experiment, measurement_window
 from repro.experiments.figures import estimate_collected_bytes, make_runner
 from repro.spec.tbl import TrialPhases

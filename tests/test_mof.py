@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import MofError
 from repro.spec.mof import (
-    CimClass,
     CimProperty,
     CimRepository,
     load_resource_model,
