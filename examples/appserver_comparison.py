@@ -9,7 +9,7 @@ twice the users — comes out of the observations, not a model.
 Run:  python examples/appserver_comparison.py
 """
 
-from repro import ObservationCampaign
+from repro import PerformanceMap, run_campaign
 
 TBL_TEMPLATE = """
 benchmark rubis;
@@ -27,12 +27,11 @@ experiment "baseline" {{
 
 
 def run(platform, app_server):
-    campaign = ObservationCampaign(
+    report = run_campaign(
         TBL_TEMPLATE.format(platform=platform, app_server=app_server),
         node_count=10,
     )
-    campaign.run()
-    return campaign.performance_map()
+    return PerformanceMap.from_database(report.database)
 
 
 def main():

@@ -10,7 +10,7 @@ several workload targets — including the paper's headline answers
 Run:  python examples/capacity_planning.py   (a few minutes)
 """
 
-from repro import CapacityPlanner, ObservationCampaign
+from repro import CapacityPlanner, PerformanceMap, run_campaign
 from repro.spec.tbl import ServiceLevelObjective
 
 TBL = """
@@ -29,20 +29,19 @@ experiment "scaleout" {
 
 
 def main():
-    campaign = ObservationCampaign(TBL, node_count=36)
-    total = sum(e.point_count() for e in campaign.spec.experiments)
-    print(f"Observing {total} experiment points (this is the expensive,")
-    print("automated part the paper built Mulini for)...")
+    print("Observing the scale-out experiment points (this is the")
+    print("expensive, automated part the paper built Mulini for)...")
     done = [0]
 
     def progress(result):
         done[0] += 1
         if done[0] % 8 == 0:
-            print(f"  {done[0]}/{total} trials done")
+            print(f"  {done[0]} trials done")
 
-    campaign.run(on_result=progress)
+    report = run_campaign(TBL, node_count=36, on_result=progress)
 
-    planner = CapacityPlanner(campaign.performance_map(), write_ratio=0.15)
+    pmap = PerformanceMap.from_database(report.database)
+    planner = CapacityPlanner(pmap, write_ratio=0.15)
     slo = ServiceLevelObjective(response_time=2.0, error_ratio=0.10)
     print("\nMinimal observed configurations per workload target "
           "(SLO: mean RT <= 2 s, errors <= 10%):")

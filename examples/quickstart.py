@@ -1,13 +1,14 @@
-"""Quickstart: one observation campaign from a TBL specification.
+"""Quickstart: one observation campaign through the repro.api facade.
 
 Runs the RUBiS baseline sweep (reduced trial periods) on a virtual
-Emulab cluster and queries the resulting performance map — the
-package's whole pipeline in ~30 lines.
+Emulab cluster with the lifecycle flight recorder on, queries the
+resulting performance map, and prints the trace report — the package's
+whole pipeline in ~30 lines.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ObservationCampaign
+from repro import PerformanceMap, Tracer, run_campaign, trace_report
 
 TBL = """
 # RUBiS baseline: one server per tier, workload and write-ratio sweep.
@@ -27,9 +28,9 @@ experiment "baseline" {
 
 
 def main():
-    campaign = ObservationCampaign(TBL, node_count=10)
     print("Running the baseline campaign (15 trials)...")
-    report = campaign.run(
+    report = run_campaign(
+        TBL, node_count=10, tracer=Tracer(),
         on_result=lambda r: print(
             f"  {r.topology_label} users={r.workload:<4} "
             f"wr={r.write_ratio:.0%} -> {r.status:<9} "
@@ -39,7 +40,7 @@ def main():
     )
     print(f"\n{report.summary()}")
 
-    pmap = campaign.performance_map()
+    pmap = PerformanceMap.from_database(report.database)
     print("\nObservation-based characterization queries:")
     for users in (100, 200, 250):
         rt = pmap.response_time("1-1-1", users, write_ratio=0.15)
@@ -47,6 +48,9 @@ def main():
     knee = pmap.knee("1-1-1", write_ratio=0.0)
     print(f"  observed saturation knee at wr=0%: ~{knee} users "
           f"(paper: bottleneck past ~250 users for wr < 30%)")
+
+    print("\nWhere the time went (lifecycle flight recorder):")
+    print(trace_report(report.database, limit=3))
 
 
 if __name__ == "__main__":

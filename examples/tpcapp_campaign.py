@@ -13,7 +13,7 @@ RUBiS's.
 Run:  python examples/tpcapp_campaign.py
 """
 
-from repro import ObservationCampaign
+from repro import PerformanceMap, run_campaign
 from repro.workloads.tpcapp import CALIBRATION, STANDARD_WRITE_RATIO
 
 TBL = """
@@ -37,13 +37,12 @@ def main():
           f"calibrated app knee ~{knee:.0f} users per core "
           f"(~{2 * knee:.0f} on a dual-CPU Rohan blade).\n")
 
-    campaign = ObservationCampaign(TBL, node_count=12)
-    campaign.run(on_result=lambda r: print(
+    report = run_campaign(TBL, node_count=12, on_result=lambda r: print(
         f"  {r.topology_label} users={r.workload:<5} -> {r.status:<9} "
         f"rt={r.response_time_ms():7.1f} ms  app-cpu={r.tier_cpu('app'):3.0f}%"
     ))
 
-    pmap = campaign.performance_map()
+    pmap = PerformanceMap.from_database(report.database)
     print("\nObserved knees (3x RT of lightest load):")
     for topology in ("1-1-1", "1-2-1", "1-3-1"):
         knee_users = pmap.knee(topology, write_ratio=0.75)

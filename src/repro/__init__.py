@@ -8,11 +8,11 @@ simulation plays the benchmark against the deployed system, sysstat
 monitors record host metrics, and results land in a SQLite database the
 characterization/capacity-planning APIs query.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the stable surface)::
 
-    from repro import ObservationCampaign
+    from repro import run_experiment
 
-    campaign = ObservationCampaign('''
+    results = run_experiment('''
         benchmark rubis; platform emulab;
         experiment "baseline" {
             topology 1-1-1;
@@ -21,13 +21,19 @@ Quickstart::
             trial { warmup 6s; run 30s; cooldown 6s; }
         }
     ''')
-    campaign.run()
-    print(campaign.performance_map().response_time("1-1-1", 200))
+    print(results[0].response_time_ms())
 
 See README.md for the architecture tour and examples/ for runnable
 scenarios.
 """
 
+from repro.api import (
+    open_results,
+    reproduce_figure,
+    run_campaign,
+    run_experiment,
+    trace_report,
+)
 from repro.core import (
     CampaignReport,
     CapacityPlan,
@@ -40,13 +46,20 @@ from repro.core import (
 from repro.errors import ReproError
 from repro.experiments import ExperimentRunner, TrialResult, build_experiment
 from repro.generator import Bundle, HostPlan, Mulini
+from repro.obs import Tracer
 from repro.results import ResultsDatabase
 from repro.spec import Topology
 from repro.vcluster import VirtualCluster
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "open_results",
+    "reproduce_figure",
+    "run_campaign",
+    "run_experiment",
+    "trace_report",
+    "Tracer",
     "CampaignReport",
     "CapacityPlan",
     "CapacityPlanner",

@@ -1,0 +1,150 @@
+"""The stable public facade: four calls that cover the workflow.
+
+Everything the CLI and the examples do goes through this module, so
+its signatures are the package's compatibility surface:
+
+- :func:`run_experiment` — one TBL experiment, results in memory.
+- :func:`run_campaign` — a whole TBL spec into a results database.
+- :func:`reproduce_figure` — regenerate one paper figure/table.
+- :func:`open_results` — open (or create) an observation database.
+- :func:`trace_report` — render the flight-recorder report of a run.
+
+All parameters beyond the primary input are keyword-only; every entry
+point takes ``tracer=`` so one :class:`~repro.obs.Tracer` can follow a
+trial through allocate -> generate -> deploy -> verify -> simulate ->
+collect -> analyze -> teardown without changing any trial outcome.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.errors import ExperimentError, ResultsError
+from repro.obs import Tracer, as_tracer, render_trace_report
+from repro.results.database import ResultsDatabase
+
+
+def run_experiment(tbl_text, *, experiment=None, mof_text=None,
+                   node_count=36, jobs=1, backend=None, tracer=None,
+                   on_result=None):
+    """Run one experiment of a TBL spec; returns its TrialResults.
+
+    *experiment* names the experiment to run (default: the spec's only
+    experiment; ambiguous with several).  ``jobs=N`` parallelizes the
+    sweep without changing the results; *tracer* records lifecycle
+    spans onto each result.
+    """
+    from repro.core.campaign import ObservationCampaign
+
+    campaign = ObservationCampaign(tbl_text, mof_text=mof_text,
+                                   node_count=node_count, tracer=tracer)
+    names = [e.name for e in campaign.spec.experiments]
+    if experiment is None:
+        if len(names) != 1:
+            raise ExperimentError(
+                f"spec defines {len(names)} experiments "
+                f"({', '.join(names)}); pass experiment=<name>"
+            )
+        experiment = names[0]
+    results = []
+
+    def collect(result):
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+
+    campaign.run([experiment], on_result=collect, jobs=jobs,
+                 backend=backend)
+    return results
+
+
+def run_campaign(tbl_text, *, mof_text=None, database=None, node_count=36,
+                 experiments=None, jobs=1, backend=None, tracer=None,
+                 replace=True, on_result=None, on_progress=None,
+                 tbl_source="<campaign>"):
+    """Run a TBL spec's experiments into a results database.
+
+    *database* may be a :class:`ResultsDatabase`, a path, or ``None``
+    (in-memory).  Returns the campaign's :class:`CampaignReport`; the
+    database is reachable afterwards as ``report.database``.
+    """
+    from repro.core.campaign import ObservationCampaign
+
+    database = _as_database(database, create=True)
+    campaign = ObservationCampaign(tbl_text, mof_text=mof_text,
+                                   database=database,
+                                   node_count=node_count,
+                                   tbl_source=tbl_source, tracer=tracer)
+    return campaign.run(experiments, on_result=on_result,
+                        replace=replace, jobs=jobs, backend=backend,
+                        on_progress=on_progress)
+
+
+def reproduce_figure(figure_id, *, scale=None, jobs=1, tracer=None,
+                     database=None, output_dir=None):
+    """Regenerate one paper figure/table by id (``figure1``..``table7``).
+
+    Returns the :class:`FigureResult`; *database* (ResultsDatabase or
+    path) additionally stores the underlying trials — with a *tracer*,
+    their lifecycle spans land in its ``spans`` table; *output_dir*
+    writes ``<id>.txt``.
+    """
+    from repro.experiments.papersuite import reproduce
+
+    figure = reproduce(figure_id, scale=scale, jobs=jobs, tracer=tracer)
+    if database is not None and figure.results:
+        figure.store(_as_database(database, create=True))
+    if output_dir is not None:
+        out = pathlib.Path(output_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{figure.figure_id}.txt").write_text(
+            figure.rendered + "\n")
+    return figure
+
+
+def open_results(path=None, *, create=True):
+    """Open an observation database (``None`` -> in-memory).
+
+    With ``create=False`` a missing file raises :class:`ResultsError`
+    instead of silently creating an empty database.
+    """
+    if isinstance(path, ResultsDatabase):
+        return path
+    if path is not None and not create \
+            and not pathlib.Path(path).exists():
+        raise ResultsError(f"no results database at {path}")
+    return ResultsDatabase(path)
+
+
+def trace_report(database, *, experiment=None, limit=20):
+    """Render the flight-recorder report of a traced run.
+
+    *database* is a :class:`ResultsDatabase` or a path to one; raises
+    :class:`ResultsError` when the run stored no spans (rerun with
+    ``--trace`` / a tracer).
+    """
+    owned = not isinstance(database, ResultsDatabase)
+    database = open_results(database, create=False)
+    try:
+        return render_trace_report(database, experiment_name=experiment,
+                                   limit=limit)
+    finally:
+        if owned:
+            database.close()
+
+
+def _as_database(database, create=True):
+    if database is None or isinstance(database, ResultsDatabase):
+        return database if database is not None else ResultsDatabase()
+    return open_results(database, create=create)
+
+
+__all__ = [
+    "Tracer",
+    "as_tracer",
+    "open_results",
+    "reproduce_figure",
+    "run_campaign",
+    "run_experiment",
+    "trace_report",
+]

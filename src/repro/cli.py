@@ -11,11 +11,19 @@ Commands::
     generate  --tbl FILE [--mof FILE] --experiment NAME
               [--topology W-A-D] [--workload N] [--write-ratio F]
               [--backend shell|smartfrog] --out DIR
-    run       --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--quiet]
+    run       --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--jobs N]
+              [--trace] [--quiet]
     report    --db FILE [--experiment NAME] [--topology W-A-D]
               [--format text|csv|json] [--out FILE]
-    figure    --id ID [--scale F] [--out DIR]    (figure1..8, table1..7)
+    figure    --id ID [--scale F] [--jobs N] [--trace] [--db FILE]
+              [--out DIR]                        (figure1..8, table1..7)
+    trace     DB [--experiment NAME] [--limit N]
     catalog   [--platforms] [--software]
+
+The run/figure/report/trace handlers are thin wrappers over the
+:mod:`repro.api` facade; ``--trace`` turns on the lifecycle flight
+recorder, whose spans land in the database next to the trials and are
+rendered by ``repro trace <db>``.
 """
 
 from __future__ import annotations
@@ -78,6 +86,9 @@ def build_parser():
     run.add_argument("--jobs", type=int, default=1,
                      help="parallel trial workers (default 1; results "
                           "are identical for any value)")
+    run.add_argument("--trace", action="store_true",
+                     help="record lifecycle spans into the database "
+                          "(inspect with: repro trace <db>)")
     run.add_argument("--quiet", action="store_true")
     run.set_defaults(handler=cmd_run)
 
@@ -105,9 +116,25 @@ def build_parser():
     figure.add_argument("--jobs", type=int, default=1,
                         help="parallel trial workers (default 1; results "
                              "are identical for any value)")
+    figure.add_argument("--trace", action="store_true",
+                        help="record lifecycle spans while reproducing "
+                             "(stored in --db)")
+    figure.add_argument("--db", default=None,
+                        help="store the figure's trials (and spans) in "
+                             "this SQLite file (default with --trace: "
+                             "trace.sqlite)")
     figure.add_argument("--out", default=None,
                         help="directory for the rendering")
     figure.set_defaults(handler=cmd_figure)
+
+    trace = commands.add_parser(
+        "trace", help="render the flight-recorder report of a traced run")
+    trace.add_argument("db", help="results database of a --trace run")
+    trace.add_argument("--experiment", default=None,
+                       help="restrict to one experiment's trials")
+    trace.add_argument("--limit", type=int, default=20,
+                       help="trials shown in the breakdown (default 20)")
+    trace.set_defaults(handler=cmd_trace)
 
     catalog = commands.add_parser(
         "catalog", help="print the hardware/software catalogs")
@@ -198,38 +225,42 @@ def cmd_generate(args):
 
 
 def cmd_run(args):
-    from repro.core import ObservationCampaign
-    from repro.results import ResultsDatabase
+    from repro.api import open_results, run_campaign
+    from repro.obs import Tracer
 
     _spec, _model, tbl_text, mof_text = _load_specs(args)
-    with ResultsDatabase(args.db) as database:
-        campaign = ObservationCampaign(tbl_text, mof_text=mof_text,
-                                       database=database,
-                                       node_count=args.nodes,
-                                       tbl_source=args.tbl)
 
-        def progress(result):
-            if not args.quiet:
-                print(f"  {result.experiment_name} "
-                      f"{result.topology_label} "
-                      f"u={result.workload} wr={result.write_ratio:.0%} -> "
-                      f"{result.status} "
-                      f"rt={result.response_time_ms():.1f}ms "
-                      f"x={result.throughput():.1f}/s")
+    def progress(result):
+        if not args.quiet:
+            print(f"  {result.experiment_name} "
+                  f"{result.topology_label} "
+                  f"u={result.workload} wr={result.write_ratio:.0%} -> "
+                  f"{result.status} "
+                  f"rt={result.response_time_ms():.1f}ms "
+                  f"x={result.throughput():.1f}/s")
 
-        report = campaign.run(on_result=progress, jobs=args.jobs)
+    with open_results(args.db) as database:
+        report = run_campaign(tbl_text, mof_text=mof_text,
+                              database=database, node_count=args.nodes,
+                              jobs=args.jobs,
+                              tracer=Tracer() if args.trace else None,
+                              on_result=progress, tbl_source=args.tbl)
         for warning in report.warnings:
             print(f"warning: {warning}")
         print(report.summary())
     print(f"observations stored in {args.db}")
+    if args.trace:
+        print(f"lifecycle spans recorded; inspect with: "
+              f"repro trace {args.db}")
     return 0
 
 
 def cmd_report(args):
-    from repro.results import ResultsDatabase, analysis, report
+    from repro.api import open_results
+    from repro.results import analysis, report
     from repro.results.export import to_csv, to_json
 
-    with ResultsDatabase(args.db) as database:
+    with open_results(args.db, create=False) as database:
         results = database.query(experiment_name=args.experiment,
                                  topology=args.topology)
         if not results:
@@ -285,32 +316,66 @@ def cmd_report(args):
 
 
 def cmd_figure(args):
-    from repro.experiments.papersuite import (
-        FIGURE_IDS,
-        reproduce,
-        reproduce_all,
-    )
+    from repro.api import reproduce_figure
+    from repro.experiments.papersuite import FIGURE_IDS, reproduce_all
+    from repro.obs import Tracer
 
+    db_path = args.db
+    if args.trace and db_path is None:
+        db_path = "trace.sqlite"
+    tracer = Tracer() if args.trace else None
     if args.figure_id == "all":
-        results = reproduce_all(output_dir=args.out, scale=args.scale,
-                                on_progress=print, jobs=args.jobs)
+        with _maybe_database(db_path) as database:
+            results = reproduce_all(output_dir=args.out, scale=args.scale,
+                                    database=database, on_progress=print,
+                                    jobs=args.jobs, tracer=tracer)
         print(f"reproduced {len(results)} figures/tables"
               + (f" into {args.out}" if args.out else ""))
+        if db_path:
+            print(f"trials stored in {db_path}")
         return 0
     try:
-        result = reproduce(args.figure_id, scale=args.scale,
-                           jobs=args.jobs)
+        with _maybe_database(db_path) as database:
+            result = reproduce_figure(args.figure_id, scale=args.scale,
+                                      jobs=args.jobs, tracer=tracer,
+                                      database=database,
+                                      output_dir=args.out)
     except KeyError:
         print(f"error: unknown figure id {args.figure_id!r}; known: "
               f"all, {', '.join(FIGURE_IDS)}", file=sys.stderr)
         return 1
     print(result.rendered)
     if args.out:
-        out_dir = pathlib.Path(args.out)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        path = out_dir / f"{result.figure_id}.txt"
-        path.write_text(result.rendered + "\n")
+        path = pathlib.Path(args.out) / f"{result.figure_id}.txt"
         print(f"\nwrote {path}")
+    if db_path:
+        print(f"trials stored in {db_path}"
+              + (f"; inspect spans with: repro trace {db_path}"
+                 if args.trace else ""))
+    return 0
+
+
+class _NoDatabase:
+    """Context manager standing in for 'no --db given'."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+def _maybe_database(db_path):
+    from repro.api import open_results
+
+    return open_results(db_path) if db_path else _NoDatabase()
+
+
+def cmd_trace(args):
+    from repro.api import trace_report
+
+    print(trace_report(args.db, experiment=args.experiment,
+                       limit=args.limit))
     return 0
 
 

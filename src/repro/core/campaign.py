@@ -13,7 +13,9 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.core.characterization import PerformanceMap
+from repro.deprecation import absorb_positional
 from repro.errors import ExperimentError
+from repro.obs.tracer import as_tracer
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scheduler import TrialScheduler, enumerate_tasks
 from repro.results.database import ResultsDatabase
@@ -34,6 +36,8 @@ class CampaignReport:
     warnings: list = field(default_factory=list)
     #: experiment name -> number of trials stored for it
     by_experiment: dict = field(default_factory=dict)
+    #: the ResultsDatabase the trials were stored in
+    database: object = None
 
     def summary(self):
         return (f"{self.trials} trials ({self.completed} completed, "
@@ -42,10 +46,25 @@ class CampaignReport:
 
 
 class ObservationCampaign:
-    """End-to-end campaign bound to one TBL spec and one cluster."""
+    """End-to-end campaign bound to one TBL spec and one cluster.
 
-    def __init__(self, tbl_text, mof_text=None, database=None,
-                 node_count=36, tbl_source="<campaign>"):
+    Everything after *tbl_text* is keyword-only (the legacy positional
+    form is deprecated); a *tracer* makes every trial of the campaign
+    record its lifecycle span tree into the database's ``spans`` table.
+    """
+
+    def __init__(self, tbl_text, *args, mof_text=None, database=None,
+                 node_count=36, tbl_source="<campaign>", tracer=None):
+        merged = absorb_positional(
+            "ObservationCampaign",
+            ("mof_text", "database", "node_count", "tbl_source"), args,
+            {"mof_text": mof_text, "database": database,
+             "node_count": node_count, "tbl_source": tbl_source})
+        mof_text = merged["mof_text"]
+        database = merged["database"]
+        node_count = merged["node_count"]
+        tbl_source = merged["tbl_source"]
+        self.tracer = as_tracer(tracer)
         self.spec = parse_tbl(tbl_text, source=tbl_source)
         if mof_text is None:
             mof_text = render_resource_mof(
@@ -62,11 +81,13 @@ class ObservationCampaign:
             )
         self.cluster = VirtualCluster(self.spec.platform,
                                       node_count=node_count)
-        self.runner = ExperimentRunner(self.cluster, self.resource_model)
+        self.runner = ExperimentRunner(cluster=self.cluster,
+                                       resource_model=self.resource_model,
+                                       tracer=self.tracer)
         self.database = database if database is not None \
             else ResultsDatabase()
 
-    def run(self, experiment_names=None, on_result=None, replace=True,
+    def run(self, experiment_names=None, *, on_result=None, replace=True,
             jobs=1, backend=None, on_progress=None):
         """Run the spec's experiments, storing every trial.
 
@@ -82,7 +103,8 @@ class ObservationCampaign:
         in enumeration order, so the resulting database rows match a
         ``jobs=1`` run exactly.
         """
-        report = CampaignReport(warnings=list(self.validation_warnings))
+        report = CampaignReport(warnings=list(self.validation_warnings),
+                                database=self.database)
         experiments = self.spec.experiments
         if experiment_names is not None:
             experiments = [self.spec.experiment(name)
@@ -125,7 +147,8 @@ class ObservationCampaign:
                 store(self.runner.run_task(task))
         else:
             scheduler = TrialScheduler(self._worker_runner, jobs=jobs,
-                                       backend=backend)
+                                       backend=backend,
+                                       tracer=self.tracer)
             scheduler.run(tasks, on_result=store)
         return report
 

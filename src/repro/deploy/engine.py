@@ -13,7 +13,9 @@ from dataclasses import dataclass
 
 from repro.deploy.state import extract_deployed_system
 from repro.deploy.verify import verify_deployment
+from repro.deprecation import absorb_positional
 from repro.errors import DeployError, ShellError
+from repro.obs.tracer import as_tracer
 from repro.shellvm import ShellInterpreter
 
 
@@ -31,11 +33,24 @@ class Deployment:
 
 
 class DeploymentEngine:
-    """Runs Mulini bundles against one virtual cluster."""
+    """Runs Mulini bundles against one virtual cluster.
 
-    def __init__(self, cluster):
+    Construct with keywords (``cluster=``, ``tracer=``); the legacy
+    positional form still works but is deprecated.  The tracer flows
+    into the shell interpreter, so every generated script this engine
+    executes shows up as a ``script`` span.
+    """
+
+    def __init__(self, *args, cluster=None, tracer=None):
+        merged = absorb_positional("DeploymentEngine", ("cluster",),
+                                   args, {"cluster": cluster})
+        cluster = merged["cluster"]
+        if cluster is None:
+            raise DeployError("DeploymentEngine requires cluster=")
         self.cluster = cluster
-        self.interpreter = ShellInterpreter(cluster.network)
+        self.tracer = as_tracer(tracer)
+        self.interpreter = ShellInterpreter(cluster.network,
+                                            tracer=self.tracer)
 
     def deploy(self, bundle, allocation, experiment=None, topology=None,
                workload=None, write_ratio=None):
@@ -62,11 +77,17 @@ class DeploymentEngine:
             )
         hosts = [allocation.client] + allocation.all_server_hosts()
         system = extract_deployed_system(hosts)
+        self.tracer.annotate(transcript_lines=output.count("\n"))
         if experiment is not None:
-            verify_deployment(system, experiment, topology, workload,
-                              write_ratio)
+            self.verify(system, experiment, topology, workload,
+                        write_ratio)
         return Deployment(bundle=bundle, allocation=allocation,
                           system=system, transcript=output)
+
+    def verify(self, system, experiment, topology, workload, write_ratio):
+        """Verify a recovered system against its experiment point."""
+        verify_deployment(system, experiment, topology, workload,
+                          write_ratio)
 
     def collect(self, deployment):
         """Run the generated collect.sh; returns the results directory."""

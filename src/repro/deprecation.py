@@ -1,0 +1,39 @@
+"""Deprecation shims for the keyword-only API normalization.
+
+Constructor options across the pipeline layers (``cluster=``,
+``resource_model=``, ``jobs=``, ``tracer=``, ...) are keyword-only as
+of the ``repro.api`` facade; the legacy positional forms still work but
+emit a :class:`DeprecationWarning` through :func:`absorb_positional`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def absorb_positional(owner, names, args, current):
+    """Map deprecated positional *args* onto the keyword slots *names*.
+
+    *current* is the dict of keyword values the caller actually passed
+    (or their defaults); positional values fill the leading slots and
+    must not collide with an explicitly passed keyword.  Returns the
+    merged dict.
+    """
+    if not args:
+        return current
+    if len(args) > len(names):
+        raise TypeError(
+            f"{owner} takes at most {len(names)} positional "
+            f"argument(s) ({', '.join(names)}), got {len(args)}"
+        )
+    taken = names[:len(args)]
+    warnings.warn(
+        f"passing {', '.join(taken)} to {owner} positionally is "
+        f"deprecated; use keyword arguments "
+        f"({', '.join(f'{n}=...' for n in taken)})",
+        DeprecationWarning, stacklevel=3,
+    )
+    merged = dict(current)
+    for name, value in zip(names, args):
+        merged[name] = value
+    return merged

@@ -53,7 +53,7 @@ def deployed_rubis_system(apps, dbs, users, write_ratio=0.15,
     plan = HostPlan.from_allocation(allocation)
     bundle = Mulini(model).generate(experiment, topology, users,
                                     write_ratio, host_plan=plan)
-    deployment = DeploymentEngine(cluster).deploy(
+    deployment = DeploymentEngine(cluster=cluster).deploy(
         bundle, allocation, experiment=experiment, topology=topology,
         workload=users, write_ratio=write_ratio,
     )

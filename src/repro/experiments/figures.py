@@ -49,13 +49,14 @@ def make_cluster(platform, node_count=36):
 
 
 def make_runner(platform, benchmark, app_server=None, db_node_type=None,
-                cluster=None, node_count=36):
+                cluster=None, node_count=36, tracer=None):
     node_types = {"db": db_node_type} if db_node_type else None
     model = load_resource_model(render_resource_mof(
         benchmark, platform, app_server=app_server, node_types=node_types,
     ))
     cluster = cluster or make_cluster(platform, node_count)
-    return ExperimentRunner(cluster, model)
+    return ExperimentRunner(cluster=cluster, resource_model=model,
+                            tracer=tracer)
 
 
 def _run(figure_id, title, runner, experiment, tbl):
@@ -69,7 +70,7 @@ def _run(figure_id, title, runner, experiment, tbl):
 
 def run_rubis_jonas_baseline(scale=BENCH_SCALE, workload_step=50,
                              ratio_step=0.1, cluster=None, seed=42,
-                             jobs=1):
+                             jobs=1, tracer=None):
     """The Figure 1/2 sweep: 50..250 users x 0..90% writes (IV.A)."""
     experiment, tbl = build_experiment(
         name="rubis-jonas-baseline", benchmark="rubis", platform="emulab",
@@ -80,16 +81,17 @@ def run_rubis_jonas_baseline(scale=BENCH_SCALE, workload_step=50,
         scale=scale, seed=seed,
     )
     runner = make_runner("emulab", "rubis", db_node_type="emulab-low",
-                         cluster=cluster, node_count=12)
+                         cluster=cluster, node_count=12, tracer=tracer)
     return runner.run_experiment(experiment, jobs=jobs), tbl
 
 
 def figure1(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
-            results=None, tbl="", jobs=1):
+            results=None, tbl="", jobs=1, tracer=None):
     """Figure 1: RUBiS on JOnAS response-time surface."""
     if results is None:
         results, tbl = run_rubis_jonas_baseline(scale, workload_step,
-                                                ratio_step, jobs=jobs)
+                                                ratio_step, jobs=jobs,
+                                                tracer=tracer)
     surface = analysis.response_surface(results, "1-1-1", value="response")
     rendered = report.render_surface(
         "Figure 1. RUBiS on JOnAS response time (ms), 1-1-1 on Emulab",
@@ -100,11 +102,12 @@ def figure1(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
 
 
 def figure2(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
-            results=None, tbl="", jobs=1):
+            results=None, tbl="", jobs=1, tracer=None):
     """Figure 2: RUBiS on JOnAS application-server CPU utilization."""
     if results is None:
         results, tbl = run_rubis_jonas_baseline(scale, workload_step,
-                                                ratio_step, jobs=jobs)
+                                                ratio_step, jobs=jobs,
+                                                tracer=tracer)
     surface = analysis.response_surface(results, "1-1-1", value="app_cpu")
     rendered = report.render_surface(
         "Figure 2. RUBiS on JOnAS app-server CPU utilization (%), 1-1-1",
@@ -119,7 +122,7 @@ def figure2(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
 # ---------------------------------------------------------------------------
 
 def figure3(scale=BENCH_SCALE, workload_step=100, ratio_step=0.1,
-            cluster=None, seed=42, jobs=1):
+            cluster=None, seed=42, jobs=1, tracer=None):
     """Figure 3: Weblogic replaces JOnAS; 100..600 users (IV.B)."""
     experiment, tbl = build_experiment(
         name="rubis-weblogic-baseline", benchmark="rubis", platform="warp",
@@ -129,7 +132,7 @@ def figure3(scale=BENCH_SCALE, workload_step=100, ratio_step=0.1,
         app_server="weblogic", scale=scale, seed=seed,
     )
     runner = make_runner("warp", "rubis", app_server="weblogic",
-                         cluster=cluster, node_count=12)
+                         cluster=cluster, node_count=12, tracer=tracer)
     results = runner.run_experiment(experiment, jobs=jobs)
     surface = analysis.response_surface(results, "1-1-1", value="response")
     rendered = report.render_surface(
@@ -145,7 +148,7 @@ def figure3(scale=BENCH_SCALE, workload_step=100, ratio_step=0.1,
 # ---------------------------------------------------------------------------
 
 def figure4(scale=BENCH_SCALE, workload_step=500, cluster=None, seed=42,
-            jobs=1):
+            jobs=1, tracer=None):
     """Figure 4: RUBBoS 100% read vs 85/15, 500..5000 users (IV.C)."""
     experiment, tbl = build_experiment(
         name="rubbos-baseline", benchmark="rubbos", platform="emulab",
@@ -155,7 +158,7 @@ def figure4(scale=BENCH_SCALE, workload_step=500, cluster=None, seed=42,
         scale=scale, seed=seed,
     )
     runner = make_runner("emulab", "rubbos", cluster=cluster,
-                         node_count=12)
+                         node_count=12, tracer=tracer)
     results = runner.run_experiment(experiment, jobs=jobs)
     readonly = analysis.response_time_series(results, "1-1-1",
                                              write_ratio=0.0)
@@ -175,24 +178,25 @@ def figure4(scale=BENCH_SCALE, workload_step=500, cluster=None, seed=42,
 # ---------------------------------------------------------------------------
 
 def _scaleout(name, app_range, db_range, workloads, scale, cluster, seed,
-              jobs=1):
+              jobs=1, tracer=None):
     experiment, tbl = build_experiment(
         name=name, benchmark="rubis", platform="emulab",
         topologies=list(topology_grid(1, app_range, db_range)),
         workloads=workloads, write_ratios=(0.15,),
         scale=scale, seed=seed,
     )
-    runner = make_runner("emulab", "rubis", cluster=cluster, node_count=36)
+    runner = make_runner("emulab", "rubis", cluster=cluster, node_count=36,
+                         tracer=tracer)
     return runner.run_experiment(experiment, jobs=jobs), tbl
 
 
 def figure5(scale=BENCH_SCALE, workload_step=300, max_workload=2100,
-            cluster=None, seed=42, jobs=1):
+            cluster=None, seed=42, jobs=1, tracer=None):
     """Figure 5: scale-out response time, 2-8 app x 1-3 db servers."""
     results, tbl = _scaleout(
         "rubis-scaleout-2to8", range(2, 9), range(1, 4),
         expand_range(300, max_workload, workload_step), scale, cluster,
-        seed, jobs=jobs,
+        seed, jobs=jobs, tracer=tracer,
     )
     data = {
         topology: analysis.response_time_series(results, topology)
@@ -208,12 +212,12 @@ def figure5(scale=BENCH_SCALE, workload_step=300, max_workload=2100,
 
 
 def figure6(scale=BENCH_SCALE, workload_step=400, cluster=None, seed=42,
-            jobs=1):
+            jobs=1, tracer=None):
     """Figure 6: scale-out response time, 8-12 app x 1-3 db servers."""
     results, tbl = _scaleout(
         "rubis-scaleout-8to12", range(8, 13), range(1, 4),
         expand_range(1700, 2900, workload_step), scale, cluster, seed,
-        jobs=jobs,
+        jobs=jobs, tracer=tracer,
     )
     data = {
         topology: analysis.response_time_series(results, topology)
@@ -233,7 +237,7 @@ def figure6(scale=BENCH_SCALE, workload_step=400, cluster=None, seed=42,
 # ---------------------------------------------------------------------------
 
 def run_db_scaleout(scale=BENCH_SCALE, workload_step=300, cluster=None,
-                    seed=42, jobs=1):
+                    seed=42, jobs=1, tracer=None):
     """The Figure 7/8 sweep: the five configurations the paper plots."""
     topologies = [Topology(1, 8, 1), Topology(1, 8, 2), Topology(1, 8, 3),
                   Topology(1, 12, 2), Topology(1, 12, 3)]
@@ -243,16 +247,17 @@ def run_db_scaleout(scale=BENCH_SCALE, workload_step=300, cluster=None,
         workloads=expand_range(1100, 2900, workload_step),
         write_ratios=(0.15,), scale=scale, seed=seed,
     )
-    runner = make_runner("emulab", "rubis", cluster=cluster, node_count=36)
+    runner = make_runner("emulab", "rubis", cluster=cluster, node_count=36,
+                         tracer=tracer)
     return runner.run_experiment(experiment, jobs=jobs), tbl
 
 
 def figure7(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
-            cluster=None, seed=42, jobs=1):
+            cluster=None, seed=42, jobs=1, tracer=None):
     """Figure 7: response-time differences between DB configurations."""
     if results is None:
         results, tbl = run_db_scaleout(scale, workload_step, cluster, seed,
-                                       jobs=jobs)
+                                       jobs=jobs, tracer=tracer)
     data = {
         "1DB-2DB (8 app)": analysis.response_time_difference(
             results, "1-8-1", "1-8-2"),
@@ -270,7 +275,7 @@ def figure7(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
 
 
 def figure8(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
-            cluster=None, seed=42, jobs=1):
+            cluster=None, seed=42, jobs=1, tracer=None):
     """Figure 8: DB-tier CPU utilization, the three critical cases.
 
     The paper's three curves show "gradual saturation of the database
@@ -281,7 +286,7 @@ def figure8(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
     """
     if results is None:
         results, tbl = run_db_scaleout(scale, workload_step, cluster, seed,
-                                       jobs=jobs)
+                                       jobs=jobs, tracer=tracer)
     data = {
         topology: analysis.db_cpu_series(results, topology)
         for topology in ("1-8-1", "1-12-2", "1-12-3")
@@ -299,7 +304,7 @@ def figure8(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
 # ---------------------------------------------------------------------------
 
 def table6(scale=BENCH_SCALE, cluster=None, seed=42, workload=500,
-           jobs=1):
+           jobs=1, tracer=None):
     """Table 6: % RT improvement from 1-1-1 at 500 users (V.B)."""
     topologies = [Topology(1, 1, 1), Topology(1, 2, 1), Topology(1, 3, 1),
                   Topology(1, 4, 1), Topology(1, 1, 2), Topology(1, 1, 3)]
@@ -308,7 +313,8 @@ def table6(scale=BENCH_SCALE, cluster=None, seed=42, workload=500,
         topologies=topologies, workloads=(workload,), write_ratios=(0.15,),
         scale=scale, seed=seed,
     )
-    runner = make_runner("emulab", "rubis", cluster=cluster, node_count=12)
+    runner = make_runner("emulab", "rubis", cluster=cluster, node_count=12,
+                         tracer=tracer)
     results = runner.run_experiment(experiment, jobs=jobs)
     table = analysis.improvement_table(
         results, "1-1-1", workload, 0.15,
@@ -327,7 +333,7 @@ def table6(scale=BENCH_SCALE, cluster=None, seed=42, workload=500,
 # ---------------------------------------------------------------------------
 
 def table7(scale=BENCH_SCALE, workload_step=100, cluster=None, seed=42,
-           jobs=1):
+           jobs=1, tracer=None):
     """Table 7: throughput for 1-2-1..1-4-3, loads 300..1000 (V.B)."""
     topologies = list(topology_grid(1, range(2, 5), range(1, 4)))
     workloads = expand_range(300, 1000, workload_step)
@@ -336,7 +342,8 @@ def table7(scale=BENCH_SCALE, workload_step=100, cluster=None, seed=42,
         topologies=topologies, workloads=workloads, write_ratios=(0.15,),
         scale=scale, seed=seed,
     )
-    runner = make_runner("emulab", "rubis", cluster=cluster, node_count=12)
+    runner = make_runner("emulab", "rubis", cluster=cluster, node_count=12,
+                         tracer=tracer)
     results = runner.run_experiment(experiment, jobs=jobs)
     table = analysis.throughput_table(
         results, [t.label() for t in topologies], workloads,
@@ -354,7 +361,8 @@ def table7(scale=BENCH_SCALE, workload_step=100, cluster=None, seed=42,
 # ---------------------------------------------------------------------------
 
 def supplemental_rubbos_scaleout(scale=BENCH_SCALE, workload_step=500,
-                                 cluster=None, seed=42, jobs=1):
+                                 cluster=None, seed=42, jobs=1,
+                                 tracer=None):
     """RUBBoS scale-out on its bottleneck, the database tier.
 
     The conclusion mentions "the scale-out experiments ... for RUBBoS
@@ -371,7 +379,7 @@ def supplemental_rubbos_scaleout(scale=BENCH_SCALE, workload_step=500,
         write_ratios=(0.0,), scale=scale, seed=seed,
     )
     runner = make_runner("emulab", "rubbos", cluster=cluster,
-                         node_count=14)
+                         node_count=14, tracer=tracer)
     results = runner.run_experiment(experiment, jobs=jobs)
     data = {
         topology: analysis.response_time_series(results, topology)
@@ -387,7 +395,8 @@ def supplemental_rubbos_scaleout(scale=BENCH_SCALE, workload_step=500,
 
 
 def supplemental_weblogic_scaleout(scale=BENCH_SCALE, workload_step=300,
-                                   cluster=None, seed=42, jobs=1):
+                                   cluster=None, seed=42, jobs=1,
+                                   tracer=None):
     """Scale-out RUBiS on Weblogic (Table 3's fourth experiment set).
 
     The paper ran 1-2-1 .. 1-6-2 on Warp; with two CPUs per node each
@@ -403,7 +412,7 @@ def supplemental_weblogic_scaleout(scale=BENCH_SCALE, workload_step=300,
         seed=seed,
     )
     runner = make_runner("warp", "rubis", app_server="weblogic",
-                         cluster=cluster, node_count=14)
+                         cluster=cluster, node_count=14, tracer=tracer)
     results = runner.run_experiment(experiment, jobs=jobs)
     data = {
         topology: analysis.response_time_series(results, topology)

@@ -39,34 +39,37 @@ SUITE = (
 FIGURE_IDS = tuple(name for name, _fn, _scaled in SUITE)
 
 
-def _suite_kwargs(scaled, scale, jobs):
+def _suite_kwargs(scaled, scale, jobs, tracer=None):
     """Arguments for one suite entry: only trial-running (scaled)
-    reproductions take the scale/jobs knobs."""
+    reproductions take the scale/jobs/tracer knobs."""
     kwargs = {}
     if scaled:
         if scale is not None:
             kwargs["scale"] = scale
         if jobs != 1:
             kwargs["jobs"] = jobs
+        if tracer is not None:
+            kwargs["tracer"] = tracer
     return kwargs
 
 
-def reproduce(figure_id, scale=None, jobs=1):
+def reproduce(figure_id, scale=None, jobs=1, tracer=None):
     """Run one reproduction by id; returns its FigureResult.
 
     ``jobs=N`` runs the figure's sweep on N scheduler workers; the
-    derived data is identical to a sequential run.
+    derived data is identical to a sequential run.  A *tracer* records
+    every trial's lifecycle spans (trial-running reproductions only).
     """
     for name, fn, scaled in SUITE:
         if name == figure_id:
-            return fn(**_suite_kwargs(scaled, scale, jobs))
+            return fn(**_suite_kwargs(scaled, scale, jobs, tracer))
     raise KeyError(
         f"unknown figure id {figure_id!r}; known: {', '.join(FIGURE_IDS)}"
     )
 
 
 def reproduce_all(output_dir=None, scale=None, database=None,
-                  on_progress=None, only=None, jobs=1):
+                  on_progress=None, only=None, jobs=1, tracer=None):
     """Run the full suite; returns {figure_id: FigureResult}.
 
     *output_dir* receives one ``<id>.txt`` per reproduction; *database*
@@ -80,7 +83,7 @@ def reproduce_all(output_dir=None, scale=None, database=None,
     for name, fn, scaled in selected:
         if on_progress is not None:
             on_progress(f"running {name} ...")
-        figure = fn(**_suite_kwargs(scaled, scale, jobs))
+        figure = fn(**_suite_kwargs(scaled, scale, jobs, tracer))
         results[name] = figure
         if output_dir is not None:
             out = pathlib.Path(output_dir)

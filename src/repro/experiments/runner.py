@@ -16,11 +16,20 @@ nothing short-circuited:
 
 A trial whose error ratio exceeds the TBL error budget is recorded as
 DNF — the paper's experiments that "could not complete" (Table 7).
+
+Every trial is also a tracing span tree: one ``trial`` root span plus
+one child span per lifecycle phase (``allocate``, ``generate``,
+``deploy``, ``verify``, ``simulate``, ``collect``, ``analyze``,
+``teardown``), with per-script spans nested under the script-driven
+phases.  The spans ride on the returned :class:`TrialResult` (so they
+survive process-pool workers) and land in the results database's
+``spans`` table; tracing never changes a trial's outcome.
 """
 
 from __future__ import annotations
 
 from repro.deploy import DeploymentEngine
+from repro.deprecation import absorb_positional
 from repro.errors import ExperimentError
 from repro.experiments.trial import (
     COMPLETED,
@@ -38,32 +47,53 @@ from repro.monitoring import (
     summarize_log,
     summarize_log_by_state,
 )
+from repro.obs.tracer import as_tracer, worker_name
 from repro.sim import NTierSimulation
 
 
 class ExperimentRunner:
     """Runs experiment points end to end on one virtual cluster.
 
-    *wait_for_nodes* makes trials block for cluster nodes instead of
-    failing when concurrent trials hold them — the shared-cluster mode
-    of parallel scheduling.
+    Construct with keywords: ``cluster=``, ``resource_model=``,
+    ``wait_for_nodes=``, ``tracer=`` (the legacy positional form is
+    deprecated).  *wait_for_nodes* makes trials block for cluster nodes
+    instead of failing when concurrent trials hold them — the
+    shared-cluster mode of parallel scheduling.  *tracer* is threaded
+    through every layer (deployment engine, shell interpreter,
+    simulation, collector) so one trial produces one span tree.
     """
 
-    def __init__(self, cluster, resource_model, wait_for_nodes=False):
+    def __init__(self, *args, cluster=None, resource_model=None,
+                 wait_for_nodes=False, tracer=None):
+        merged = absorb_positional(
+            "ExperimentRunner", ("cluster", "resource_model",
+                                 "wait_for_nodes"),
+            args, {"cluster": cluster, "resource_model": resource_model,
+                   "wait_for_nodes": wait_for_nodes})
+        cluster = merged["cluster"]
+        resource_model = merged["resource_model"]
+        if cluster is None or resource_model is None:
+            raise ExperimentError(
+                "ExperimentRunner requires cluster= and resource_model="
+            )
         self.cluster = cluster
         self.resource_model = resource_model
-        self.wait_for_nodes = wait_for_nodes
+        self.wait_for_nodes = merged["wait_for_nodes"]
+        self.tracer = as_tracer(tracer)
         self.mulini = Mulini(resource_model)
-        self.engine = DeploymentEngine(cluster)
+        self.engine = DeploymentEngine(cluster=cluster, tracer=self.tracer)
 
     def clone(self):
         """A runner like this one on a fresh clone of its cluster.
 
         Scheduler workers each run on a clone, so virtual-host state
-        never crosses workers.
+        never crosses workers.  The tracer is shared: worker spans all
+        land on the same trace plane.
         """
-        return ExperimentRunner(self.cluster.clone(), self.resource_model,
-                                wait_for_nodes=self.wait_for_nodes)
+        return ExperimentRunner(cluster=self.cluster.clone(),
+                                resource_model=self.resource_model,
+                                wait_for_nodes=self.wait_for_nodes,
+                                tracer=self.tracer)
 
     def run_point(self, experiment, topology, workload, write_ratio,
                   seed=None):
@@ -76,18 +106,38 @@ class ExperimentRunner:
         if seed is not None and seed != experiment.seed:
             from dataclasses import replace
             experiment = replace(experiment, seed=seed)
-        tier_node_types = {}
-        if experiment.db_node_type is not None:
-            tier_node_types["db"] = \
-                self.cluster.platform.node_type(experiment.db_node_type).name
-        allocation = self.cluster.allocate(topology,
-                                           tier_node_types=tier_node_types,
-                                           wait=self.wait_for_nodes)
-        try:
-            return self._run_allocated(allocation, experiment, topology,
-                                       workload, write_ratio)
-        finally:
-            self.cluster.release(allocation)
+        tracer = self.tracer
+        with tracer.span(
+                "trial",
+                experiment=experiment.name,
+                topology=topology.label(),
+                workload=workload,
+                write_ratio=write_ratio,
+                seed=experiment.seed,
+                worker=worker_name()) as trial_span:
+            tier_node_types = {}
+            if experiment.db_node_type is not None:
+                tier_node_types["db"] = self.cluster.platform.node_type(
+                    experiment.db_node_type).name
+            with tracer.span("allocate",
+                             wait=self.wait_for_nodes) as alloc_span:
+                allocation = self.cluster.allocate(
+                    topology, tier_node_types=tier_node_types,
+                    wait=self.wait_for_nodes)
+                tracer.annotate(nodes=sorted(
+                    {allocation.client.name}
+                    | {h.name for h in allocation.all_server_hosts()}))
+            if self.wait_for_nodes:
+                tracer.count("runner.node_wait_s", alloc_span.duration)
+            try:
+                result = self._run_allocated(allocation, experiment,
+                                             topology, workload,
+                                             write_ratio)
+                trial_span.annotate(status=result.status)
+            finally:
+                self.cluster.release(allocation)
+        result.spans = tracer.export(trial_span)
+        return result
 
     def run_task(self, task):
         """Execute one enumerated :class:`TrialTask`."""
@@ -95,7 +145,7 @@ class ExperimentRunner:
                               task.workload, task.write_ratio,
                               seed=task.seed)
 
-    def run_experiment(self, experiment, on_result=None, jobs=1,
+    def run_experiment(self, experiment, *, on_result=None, jobs=1,
                        backend=None):
         """Run every sweep point of *experiment*, with repetitions.
 
@@ -109,7 +159,7 @@ class ExperimentRunner:
         runner.  Results arrive in enumeration order either way, and
         trial metrics are identical across ``jobs`` settings because
         every trial's random streams derive from ``(seed + repetition)``
-        alone.
+        alone — tracing on or off.
         """
         tasks = enumerate_tasks(experiment)
         if jobs == 1:
@@ -120,52 +170,73 @@ class ExperimentRunner:
                 if on_result is not None:
                     on_result(result)
             return results
-        scheduler = TrialScheduler(self.clone, jobs=jobs, backend=backend)
+        scheduler = TrialScheduler(self.clone, jobs=jobs, backend=backend,
+                                   tracer=self.tracer)
         return scheduler.run(tasks, on_result=on_result)
 
     # -- internals ---------------------------------------------------------
 
     def _run_allocated(self, allocation, experiment, topology, workload,
                        write_ratio):
-        plan = HostPlan.from_allocation(allocation)
-        bundle = self.mulini.generate(experiment, topology, workload,
-                                      write_ratio, host_plan=plan)
-        deployment = self.engine.deploy(
-            bundle, allocation, experiment=experiment, topology=topology,
-            workload=workload, write_ratio=write_ratio,
-        )
+        tracer = self.tracer
+        with tracer.span("generate"):
+            plan = HostPlan.from_allocation(allocation)
+            bundle = self.mulini.generate(experiment, topology, workload,
+                                          write_ratio, host_plan=plan)
+            tracer.annotate(experiment_id=bundle.experiment_id,
+                            files=bundle.file_count(),
+                            script_lines=bundle.script_line_total(),
+                            config_lines=bundle.config_line_total())
+        with tracer.span("deploy"):
+            deployment = self.engine.deploy(bundle, allocation)
         system = deployment.system
-        harness = NTierSimulation(system)
-        emitters = attach_monitors(harness)
-        records = harness.run()
-        for emitter in emitters:
-            emitter.stop()
-            emitter.flush()
-        # The driver writes its per-request log where driver.properties
-        # said it would; collect.sh ships it to the control host.
-        system.client_host.fs.write(system.driver.log_path,
-                                    render_request_log(records))
-        results_dir = self.engine.collect(deployment)
+        with tracer.span("verify"):
+            self.engine.verify(system, experiment, topology, workload,
+                               write_ratio)
+        with tracer.span("simulate"):
+            harness = NTierSimulation(system, tracer=tracer)
+            emitters = attach_monitors(harness)
+            records = harness.run()
+            for emitter in emitters:
+                emitter.stop()
+                emitter.flush()
+            # The driver writes its per-request log where
+            # driver.properties said it would; collect.sh ships it to
+            # the control host.
+            system.client_host.fs.write(system.driver.log_path,
+                                        render_request_log(records))
+            tracer.annotate(requests=len(records),
+                            sim_events=harness.sim.events_processed,
+                            monitors=len(emitters))
         control = allocation.control
-        window = measurement_window(experiment.trial)
-        log_path = f"{results_dir}/requests.log"
-        if not control.fs.is_file(log_path):
-            raise ExperimentError(
-                f"collect.sh did not deliver the request log for "
-                f"{bundle.experiment_id}"
-            )
-        collected_log = control.fs.read(log_path)
-        metrics = summarize_log(collected_log, window)
-        per_state = summarize_log_by_state(collected_log, window)
-        sys_series = collect_sysstat_files(control, results_dir)
-        host_cpu = {host: series.mean("cpu", window)
-                    for host, series in sys_series.items()}
-        tier_of_host = self._tier_map(system)
-        data_bytes = collected_bytes(control, results_dir)
-        self.engine.teardown(deployment)
+        with tracer.span("collect"):
+            results_dir = self.engine.collect(deployment)
+            log_path = f"{results_dir}/requests.log"
+            if not control.fs.is_file(log_path):
+                raise ExperimentError(
+                    f"collect.sh did not deliver the request log for "
+                    f"{bundle.experiment_id}"
+                )
+            collected_log = control.fs.read(log_path)
+            sys_series = collect_sysstat_files(control, results_dir,
+                                               tracer=tracer)
+            data_bytes = collected_bytes(control, results_dir)
+            tracer.annotate(bytes=data_bytes, hosts=len(sys_series))
+        with tracer.span("analyze"):
+            window = measurement_window(experiment.trial)
+            metrics = summarize_log(collected_log, window)
+            per_state = summarize_log_by_state(collected_log, window)
+            host_cpu = {host: series.mean("cpu", window)
+                        for host, series in sys_series.items()}
+            tier_of_host = self._tier_map(system)
+        with tracer.span("teardown"):
+            self.engine.teardown(deployment)
         status = COMPLETED
         if metrics.error_ratio > experiment.slo.error_ratio:
             status = DNF
+            tracer.annotate(dnf_cause=f"error ratio "
+                            f"{metrics.error_ratio:.3f} exceeds budget "
+                            f"{experiment.slo.error_ratio:.3f}")
         return TrialResult(
             experiment_name=experiment.name,
             benchmark=experiment.benchmark,

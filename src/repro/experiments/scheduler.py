@@ -27,7 +27,9 @@ import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.deprecation import absorb_positional
 from repro.errors import ExperimentError
+from repro.obs.tracer import as_tracer
 
 THREAD = "thread"
 PROCESS = "process"
@@ -102,9 +104,20 @@ class TrialScheduler:
     :meth:`run` returns results in task order and invokes *on_result*
     in task order from the calling thread, buffering out-of-order
     completions, so downstream stores see a deterministic sequence.
+
+    A *tracer* records scheduler counters on the submitting side
+    (``scheduler.tasks_queued`` / ``tasks_running`` / ``tasks_done`` /
+    ``tasks_failed``) regardless of backend; per-trial spans come from
+    the workers' runners and travel on the results themselves.
     """
 
-    def __init__(self, runner_factory, jobs=1, backend=None):
+    def __init__(self, runner_factory, *args, jobs=1, backend=None,
+                 tracer=None):
+        merged = absorb_positional(
+            "TrialScheduler", ("jobs", "backend"), args,
+            {"jobs": jobs, "backend": backend})
+        jobs = merged["jobs"]
+        backend = merged["backend"]
         if jobs < 1:
             raise ExperimentError(f"jobs must be at least 1, got {jobs}")
         if backend is not None and backend not in BACKENDS:
@@ -115,10 +128,12 @@ class TrialScheduler:
         self.runner_factory = runner_factory
         self.jobs = jobs
         self.backend = backend or default_backend()
+        self.tracer = as_tracer(tracer)
 
     def run(self, tasks, on_result=None):
         """Execute *tasks*; returns their TrialResults in task order."""
         tasks = list(tasks)
+        self.tracer.count("scheduler.tasks_queued", len(tasks))
         if self.jobs == 1 or len(tasks) <= 1:
             return self._run_inline(tasks, on_result)
         if self.backend == THREAD:
@@ -131,8 +146,13 @@ class TrialScheduler:
         runner = self.runner_factory()
         results = []
         for task in tasks:
-            result = runner.run_task(task)
+            self.tracer.count("scheduler.tasks_running", 1)
+            try:
+                result = runner.run_task(task)
+            finally:
+                self.tracer.count("scheduler.tasks_running", -1)
             results.append(result)
+            self.tracer.count("scheduler.tasks_done", 1)
             if on_result is not None:
                 on_result(result)
         return results
@@ -144,7 +164,11 @@ class TrialScheduler:
             runner = getattr(local, "runner", None)
             if runner is None:
                 runner = local.runner = self.runner_factory()
-            return runner.run_task(task)
+            self.tracer.count("scheduler.tasks_running", 1)
+            try:
+                return runner.run_task(task)
+            finally:
+                self.tracer.count("scheduler.tasks_running", -1)
 
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
             futures = [pool.submit(run_one, task) for task in tasks]
@@ -158,16 +182,17 @@ class TrialScheduler:
             futures = [pool.submit(_process_run, task) for task in tasks]
             return self._drain(futures, on_result)
 
-    @staticmethod
-    def _drain(futures, on_result):
+    def _drain(self, futures, on_result):
         results = []
         try:
             for future in futures:
                 result = future.result()
                 results.append(result)
+                self.tracer.count("scheduler.tasks_done", 1)
                 if on_result is not None:
                     on_result(result)
         except BaseException:
+            self.tracer.count("scheduler.tasks_failed", 1)
             for future in futures:
                 future.cancel()
             raise

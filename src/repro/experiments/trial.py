@@ -37,6 +37,10 @@ class TrialResult:
     config_lines: int = 0
     generated_files: int = 0
     machine_count: int = 0
+    #: lifecycle tracing spans (obs.tracer.SpanRecord), populated when
+    #: the producing runner traced; rides along so spans survive
+    #: process-pool workers and land in the database's spans table.
+    spans: list = field(default_factory=list)
 
     @property
     def completed(self):

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import MonitoringError
 from repro.monitoring.sysstat import HEADER_PREFIX
+from repro.obs.tracer import as_tracer
 
 
 @dataclass
@@ -25,21 +26,41 @@ class SysstatSeries:
     metrics: tuple
     samples: dict = field(default_factory=dict)   # metric -> [(t, values)]
 
+    def known_metrics(self):
+        """Every metric this series knows: declared in the header or
+        actually sampled."""
+        return sorted(set(self.metrics) | set(self.samples))
+
     def series(self, metric):
+        """Sample points of *metric*; :class:`MonitoringError` (never
+        ``KeyError``) when the metric was neither declared nor sampled."""
         try:
             return self.samples[metric]
         except KeyError:
             raise MonitoringError(
                 f"host {self.host} has no series for metric {metric!r}; "
-                f"known: {sorted(self.samples)}"
-            )
+                f"known: {self.known_metrics()}"
+            ) from None
 
     def values(self, metric, window=None):
-        """First-channel values of *metric*, optionally inside a window."""
+        """First-channel values of *metric*, optionally inside a window.
+
+        A window that selects no samples raises
+        :class:`MonitoringError` — a silent empty result would read as
+        "0.0 utilization" downstream, masking a trial whose measurement
+        window missed every monitor tick.
+        """
         points = self.series(metric)
         if window is not None:
             start, end = window
             points = [(t, v) for t, v in points if start <= t <= end]
+            if not points:
+                raise MonitoringError(
+                    f"host {self.host}: window ({start:g}, {end:g}) "
+                    f"selects no {metric!r} samples (interval "
+                    f"{self.interval:g}s, known metrics: "
+                    f"{self.known_metrics()})"
+                )
         return [v[0] for _t, v in points]
 
     def mean(self, metric, window=None):
@@ -93,15 +114,20 @@ def parse_sysstat(text):
     return series
 
 
-def collect_sysstat_files(control_host, results_dir):
+def collect_sysstat_files(control_host, results_dir, tracer=None):
     """Parse every ``*.sysstat.dat`` under *results_dir* on the control
     host; returns ``{host_name: SysstatSeries}``."""
+    tracer = as_tracer(tracer)
     collected = {}
-    for path in control_host.fs.walk_files(results_dir):
-        if not path.endswith(".sysstat.dat"):
-            continue
-        series = parse_sysstat(control_host.fs.read(path))
-        collected[series.host] = series
+    files = 0
+    with tracer.span("collect.parse", results_dir=results_dir):
+        for path in control_host.fs.walk_files(results_dir):
+            if not path.endswith(".sysstat.dat"):
+                continue
+            series = parse_sysstat(control_host.fs.read(path))
+            collected[series.host] = series
+            files += 1
+        tracer.annotate(files=files, hosts=len(collected))
     return collected
 
 

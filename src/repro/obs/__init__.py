@@ -1,0 +1,33 @@
+"""Observability plane: tracing spans, counters and trace reports.
+
+See :mod:`repro.obs.tracer` for the span model and
+:mod:`repro.obs.report` for the ``repro trace`` rendering.
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRIAL_PHASES,
+    TRIAL_SPAN,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    as_tracer,
+    flatten_span,
+    worker_name,
+)
+from repro.obs.report import render_trace_report
+
+__all__ = [
+    "NULL_TRACER",
+    "TRIAL_PHASES",
+    "TRIAL_SPAN",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "as_tracer",
+    "flatten_span",
+    "worker_name",
+    "render_trace_report",
+]

@@ -1,0 +1,163 @@
+"""Render the trace plane of an observation database.
+
+``repro trace <run-db>`` prints three sections built from the ``spans``
+table: a per-trial breakdown of the eight lifecycle phases, a ranking
+of the slowest phases across the whole run, and per-worker utilization
+(how busy each scheduler worker was over the run's wall-clock window).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ResultsError
+from repro.obs.tracer import TRIAL_PHASES, TRIAL_SPAN
+
+
+def _ms(seconds):
+    return seconds * 1000.0
+
+
+def phase_durations(spans):
+    """``{phase: seconds}`` for one trial's spans (direct phases only)."""
+    durations = {}
+    for span in spans:
+        if span.name in TRIAL_PHASES:
+            durations[span.name] = durations.get(span.name, 0.0) \
+                + span.duration_s
+    return durations
+
+
+def trial_label(info):
+    return (f"{info['experiment_name']} {info['topology']} "
+            f"u={info['workload']} wr={info['write_ratio']:.0%} "
+            f"s{info['seed']}")
+
+
+def render_phase_breakdown(traced, limit=None):
+    """Per-trial table: one row per trial, one column per phase (ms)."""
+    rows = []
+    label_width = max([len(trial_label(info)) for info, _ in traced]
+                      + [len("trial")])
+    header = f"{'trial':<{label_width}}"
+    for phase in TRIAL_PHASES:
+        header += f" {phase[:8]:>9}"
+    header += f" {'total':>9}"
+    rows.append(header)
+    rows.append("-" * len(header))
+    shown = traced if limit is None else traced[:limit]
+    for info, spans in shown:
+        durations = phase_durations(spans)
+        total = next((s.duration_s for s in spans
+                      if s.name == TRIAL_SPAN), 0.0)
+        line = f"{trial_label(info):<{label_width}}"
+        for phase in TRIAL_PHASES:
+            line += f" {_ms(durations.get(phase, 0.0)):>9.2f}"
+        line += f" {_ms(total):>9.2f}"
+        rows.append(line)
+    if limit is not None and len(traced) > limit:
+        rows.append(f"... and {len(traced) - limit} more trials")
+    return "\n".join(rows)
+
+
+def render_phase_ranking(traced):
+    """Phases ranked by mean duration across every traced trial."""
+    totals = {phase: 0.0 for phase in TRIAL_PHASES}
+    trials = len(traced)
+    for _info, spans in traced:
+        for phase, duration in phase_durations(spans).items():
+            totals[phase] = totals.get(phase, 0.0) + duration
+    grand = sum(totals.values()) or 1.0
+    ranked = sorted(totals.items(), key=lambda kv: kv[1], reverse=True)
+    rows = [f"{'phase':<10} {'mean ms':>10} {'total s':>10} {'share':>7}",
+            "-" * 40]
+    for phase, total in ranked:
+        rows.append(f"{phase:<10} {_ms(total) / max(trials, 1):>10.2f} "
+                    f"{total:>10.3f} {total / grand:>6.1%}")
+    return "\n".join(rows)
+
+
+def render_worker_utilization(traced):
+    """Per-worker busy time over the run's wall-clock window.
+
+    The worker identity is the ``worker`` attribute the runner stamps
+    on every trial span (``pid/thread``); utilization is that worker's
+    summed trial time over the whole run's first-start..last-end span
+    window, so idle gaps (waiting for tasks or cluster nodes) show up
+    as missing utilization.
+    """
+    by_worker = {}
+    window_start = None
+    window_end = None
+    for _info, spans in traced:
+        for span in spans:
+            if span.name != TRIAL_SPAN:
+                continue
+            worker = span.attributes.get("worker", "?")
+            busy, trials = by_worker.get(worker, (0.0, 0))
+            by_worker[worker] = (busy + span.duration_s, trials + 1)
+            end = span.start_s + span.duration_s
+            window_start = span.start_s if window_start is None \
+                else min(window_start, span.start_s)
+            window_end = end if window_end is None \
+                else max(window_end, end)
+    if not by_worker:
+        return "no trial spans recorded"
+    wall = max((window_end - window_start), 1e-9)
+    rows = [f"{'worker':<24} {'trials':>7} {'busy s':>9} {'util':>7}",
+            "-" * 50]
+    for worker in sorted(by_worker):
+        busy, trials = by_worker[worker]
+        rows.append(f"{worker:<24} {trials:>7} {busy:>9.3f} "
+                    f"{busy / wall:>6.1%}")
+    rows.append(f"wall-clock window: {wall:.3f} s across "
+                f"{len(by_worker)} worker(s)")
+    return "\n".join(rows)
+
+
+def render_slowest_scripts(traced, limit=10):
+    """The generated scripts that cost the most interpreter time."""
+    totals = {}
+    for _info, spans in traced:
+        for span in spans:
+            if span.name != "script":
+                continue
+            path = span.attributes.get("path", "?")
+            name = path.rsplit("/", 1)[-1]
+            total, count = totals.get(name, (0.0, 0))
+            totals[name] = (total + span.duration_s, count + 1)
+    if not totals:
+        return None
+    ranked = sorted(totals.items(), key=lambda kv: kv[1][0], reverse=True)
+    rows = [f"{'script':<34} {'runs':>6} {'total ms':>10} {'mean ms':>9}",
+            "-" * 62]
+    for name, (total, count) in ranked[:limit]:
+        rows.append(f"{name:<34} {count:>6} {_ms(total):>10.2f} "
+                    f"{_ms(total) / count:>9.2f}")
+    return "\n".join(rows)
+
+
+def render_trace_report(database, experiment_name=None, limit=20):
+    """The full ``repro trace`` report for one observation database."""
+    traced = database.traced_trials(experiment_name=experiment_name)
+    if not traced:
+        raise ResultsError(
+            "no spans recorded in this database; rerun with --trace "
+            "(repro run --trace / repro figure --trace)"
+        )
+    span_total = sum(len(spans) for _info, spans in traced)
+    sections = [
+        f"Trace report: {len(traced)} traced trial(s), "
+        f"{span_total} spans",
+        "",
+        "Per-trial phase breakdown (ms)",
+        render_phase_breakdown(traced, limit=limit),
+        "",
+        "Slowest phases",
+        render_phase_ranking(traced),
+        "",
+        "Worker utilization",
+        render_worker_utilization(traced),
+    ]
+    scripts = render_slowest_scripts(traced)
+    if scripts is not None:
+        sections.extend(["", "Slowest generated scripts", scripts])
+    return "\n".join(sections)

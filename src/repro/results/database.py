@@ -9,12 +9,14 @@ holding results in ad-hoc lists.
 
 from __future__ import annotations
 
+import json
 import sqlite3
 import threading
 
 from repro.errors import ResultsError
 from repro.experiments.trial import TrialResult
 from repro.monitoring.metrics import TrialMetrics
+from repro.obs.tracer import SpanRecord
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS trials (
@@ -57,11 +59,22 @@ CREATE TABLE IF NOT EXISTS state_metrics (
     errors INTEGER NOT NULL,
     mean_response_s REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS spans (
+    trial_id INTEGER NOT NULL REFERENCES trials(id) ON DELETE CASCADE,
+    span_id INTEGER NOT NULL,
+    parent_id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    start_s REAL NOT NULL,
+    duration_s REAL NOT NULL,
+    status TEXT NOT NULL,
+    attributes TEXT NOT NULL
+);
 CREATE INDEX IF NOT EXISTS idx_state_metrics_trial
     ON state_metrics (trial_id);
 CREATE INDEX IF NOT EXISTS idx_trials_sweep
     ON trials (experiment_name, topology, workload, write_ratio);
 CREATE INDEX IF NOT EXISTS idx_host_cpu_trial ON host_cpu (trial_id);
+CREATE INDEX IF NOT EXISTS idx_spans_trial ON spans (trial_id);
 """
 
 
@@ -158,6 +171,8 @@ class ResultsDatabase:
             self._db.execute(
                 "DELETE FROM state_metrics WHERE trial_id = ?",
                 (trial_id,))
+            self._db.execute("DELETE FROM spans WHERE trial_id = ?",
+                             (trial_id,))
         self._db.executemany(
             "INSERT INTO host_cpu (trial_id, host, tier, cpu_percent) "
             "VALUES (?,?,?,?)",
@@ -176,6 +191,19 @@ class ResultsDatabase:
                 for state, stats in sorted(result.per_state.items())
             ],
         )
+        spans = getattr(result, "spans", None)
+        if spans:
+            self._db.executemany(
+                "INSERT INTO spans (trial_id, span_id, parent_id, name, "
+                "start_s, duration_s, status, attributes) "
+                "VALUES (?,?,?,?,?,?,?,?)",
+                [
+                    (trial_id, span.span_id, span.parent_id, span.name,
+                     span.start_s, span.duration_s, span.status,
+                     span.attributes_json())
+                    for span in spans
+                ],
+            )
         self._db.commit()
         return trial_id
 
@@ -250,6 +278,68 @@ class ResultsDatabase:
                     "WHERE experiment_name = ?",
                     (experiment_name,)).fetchone()
         return row[0] or 0
+
+    def dump_rows(self, table):
+        """Every row of *table*, ordered by rowid — the raw comparison
+        surface the determinism tests diff (tracing must never change
+        what lands in the observation tables)."""
+        if table not in ("trials", "host_cpu", "state_metrics", "spans"):
+            raise ResultsError(f"unknown table {table!r}")
+        with self._lock:
+            return self._db.execute(
+                f"SELECT * FROM {table} ORDER BY rowid").fetchall()
+
+    # -- spans (the trace plane) -------------------------------------------
+
+    def span_count(self):
+        with self._lock:
+            return self._db.execute(
+                "SELECT COUNT(*) FROM spans").fetchone()[0]
+
+    def spans_for(self, trial_id):
+        """All spans of one trial, in span-id (DFS preorder) order."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT span_id, parent_id, name, start_s, duration_s, "
+                "status, attributes FROM spans WHERE trial_id = ? "
+                "ORDER BY span_id", (trial_id,)).fetchall()
+        return [
+            SpanRecord(span_id=sid, parent_id=pid, name=name,
+                       start_s=start, duration_s=duration, status=status,
+                       attributes=json.loads(attributes))
+            for sid, pid, name, start, duration, status, attributes in rows
+        ]
+
+    def traced_trials(self, experiment_name=None):
+        """Every traced trial with its spans, in trial-row order.
+
+        Returns ``[(trial_info_dict, [SpanRecord, ...]), ...]`` where
+        the info dict carries the trial's identity columns — the join
+        the ``repro trace`` report renders.
+        """
+        clause = ""
+        params = ()
+        if experiment_name is not None:
+            clause = "AND t.experiment_name = ?"
+            params = (experiment_name,)
+        with self._lock:
+            rows = self._db.execute(
+                f"""SELECT t.id, t.experiment_name, t.topology,
+                           t.workload, t.write_ratio, t.seed, t.status
+                    FROM trials t
+                    WHERE EXISTS (SELECT 1 FROM spans s
+                                  WHERE s.trial_id = t.id) {clause}
+                    ORDER BY t.id""", params).fetchall()
+        traced = []
+        for (trial_id, experiment, topology, workload, write_ratio, seed,
+                status) in rows:
+            info = {
+                "trial_id": trial_id, "experiment_name": experiment,
+                "topology": topology, "workload": workload,
+                "write_ratio": write_ratio, "seed": seed, "status": status,
+            }
+            traced.append((info, self.spans_for(trial_id)))
+        return traced
 
     def _to_result(self, row):
         metrics = TrialMetrics(

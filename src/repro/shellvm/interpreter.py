@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import CommandError, ShellError
+from repro.obs.tracer import as_tracer
 from repro.shellvm.builtins import REGISTRY
 from repro.shellvm.environment import (
     ExitScript,
@@ -43,8 +44,9 @@ class LogEntry:
 class ShellInterpreter:
     """Executes parsed scripts against virtual hosts on one network."""
 
-    def __init__(self, network):
+    def __init__(self, network, *, tracer=None):
         self.network = network
+        self.tracer = as_tracer(tracer)
         self.log = []
         self.slept_seconds = 0.0
         self._depth = 0
@@ -52,7 +54,13 @@ class ShellInterpreter:
     # -- public entry points ----------------------------------------------
 
     def run_script_file(self, host, path, args=(), parent_env=None):
-        """Run the script stored at *path* on *host*; returns (status, out)."""
+        """Run the script stored at *path* on *host*; returns (status, out).
+
+        Each script execution — including nested invocations from a
+        parent script — is one tracing span carrying the script path,
+        host and exit status, which is where per-script wall time in
+        the trace report comes from.
+        """
         full = normalize(path, parent_env.cwd if parent_env else "/")
         if not host.fs.is_file(full):
             raise ShellError(f"no such script: {full}", script=full)
@@ -63,7 +71,11 @@ class ShellInterpreter:
         else:
             env = ShellEnvironment(host=host, positional=tuple(args),
                                    script=full)
-        return self._run_parsed(parse(text, script=full), env)
+        with self.tracer.span("script", path=full, host=host.name,
+                              depth=self._depth):
+            status, output = self._run_parsed(parse(text, script=full), env)
+            self.tracer.annotate(status=status)
+        return status, output
 
     def run_text_on(self, host, text, script="<inline>", variables=None):
         """Run inline shell *text* on *host*; returns (status, output)."""

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.deprecation import absorb_positional
 from repro.errors import SimulationError
+from repro.obs.tracer import as_tracer
 from repro.sim.engine import Simulator
 from repro.sim.resources import ProcessorSharingStation
 from repro.sim.rng import RandomStreams
@@ -103,12 +105,18 @@ class _TierBalancer:
 class NTierSimulation:
     """The simulation harness for one deployed experiment point."""
 
-    def __init__(self, system, hop_latency=DEFAULT_HOP_LATENCY, model=None,
-                 balancer_policy="rr"):
+    def __init__(self, system, *args, hop_latency=DEFAULT_HOP_LATENCY,
+                 model=None, balancer_policy="rr", tracer=None):
+        merged = absorb_positional(
+            "NTierSimulation", ("hop_latency", "model"), args,
+            {"hop_latency": hop_latency, "model": model})
+        hop_latency = merged["hop_latency"]
+        model = merged["model"]
         self.system = system
         self.driver = system.driver
         self.hop_latency = hop_latency
         self.balancer_policy = balancer_policy
+        self.tracer = as_tracer(tracer)
         self.sim = Simulator()
         self.rng = RandomStreams(self.driver.seed)
         self.model = model if model is not None else build_model(
@@ -183,7 +191,11 @@ class NTierSimulation:
         if duration is None:
             duration = (self.driver.warmup + self.driver.run
                         + self.driver.cooldown)
-        self.sim.run_until(duration)
+        with self.tracer.span("sim.run", users=self.driver.users,
+                              sim_duration_s=duration):
+            self.sim.run_until(duration)
+            self.tracer.annotate(events=self.sim.events_processed,
+                                 requests=len(self.records))
         return self.records
 
     # -- request lifecycle -------------------------------------------------------

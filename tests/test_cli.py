@@ -154,3 +154,55 @@ class TestCli:
 
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2
+
+
+class TestTraceCommand:
+    def test_run_with_trace_then_trace_report(self, tbl_file, tmp_path,
+                                              capsys):
+        db_path = tmp_path / "traced.sqlite"
+        status = main([
+            "run", "--tbl", str(tbl_file), "--db", str(db_path),
+            "--nodes", "10", "--trace", "--quiet",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "repro trace" in out
+        status = main(["trace", str(db_path)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "Per-trial phase breakdown" in out
+        for phase in ("allocate", "generate", "deploy", "verify",
+                      "simulate", "collect", "analyze", "teardown"):
+            assert phase in out
+        assert "Worker utilization" in out
+
+    def test_trace_on_untraced_db_errors(self, tbl_file, tmp_path,
+                                         capsys):
+        db_path = tmp_path / "plain.sqlite"
+        main(["run", "--tbl", str(tbl_file), "--db", str(db_path),
+              "--nodes", "10", "--quiet"])
+        capsys.readouterr()
+        status = main(["trace", str(db_path)])
+        assert status == 1
+        assert "--trace" in capsys.readouterr().err
+
+    def test_trace_missing_db_errors(self, tmp_path, capsys):
+        status = main(["trace", str(tmp_path / "nope.sqlite")])
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_figure_trace_stores_spans(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        status = main(["figure", "--id", "table6", "--scale", "0.02",
+                       "--trace"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "trace.sqlite" in out
+        from repro.api import open_results
+        with open_results(str(tmp_path / "trace.sqlite"),
+                          create=False) as database:
+            assert database.span_count() > 0
+            assert database.count() > 0
+        capsys.readouterr()
+        assert main(["trace", str(tmp_path / "trace.sqlite")]) == 0
+        assert "Slowest phases" in capsys.readouterr().out

@@ -42,7 +42,7 @@ def make_deployment(cluster, mulini, experiment, topology,
     plan = HostPlan.from_allocation(allocation)
     bundle = mulini.generate(experiment, topology, workload, write_ratio,
                              host_plan=plan)
-    engine = DeploymentEngine(cluster)
+    engine = DeploymentEngine(cluster=cluster)
     deployment = engine.deploy(bundle, allocation, experiment=experiment,
                                topology=topology, workload=workload,
                                write_ratio=write_ratio)
@@ -147,7 +147,7 @@ class TestDeployment:
         plan = HostPlan.from_allocation(allocation)
         bundle = mulini.generate(experiment, topology, 300, 0.15,
                                  host_plan=plan)
-        engine = DeploymentEngine(cluster)
+        engine = DeploymentEngine(cluster=cluster)
         with pytest.raises(VerificationError, match="users"):
             engine.deploy(bundle, allocation, experiment=experiment,
                           topology=topology, workload=999, write_ratio=0.15)

@@ -75,7 +75,7 @@ class TestEngineEdges:
         bundle.install_to(allocation.control)
         deployment = Deployment(bundle=bundle, allocation=allocation,
                                 system=None, transcript="")
-        engine = DeploymentEngine(cluster)
+        engine = DeploymentEngine(cluster=cluster)
         with pytest.raises(DeployError, match="collect.sh"):
             engine.collect(deployment)
 

@@ -54,7 +54,7 @@ class TestDeploymentFailures:
         # Corrupt the MySQL tarball in the control host's repository.
         cluster.control.fs.write("/packages/mysql-max-4.0.27.tar.gz",
                                  "garbage, not a tarball\n")
-        engine = DeploymentEngine(cluster)
+        engine = DeploymentEngine(cluster=cluster)
         with pytest.raises(DeployError):
             engine.deploy(bundle, allocation)
 
@@ -65,7 +65,7 @@ class TestDeploymentFailures:
         # Delete one subscript after installation, before execution.
         victim = bundle.path_of("scripts/MYSQL1_ignition.sh")
         allocation.control.fs.remove(victim)
-        engine = DeploymentEngine(cluster)
+        engine = DeploymentEngine(cluster=cluster)
         with pytest.raises(Exception):
             engine.interpreter.run_script_file(allocation.control,
                                                run_path)
@@ -75,14 +75,14 @@ class TestDeploymentFailures:
         allocation, bundle = _prepare(cluster, experiment, mulini)
         bundle.files["run.sh"] = ("set -e\n"
                                   "frobnicate_the_cluster --now\n")
-        engine = DeploymentEngine(cluster)
+        engine = DeploymentEngine(cluster=cluster)
         with pytest.raises(DeployError, match="aborted|status"):
             engine.deploy(bundle, allocation)
 
     def test_missing_driver_config_detected(self, setup):
         cluster, experiment, mulini = setup
         allocation, bundle = _prepare(cluster, experiment, mulini)
-        engine = DeploymentEngine(cluster)
+        engine = DeploymentEngine(cluster=cluster)
         deployment = engine.deploy(bundle, allocation)
         # Remove the deployed driver parameters, then re-extract.
         client = deployment.system.client_host
@@ -94,7 +94,7 @@ class TestDeploymentFailures:
     def test_killed_database_detected(self, setup):
         cluster, experiment, mulini = setup
         allocation, bundle = _prepare(cluster, experiment, mulini)
-        engine = DeploymentEngine(cluster)
+        engine = DeploymentEngine(cluster=cluster)
         deployment = engine.deploy(bundle, allocation)
         db_host = deployment.system.db_backends[0].host
         db_host.kill_by_name("mysqld")
@@ -105,7 +105,7 @@ class TestDeploymentFailures:
     def test_corrupted_workers2_detected(self, setup):
         cluster, experiment, mulini = setup
         allocation, bundle = _prepare(cluster, experiment, mulini)
-        engine = DeploymentEngine(cluster)
+        engine = DeploymentEngine(cluster=cluster)
         deployment = engine.deploy(bundle, allocation)
         web_host = deployment.system.web_servers[0].host
         web_host.fs.write("/opt/apache/conf/workers2.properties",
@@ -117,7 +117,7 @@ class TestDeploymentFailures:
     def test_monitor_killed_fails_verification(self, setup):
         cluster, experiment, mulini = setup
         allocation, bundle = _prepare(cluster, experiment, mulini)
-        engine = DeploymentEngine(cluster)
+        engine = DeploymentEngine(cluster=cluster)
         deployment = engine.deploy(bundle, allocation)
         deployment.system.db_backends[0].host.kill_by_name("sar")
         hosts = [allocation.client] + allocation.all_server_hosts()
@@ -139,7 +139,7 @@ class TestDeploymentFailures:
     def test_teardown_reports_survivors(self, setup):
         cluster, experiment, mulini = setup
         allocation, bundle = _prepare(cluster, experiment, mulini)
-        engine = DeploymentEngine(cluster)
+        engine = DeploymentEngine(cluster=cluster)
         deployment = engine.deploy(bundle, allocation)
         # Break the teardown script for one daemon.
         control = allocation.control

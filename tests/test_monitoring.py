@@ -183,3 +183,49 @@ class TestSysstat:
         collected = collect_sysstat_files(host, "/results/x")
         assert set(collected) == {"node-1"}
         assert collected["node-1"].mean("cpu") == pytest.approx(60.0)
+
+
+class TestSeriesErrorPaths:
+    def _series(self):
+        return parse_sysstat(
+            "#sysstat 6.0.2 host=n1 interval=1 metrics=cpu,memory\n"
+            "1 cpu 50\n2 cpu 70\n1 memory 10\n"
+        )
+
+    def test_unknown_metric_raises_monitoring_error_not_keyerror(self):
+        series = self._series()
+        with pytest.raises(MonitoringError) as excinfo:
+            series.series("disk_io")
+        message = str(excinfo.value)
+        assert "disk_io" in message
+        # The error names the metrics that *are* known — declared in
+        # the header even if never sampled.
+        assert "cpu" in message and "memory" in message
+        assert not isinstance(excinfo.value, KeyError)
+
+    def test_values_unknown_metric_raises(self):
+        with pytest.raises(MonitoringError):
+            self._series().values("nope")
+
+    def test_empty_window_raises_instead_of_silent_zero(self):
+        series = self._series()
+        with pytest.raises(MonitoringError) as excinfo:
+            series.values("cpu", window=(50.0, 60.0))
+        message = str(excinfo.value)
+        assert "selects no" in message
+        assert "50" in message and "60" in message
+
+    def test_mean_propagates_empty_window_error(self):
+        with pytest.raises(MonitoringError):
+            self._series().mean("cpu", window=(100.0, 200.0))
+
+    def test_known_metrics_union_of_declared_and_sampled(self):
+        series = parse_sysstat(
+            "#sysstat 6.0.2 host=n1 interval=1 metrics=cpu\n"
+            "1 cpu 50\n1 network 3\n"
+        )
+        assert series.known_metrics() == ["cpu", "network"]
+
+    def test_populated_window_still_works(self):
+        series = self._series()
+        assert series.mean("cpu", window=(0.0, 10.0)) == pytest.approx(60.0)
