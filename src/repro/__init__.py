@@ -30,10 +30,12 @@ scenarios.
 from repro.api import (
     open_results,
     reproduce_figure,
+    resume_campaign,
     run_campaign,
     run_experiment,
     trace_report,
 )
+from repro.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.core import (
     CampaignReport,
     CapacityPlan,
@@ -51,14 +53,18 @@ from repro.results import ResultsDatabase
 from repro.spec import Topology
 from repro.vcluster import VirtualCluster
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "open_results",
     "reproduce_figure",
+    "resume_campaign",
     "run_campaign",
     "run_experiment",
     "trace_report",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
     "Tracer",
     "CampaignReport",
     "CapacityPlan",

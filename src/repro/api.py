@@ -5,6 +5,8 @@ its signatures are the package's compatibility surface:
 
 - :func:`run_experiment` — one TBL experiment, results in memory.
 - :func:`run_campaign` — a whole TBL spec into a results database.
+- :func:`resume_campaign` — finish an interrupted campaign from its
+  database checkpoint.
 - :func:`reproduce_figure` — regenerate one paper figure/table.
 - :func:`open_results` — open (or create) an observation database.
 - :func:`trace_report` — render the flight-recorder report of a run.
@@ -61,12 +63,19 @@ def run_experiment(tbl_text, *, experiment=None, mof_text=None,
 def run_campaign(tbl_text, *, mof_text=None, database=None, node_count=36,
                  experiments=None, jobs=1, backend=None, tracer=None,
                  replace=True, on_result=None, on_progress=None,
-                 tbl_source="<campaign>"):
+                 tbl_source="<campaign>", faults=None, retry=None,
+                 resume=False):
     """Run a TBL spec's experiments into a results database.
 
     *database* may be a :class:`ResultsDatabase`, a path, or ``None``
     (in-memory).  Returns the campaign's :class:`CampaignReport`; the
     database is reachable afterwards as ``report.database``.
+
+    *faults* arms a :class:`~repro.faults.FaultPlan` (chaos mode) and
+    *retry* a :class:`~repro.faults.RetryPolicy` (or attempt count) so
+    transient failures are retried and recorded instead of aborting.
+    ``resume=True`` skips trials already stored in *database*, so an
+    interrupted campaign finishes exactly its missing trials.
     """
     from repro.core.campaign import ObservationCampaign
 
@@ -74,10 +83,29 @@ def run_campaign(tbl_text, *, mof_text=None, database=None, node_count=36,
     campaign = ObservationCampaign(tbl_text, mof_text=mof_text,
                                    database=database,
                                    node_count=node_count,
-                                   tbl_source=tbl_source, tracer=tracer)
+                                   tbl_source=tbl_source, tracer=tracer,
+                                   faults=faults, retry=retry)
     return campaign.run(experiments, on_result=on_result,
                         replace=replace, jobs=jobs, backend=backend,
-                        on_progress=on_progress)
+                        on_progress=on_progress, resume=resume)
+
+
+def resume_campaign(database, *, jobs=1, backend=None, tracer=None,
+                    on_result=None, on_progress=None):
+    """Finish an interrupted campaign from its database checkpoint.
+
+    *database* (a :class:`ResultsDatabase` or a path) must have been
+    produced by :func:`run_campaign`, which persists the TBL/MOF text,
+    cluster size, fault plan and retry policy in the database's
+    ``campaign_meta`` table.  Already-stored trials are skipped; only
+    the missing ones run.  Returns the :class:`CampaignReport`.
+    """
+    from repro.core.campaign import ObservationCampaign
+
+    database = open_results(database, create=False)
+    campaign = ObservationCampaign.from_database(database, tracer=tracer)
+    return campaign.run(on_result=on_result, jobs=jobs, backend=backend,
+                        on_progress=on_progress, resume=True)
 
 
 def reproduce_figure(figure_id, *, scale=None, jobs=1, tracer=None,
@@ -144,6 +172,7 @@ __all__ = [
     "as_tracer",
     "open_results",
     "reproduce_figure",
+    "resume_campaign",
     "run_campaign",
     "run_experiment",
     "trace_report",

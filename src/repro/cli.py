@@ -12,7 +12,8 @@ Commands::
               [--topology W-A-D] [--workload N] [--write-ratio F]
               [--backend shell|smartfrog] --out DIR
     run       --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--jobs N]
-              [--trace] [--quiet]
+              [--faults FILE] [--retries N] [--resume] [--trace] [--quiet]
+    resume    DB [--jobs N] [--trace] [--quiet]
     report    --db FILE [--experiment NAME] [--topology W-A-D]
               [--format text|csv|json] [--out FILE]
     figure    --id ID [--scale F] [--jobs N] [--trace] [--db FILE]
@@ -86,11 +87,30 @@ def build_parser():
     run.add_argument("--jobs", type=int, default=1,
                      help="parallel trial workers (default 1; results "
                           "are identical for any value)")
+    run.add_argument("--faults", default=None, metavar="FILE",
+                     help="JSON fault plan to arm during the campaign "
+                          "(chaos mode; see repro.faults.FaultPlan)")
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="max attempts per trial (enables retry, "
+                          "quarantine and enriched DNF recording)")
+    run.add_argument("--resume", action="store_true",
+                     help="skip trials already stored in --db")
     run.add_argument("--trace", action="store_true",
                      help="record lifecycle spans into the database "
                           "(inspect with: repro trace <db>)")
     run.add_argument("--quiet", action="store_true")
     run.set_defaults(handler=cmd_run)
+
+    resume = commands.add_parser(
+        "resume", help="finish an interrupted campaign from its database")
+    resume.add_argument("db", help="results database of a prior run")
+    resume.add_argument("--jobs", type=int, default=1,
+                        help="parallel trial workers (default 1)")
+    resume.add_argument("--trace", action="store_true",
+                        help="record lifecycle spans for the resumed "
+                             "trials")
+    resume.add_argument("--quiet", action="store_true")
+    resume.set_defaults(handler=cmd_resume)
 
     report = commands.add_parser(
         "report", help="render or export observations from a database")
@@ -224,34 +244,65 @@ def cmd_generate(args):
     return 0
 
 
-def cmd_run(args):
-    from repro.api import open_results, run_campaign
-    from repro.obs import Tracer
-
-    _spec, _model, tbl_text, mof_text = _load_specs(args)
-
+def _trial_progress(args):
     def progress(result):
         if not args.quiet:
+            retries = f" ({result.attempts} attempts)" \
+                if result.retried else ""
             print(f"  {result.experiment_name} "
                   f"{result.topology_label} "
                   f"u={result.workload} wr={result.write_ratio:.0%} -> "
-                  f"{result.status} "
+                  f"{result.status}{retries} "
                   f"rt={result.response_time_ms():.1f}ms "
                   f"x={result.throughput():.1f}/s")
+    return progress
 
+
+def _print_report(report):
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    for host, reason in sorted(report.quarantined.items()):
+        print(f"quarantined: {reason}")
+    print(report.summary())
+
+
+def cmd_run(args):
+    from repro.api import open_results, run_campaign
+    from repro.faults import FaultPlan
+    from repro.obs import Tracer
+
+    _spec, _model, tbl_text, mof_text = _load_specs(args)
+    faults = None
+    if args.faults is not None:
+        faults = FaultPlan.from_json(
+            pathlib.Path(args.faults).read_text(), source=args.faults)
     with open_results(args.db) as database:
         report = run_campaign(tbl_text, mof_text=mof_text,
                               database=database, node_count=args.nodes,
                               jobs=args.jobs,
                               tracer=Tracer() if args.trace else None,
-                              on_result=progress, tbl_source=args.tbl)
-        for warning in report.warnings:
-            print(f"warning: {warning}")
-        print(report.summary())
+                              on_result=_trial_progress(args),
+                              tbl_source=args.tbl,
+                              faults=faults, retry=args.retries,
+                              resume=args.resume)
+        _print_report(report)
     print(f"observations stored in {args.db}")
     if args.trace:
         print(f"lifecycle spans recorded; inspect with: "
               f"repro trace {args.db}")
+    return 0
+
+
+def cmd_resume(args):
+    from repro.api import open_results, resume_campaign
+    from repro.obs import Tracer
+
+    with open_results(args.db, create=False) as database:
+        report = resume_campaign(database, jobs=args.jobs,
+                                 tracer=Tracer() if args.trace else None,
+                                 on_result=_trial_progress(args))
+        _print_report(report)
+    print(f"observations stored in {args.db}")
     return 0
 
 

@@ -5,16 +5,26 @@ document: resource MOF -> validation -> per-point generation ->
 deployment -> trial -> results database.  It is the programmatic form of
 the paper's workflow ("we modify Mulini's input specification once, and
 the necessary modifications are propagated automatically").
+
+A campaign is resilient by construction: give it a
+:class:`~repro.faults.FaultPlan` and a :class:`~repro.faults.RetryPolicy`
+and transient failures are retried (and recorded) instead of aborting
+the sweep; give :meth:`run` ``resume=True`` and trials already in the
+database are skipped, so an interrupted campaign finishes from its
+checkpoint — the database itself — running exactly the missing trials.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from dataclasses import dataclass, field
 
 from repro.core.characterization import PerformanceMap
 from repro.deprecation import absorb_positional
 from repro.errors import ExperimentError
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import QUARANTINED, RetryPolicy, as_policy
 from repro.obs.tracer import as_tracer
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scheduler import TrialScheduler, enumerate_tasks
@@ -23,6 +33,13 @@ from repro.spec.mof import load_resource_model, render_resource_mof
 from repro.spec.tbl import parse as parse_tbl
 from repro.spec.validation import validate
 from repro.vcluster import VirtualCluster
+
+#: campaign_meta keys a campaign persists for `repro resume`.
+META_TBL = "tbl_text"
+META_MOF = "mof_text"
+META_NODE_COUNT = "node_count"
+META_FAULT_PLAN = "fault_plan"
+META_RETRY = "retry_policy"
 
 
 @dataclass
@@ -38,11 +55,31 @@ class CampaignReport:
     by_experiment: dict = field(default_factory=dict)
     #: the ResultsDatabase the trials were stored in
     database: object = None
+    #: trials skipped by resume (already in the database)
+    skipped: int = 0
+    #: trials that needed more than one attempt but completed
+    retried: int = 0
+    #: failed attempts recorded across the whole campaign
+    failed_attempts: int = 0
+    #: host name -> quarantine reason, aggregated across workers
+    quarantined: dict = field(default_factory=dict)
 
     def summary(self):
-        return (f"{self.trials} trials ({self.completed} completed, "
+        text = (f"{self.trials} trials ({self.completed} completed, "
                 f"{self.dnf} DNF) across {len(self.experiments)} "
                 f"experiments")
+        extras = []
+        if self.skipped:
+            extras.append(f"{self.skipped} resumed-skipped")
+        if self.retried:
+            extras.append(f"{self.retried} recovered by retry")
+        if self.quarantined:
+            extras.append(
+                f"{len(self.quarantined)} host(s) quarantined"
+            )
+        if extras:
+            text += "; " + ", ".join(extras)
+        return text
 
 
 class ObservationCampaign:
@@ -51,10 +88,17 @@ class ObservationCampaign:
     Everything after *tbl_text* is keyword-only (the legacy positional
     form is deprecated); a *tracer* makes every trial of the campaign
     record its lifecycle span tree into the database's ``spans`` table.
+
+    *faults* arms a :class:`~repro.faults.FaultPlan` on every runner of
+    the campaign (the chaos mode); *retry* sets the
+    :class:`~repro.faults.RetryPolicy` governing failed attempts — an
+    int is shorthand for "this many attempts".  Without *retry*, any
+    trial failure propagates exactly as before the fault plane existed.
     """
 
     def __init__(self, tbl_text, *args, mof_text=None, database=None,
-                 node_count=36, tbl_source="<campaign>", tracer=None):
+                 node_count=36, tbl_source="<campaign>", tracer=None,
+                 faults=None, retry=None):
         merged = absorb_positional(
             "ObservationCampaign",
             ("mof_text", "database", "node_count", "tbl_source"), args,
@@ -65,12 +109,17 @@ class ObservationCampaign:
         node_count = merged["node_count"]
         tbl_source = merged["tbl_source"]
         self.tracer = as_tracer(tracer)
+        self.tbl_text = tbl_text
         self.spec = parse_tbl(tbl_text, source=tbl_source)
         if mof_text is None:
             mof_text = render_resource_mof(
                 self.spec.benchmark, self.spec.platform,
                 app_server=self.spec.app_server,
             )
+        self.mof_text = mof_text
+        self.node_count = node_count
+        self.fault_plan = faults
+        self.retry_policy = as_policy(retry) if retry is not None else None
         self.resource_model = load_resource_model(mof_text)
         self.validation_warnings = validate(self.resource_model, self.spec)
         needed = max(e.max_machine_count() for e in self.spec.experiments)
@@ -83,12 +132,14 @@ class ObservationCampaign:
                                       node_count=node_count)
         self.runner = ExperimentRunner(cluster=self.cluster,
                                        resource_model=self.resource_model,
-                                       tracer=self.tracer)
+                                       tracer=self.tracer,
+                                       faults=faults,
+                                       retry=self.retry_policy)
         self.database = database if database is not None \
             else ResultsDatabase()
 
     def run(self, experiment_names=None, *, on_result=None, replace=True,
-            jobs=1, backend=None, on_progress=None):
+            jobs=1, backend=None, on_progress=None, resume=False):
         """Run the spec's experiments, storing every trial.
 
         *experiment_names* restricts to a subset; *on_result* is a
@@ -102,6 +153,12 @@ class ObservationCampaign:
         all selected experiments — on a worker pool; results are stored
         in enumeration order, so the resulting database rows match a
         ``jobs=1`` run exactly.
+
+        ``resume=True`` skips every task whose trial key is already in
+        the database, so an interrupted campaign completes exactly its
+        missing trials — no duplicate rows, no re-runs.  (The skipped
+        count lands in the report.)  With resume the stored rows keep
+        their original positions; only the remainder is executed.
         """
         report = CampaignReport(warnings=list(self.validation_warnings),
                                 database=self.database)
@@ -116,6 +173,13 @@ class ObservationCampaign:
             report.experiments.append(experiment.name)
             tasks.extend(enumerate_tasks(experiment,
                                          start_index=len(tasks)))
+        if resume:
+            done = set(self.database.trial_keys())
+            remaining = [t for t in tasks if t.key() not in done]
+            report.skipped = len(tasks) - len(remaining)
+            tasks = remaining
+            self.tracer.count("campaign.trials_skipped", report.skipped)
+        self._record_meta()
         total = len(tasks)
         # One store closure shared by every experiment; counts are
         # aggregated under a lock because scheduler configurations may
@@ -132,6 +196,13 @@ class ObservationCampaign:
                     report.completed += 1
                 else:
                     report.dnf += 1
+                if result.retried and result.completed:
+                    report.retried += 1
+                for failure in result.failures:
+                    if failure.resolution == QUARANTINED:
+                        report.quarantined[failure.host] = failure.cause
+                    else:
+                        report.failed_attempts += 1
                 stored = report.trials
             if on_result is not None:
                 on_result(result)
@@ -140,6 +211,8 @@ class ObservationCampaign:
                     f"[{result.experiment_name}] trial {stored}/{total}: "
                     f"{result.topology_label} u={result.workload} "
                     f"wr={result.write_ratio:.0%} -> {result.status}"
+                    + (f" ({result.attempts} attempts)"
+                       if result.retried else "")
                 )
 
         if jobs == 1:
@@ -151,6 +224,44 @@ class ObservationCampaign:
                                        tracer=self.tracer)
             scheduler.run(tasks, on_result=store)
         return report
+
+    def _record_meta(self):
+        """Persist the campaign's identity so ``repro resume <db>`` can
+        rebuild it from the database alone."""
+        db = self.database
+        db.set_meta(META_TBL, self.tbl_text)
+        db.set_meta(META_MOF, self.mof_text)
+        db.set_meta(META_NODE_COUNT, self.node_count)
+        if isinstance(self.fault_plan, FaultPlan):
+            db.set_meta(META_FAULT_PLAN, self.fault_plan.to_json())
+        if isinstance(self.retry_policy, RetryPolicy):
+            db.set_meta(META_RETRY,
+                        json.dumps(self.retry_policy.to_dict(),
+                                   sort_keys=True))
+
+    @classmethod
+    def from_database(cls, database, *, tracer=None):
+        """Rebuild a campaign from a database's persisted meta — the
+        engine behind ``repro resume <db>``."""
+        tbl_text = database.get_meta(META_TBL)
+        if tbl_text is None:
+            raise ExperimentError(
+                "database carries no campaign meta; it predates the "
+                "fault plane or was not produced by run_campaign"
+            )
+        plan_json = database.get_meta(META_FAULT_PLAN)
+        retry_json = database.get_meta(META_RETRY)
+        return cls(
+            tbl_text,
+            mof_text=database.get_meta(META_MOF),
+            database=database,
+            node_count=int(database.get_meta(META_NODE_COUNT, 36)),
+            tbl_source="<resume>",
+            tracer=tracer,
+            faults=FaultPlan.from_json(plan_json) if plan_json else None,
+            retry=RetryPolicy.from_dict(json.loads(retry_json))
+            if retry_json else None,
+        )
 
     def _worker_runner(self):
         """A fresh runner on a fresh cluster for one scheduler worker."""

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from repro.deploy.state import extract_deployed_system
 from repro.deploy.verify import verify_deployment
 from repro.deprecation import absorb_positional
-from repro.errors import DeployError, ShellError
+from repro.errors import DeployError, ReproError, ShellError
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.tracer import as_tracer
 from repro.shellvm import ShellInterpreter
 
@@ -41,7 +42,7 @@ class DeploymentEngine:
     executes shows up as a ``script`` span.
     """
 
-    def __init__(self, *args, cluster=None, tracer=None):
+    def __init__(self, *args, cluster=None, tracer=None, faults=None):
         merged = absorb_positional("DeploymentEngine", ("cluster",),
                                    args, {"cluster": cluster})
         cluster = merged["cluster"]
@@ -49,8 +50,10 @@ class DeploymentEngine:
             raise DeployError("DeploymentEngine requires cluster=")
         self.cluster = cluster
         self.tracer = as_tracer(tracer)
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self.interpreter = ShellInterpreter(cluster.network,
-                                            tracer=self.tracer)
+                                            tracer=self.tracer,
+                                            faults=self.faults)
 
     def deploy(self, bundle, allocation, experiment=None, topology=None,
                workload=None, write_ratio=None):
@@ -61,6 +64,10 @@ class DeploymentEngine:
         """
         control = allocation.control
         run_path = bundle.install_to(control)
+        # Fault point: an ``archive-corrupt`` armed for this trial
+        # damages a package tarball in the control host's repository
+        # right before run.sh unpacks it (repaired before any retry).
+        self.faults.fire("deploy.install", control=control, bundle=bundle)
         try:
             status, output = self.interpreter.run_script_file(control,
                                                               run_path)
@@ -107,6 +114,29 @@ class DeploymentEngine:
                 "teardown left processes running: "
                 + ", ".join(f"{p.host}:{p.name}" for p in leftovers)
             )
+
+    def cleanup_failed(self, bundle, allocation):
+        """Best-effort cleanup after a failed trial attempt.
+
+        The pool wipes the server hosts on release, but the shared
+        client and control hosts keep their state between trials, so a
+        failed attempt must not leave half-started processes or a
+        half-collected results directory behind for the retry (or the
+        next trial) to trip over.  Never raises: cleanup of an
+        already-broken attempt must not mask the original failure, and
+        running it twice is a no-op.
+        """
+        for host in (allocation.client, allocation.control):
+            if getattr(host, "crashed", False):
+                continue
+            for process in host.live_processes():
+                host.kill(process.pid, strict=False)
+        results_dir = f"/results/{bundle.experiment_id}"
+        try:
+            if allocation.control.fs.exists(results_dir):
+                allocation.control.fs.remove(results_dir, recursive=True)
+        except ReproError:
+            pass
 
     def _run_phase(self, deployment, script_name):
         control = deployment.allocation.control

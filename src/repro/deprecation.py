@@ -8,7 +8,31 @@ emit a :class:`DeprecationWarning` through :func:`absorb_positional`.
 
 from __future__ import annotations
 
+import os.path
+import sys
 import warnings
+
+_PACKAGE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def _caller_stacklevel():
+    """The ``stacklevel`` pointing at the first frame outside repro.
+
+    A fixed level only points at the caller when the deprecated
+    constructor is invoked directly; through a wrapper (a subclass
+    ``__init__``, a facade helper) it blames repro's own internals.
+    Walking the stack to the first out-of-package frame pins the
+    warning on the user's code regardless of call depth.
+    """
+    frame = sys._getframe(1)
+    level = 1
+    while frame is not None:
+        filename = os.path.abspath(frame.f_code.co_filename)
+        if not filename.startswith(_PACKAGE_DIR + os.sep):
+            return level
+        frame = frame.f_back
+        level += 1
+    return level
 
 
 def absorb_positional(owner, names, args, current):
@@ -17,7 +41,9 @@ def absorb_positional(owner, names, args, current):
     *current* is the dict of keyword values the caller actually passed
     (or their defaults); positional values fill the leading slots and
     must not collide with an explicitly passed keyword.  Returns the
-    merged dict.
+    merged dict.  The warning's ``stacklevel`` is computed dynamically
+    so it always points at the caller's line, never at repro's own
+    frames.
     """
     if not args:
         return current
@@ -31,7 +57,7 @@ def absorb_positional(owner, names, args, current):
         f"passing {', '.join(taken)} to {owner} positionally is "
         f"deprecated; use keyword arguments "
         f"({', '.join(f'{n}=...' for n in taken)})",
-        DeprecationWarning, stacklevel=3,
+        DeprecationWarning, stacklevel=_caller_stacklevel(),
     )
     merged = dict(current)
     for name, value in zip(names, args):

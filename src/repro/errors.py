@@ -108,13 +108,20 @@ class ExperimentError(ReproError):
 
 
 class TrialFailed(ExperimentError):
-    """A trial exceeded its error budget and is recorded as DNF.
+    """A trial failed after measurements were taken; recorded as DNF.
 
     Mirrors the paper's Table 7 'missing squares': experiments that could
     not complete at high load.  Carries the partial measurements so the
-    harness can still record what was observed before the failure.
+    harness can still record what was observed before the failure, and
+    the underlying *cause* so the retry policy can classify the failure
+    by what actually broke rather than by the wrapper.
     """
 
-    def __init__(self, message, partial=None):
+    def __init__(self, message, partial=None, cause=None):
         super().__init__(message)
         self.partial = partial
+        self.cause = cause
+
+
+class FaultPlanError(ReproError):
+    """A declarative fault plan is malformed (unknown kind, bad rate)."""

@@ -24,20 +24,38 @@ one child span per lifecycle phase (``allocate``, ``generate``,
 phases.  The spans ride on the returned :class:`TrialResult` (so they
 survive process-pool workers) and land in the results database's
 ``spans`` table; tracing never changes a trial's outcome.
+
+Since the fault plane landed, a trial is one *or more* attempts: the
+runner arms its :class:`~repro.faults.FaultInjector` before each
+attempt, and when an attempt dies of a transient cause the
+:class:`~repro.faults.RetryPolicy` re-runs it after a deterministic
+*virtual* backoff (recorded, never slept).  Hosts repeatedly blamed
+for failures are quarantined out of the cluster pool.  Every failed
+attempt becomes an :class:`AttemptFailure` riding on the result, and
+a trial whose budget runs out becomes an enriched DNF row instead of
+an exception — the campaign keeps going.  Transient faults abort an
+attempt *before* any metric is recorded, so the surviving attempt's
+observations are byte-identical to a fault-free run's.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.deploy import DeploymentEngine
 from repro.deprecation import absorb_positional
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ReproError, TrialFailed
 from repro.experiments.trial import (
     COMPLETED,
     DNF,
+    AttemptFailure,
     TrialResult,
+    failed_result,
     measurement_window,
 )
 from repro.experiments.scheduler import TrialScheduler, enumerate_tasks
+from repro.faults.injector import as_injector
+from repro.faults.retry import GAVE_UP, QUARANTINED, RETRIED, as_policy
 from repro.generator import HostPlan, Mulini
 from repro.monitoring import (
     attach_monitors,
@@ -47,7 +65,8 @@ from repro.monitoring import (
     summarize_log,
     summarize_log_by_state,
 )
-from repro.obs.tracer import as_tracer, worker_name
+from repro.monitoring.metrics import summarize_records
+from repro.obs.tracer import as_tracer, merge_span_exports, worker_name
 from repro.sim import NTierSimulation
 
 
@@ -61,10 +80,17 @@ class ExperimentRunner:
     shared-cluster mode of parallel scheduling.  *tracer* is threaded
     through every layer (deployment engine, shell interpreter,
     simulation, collector) so one trial produces one span tree.
+
+    *faults* is a :class:`~repro.faults.FaultPlan` (or a ready
+    injector) whose events this runner's layers fire; *retry* is a
+    :class:`~repro.faults.RetryPolicy` (or a bare attempt count).
+    Leaving both unset preserves the historical single-attempt,
+    exception-propagating behaviour exactly.
     """
 
     def __init__(self, *args, cluster=None, resource_model=None,
-                 wait_for_nodes=False, tracer=None):
+                 wait_for_nodes=False, tracer=None, faults=None,
+                 retry=None):
         merged = absorb_positional(
             "ExperimentRunner", ("cluster", "resource_model",
                                  "wait_for_nodes"),
@@ -80,20 +106,30 @@ class ExperimentRunner:
         self.resource_model = resource_model
         self.wait_for_nodes = merged["wait_for_nodes"]
         self.tracer = as_tracer(tracer)
+        self.faults = as_injector(faults, tracer=self.tracer)
+        self.retry_policy = as_policy(retry)
         self.mulini = Mulini(resource_model)
-        self.engine = DeploymentEngine(cluster=cluster, tracer=self.tracer)
+        self.engine = DeploymentEngine(cluster=cluster, tracer=self.tracer,
+                                       faults=self.faults)
+        # The cluster fires allocation-side fault points itself.
+        self.cluster.faults = self.faults
+        self._host_failures = {}     # host name -> blamed failure count
+        self._phase = "allocate"
 
     def clone(self):
         """A runner like this one on a fresh clone of its cluster.
 
         Scheduler workers each run on a clone, so virtual-host state
-        never crosses workers.  The tracer is shared: worker spans all
-        land on the same trace plane.
+        never crosses workers.  The tracer and fault injector are
+        shared (arming is thread-local): worker spans all land on the
+        same trace plane, and repair bookkeeping stays in one place.
         """
         return ExperimentRunner(cluster=self.cluster.clone(),
                                 resource_model=self.resource_model,
                                 wait_for_nodes=self.wait_for_nodes,
-                                tracer=self.tracer)
+                                tracer=self.tracer,
+                                faults=self.faults,
+                                retry=self.retry_policy)
 
     def run_point(self, experiment, topology, workload, write_ratio,
                   seed=None):
@@ -102,42 +138,183 @@ class ExperimentRunner:
         *seed* overrides the experiment's seed (used for repetitions);
         it flows into the generated driver.properties, so the whole
         trial replays under the replacement seed.
+
+        With a retry policy, a transiently-failed attempt is re-run
+        (after deterministic virtual backoff) up to the policy's
+        budget; when the budget runs out the trial becomes an enriched
+        DNF result instead of an exception, unless the policy says
+        ``record_dnf=False`` — the no-retry default, which re-raises
+        exactly like the pre-fault-plane runner did.
         """
         if seed is not None and seed != experiment.seed:
-            from dataclasses import replace
             experiment = replace(experiment, seed=seed)
-        tracer = self.tracer
-        with tracer.span(
-                "trial",
-                experiment=experiment.name,
-                topology=topology.label(),
-                workload=workload,
-                write_ratio=write_ratio,
-                seed=experiment.seed,
-                worker=worker_name()) as trial_span:
-            tier_node_types = {}
-            if experiment.db_node_type is not None:
-                tier_node_types["db"] = self.cluster.platform.node_type(
-                    experiment.db_node_type).name
-            with tracer.span("allocate",
-                             wait=self.wait_for_nodes) as alloc_span:
-                allocation = self.cluster.allocate(
-                    topology, tier_node_types=tier_node_types,
-                    wait=self.wait_for_nodes)
-                tracer.annotate(nodes=sorted(
-                    {allocation.client.name}
-                    | {h.name for h in allocation.all_server_hosts()}))
-            if self.wait_for_nodes:
-                tracer.count("runner.node_wait_s", alloc_span.duration)
+        policy = self.retry_policy
+        trial_key = (experiment.name, topology.label(), workload,
+                     write_ratio, experiment.seed)
+        failures = []
+        exports = []
+        result = None
+        error = None
+        attempts_made = 0
+        for attempt in range(policy.max_attempts):
+            attempts_made = attempt + 1
+            self.faults.arm(trial_key, attempt)
             try:
-                result = self._run_allocated(allocation, experiment,
-                                             topology, workload,
-                                             write_ratio)
-                trial_span.annotate(status=result.status)
+                result = self._run_attempt(experiment, topology, workload,
+                                           write_ratio, attempt, exports)
+                break
+            except ReproError as caught:
+                error = caught
+                retrying = self._note_failure(caught, attempt, policy,
+                                              failures, exports)
+                # Undo repairable fault mutations (corrupted archives)
+                # before the next attempt — or before the next trial
+                # reuses the shared control host.
+                self.faults.repair(trial_key)
+                if not retrying:
+                    break
             finally:
-                self.cluster.release(allocation)
-        result.spans = tracer.export(trial_span)
+                self.faults.disarm()
+        if result is None:
+            if not policy.record_dnf:
+                raise error
+            partial = error.partial if isinstance(error, TrialFailed) \
+                else None
+            result = failed_result(
+                experiment, topology, workload, write_ratio,
+                experiment.seed, failures, attempts_made,
+                partial=partial,
+                machine_count=topology.machine_count())
+            self.tracer.count("runner.trials_dnf_failed", 1)
+        elif failures:
+            self.tracer.count("runner.trials_recovered", 1)
+        result.attempts = attempts_made
+        result.failures = failures
+        result.spans = merge_span_exports(exports)
         return result
+
+    def _run_attempt(self, experiment, topology, workload, write_ratio,
+                     attempt, exports):
+        """One attempt of one trial: the full eight-phase lifecycle.
+
+        Each attempt is its own ``trial`` span tree; the flattened tree
+        is appended to *exports* whether the attempt succeeds or dies,
+        so failed attempts stay visible in ``repro trace``.
+        """
+        tracer = self.tracer
+        self._phase = "allocate"
+        trial_span = None
+        try:
+            with tracer.span(
+                    "trial",
+                    experiment=experiment.name,
+                    topology=topology.label(),
+                    workload=workload,
+                    write_ratio=write_ratio,
+                    seed=experiment.seed,
+                    worker=worker_name()) as trial_span:
+                if attempt:
+                    trial_span.annotate(attempt=attempt + 1)
+                tier_node_types = {}
+                if experiment.db_node_type is not None:
+                    tier_node_types["db"] = self.cluster.platform.node_type(
+                        experiment.db_node_type).name
+                with tracer.span("allocate",
+                                 wait=self.wait_for_nodes) as alloc_span:
+                    allocation = self.cluster.allocate(
+                        topology, tier_node_types=tier_node_types,
+                        wait=self.wait_for_nodes)
+                    tracer.annotate(nodes=sorted(
+                        {allocation.client.name}
+                        | {h.name for h in allocation.all_server_hosts()}))
+                if self.wait_for_nodes:
+                    tracer.count("runner.node_wait_s", alloc_span.duration)
+                try:
+                    result = self._run_allocated(allocation, experiment,
+                                                 topology, workload,
+                                                 write_ratio)
+                    trial_span.annotate(status=result.status)
+                finally:
+                    self.cluster.release(allocation)
+            return result
+        finally:
+            if trial_span is not None:
+                exports.append(tracer.export(trial_span))
+
+    def _note_failure(self, error, attempt, policy, failures, exports):
+        """Record one failed attempt; returns whether to retry.
+
+        Injected-fault attribution comes from the injector's fired
+        events (the exception itself usually surfaces from a layer
+        downstream of the fault); organic failures are classified by
+        the policy's transient error classes.  Hosts blamed by fired
+        events accumulate toward quarantine.
+        """
+        fired = self.faults.fired_this_attempt()
+        if fired:
+            transient = all(event.spec.transient for event in fired)
+        else:
+            transient = policy.is_transient(error)
+        retrying = transient and attempt + 1 < policy.max_attempts
+        resolution = RETRIED if retrying else GAVE_UP
+        backoff = policy.backoff_s(attempt + 1) if retrying else 0.0
+        fault_kind = fired[0].kind if fired else None
+        fault_host = next((e.host for e in fired if e.host), None)
+        failures.append(AttemptFailure(
+            attempt=attempt + 1,
+            phase=self._phase,
+            cause=str(error),
+            error_type=type(error).__name__,
+            transient=transient,
+            resolution=resolution,
+            fault_kind=fault_kind,
+            host=fault_host,
+            backoff_s=backoff,
+        ))
+        self.tracer.count("runner.attempts_failed", 1)
+        if retrying:
+            self.tracer.count("runner.attempts_retried", 1)
+            # Backoff is virtual time: recorded for the trace, never
+            # slept — determinism forbids wall-clock coupling.
+            self.tracer.count("runner.backoff_virtual_s", backoff)
+        if fault_host is not None:
+            self._blame_host(fault_host, fault_kind, attempt, policy,
+                             failures, exports)
+        return retrying
+
+    def _blame_host(self, host_name, fault_kind, attempt, policy,
+                    failures, exports):
+        # Only pool nodes can be quarantined; the shared control and
+        # client hosts are structural — losing them ends the campaign,
+        # not the host.
+        if host_name in (self.cluster.control.name,
+                         self.cluster.client.name):
+            return
+        count = self._host_failures.get(host_name, 0) + 1
+        self._host_failures[host_name] = count
+        if count < policy.quarantine_after:
+            return
+        reason = (f"{count} failed attempts "
+                  f"(last: {fault_kind or 'unattributed'})")
+        if not self.cluster.quarantine(host_name, reason=reason):
+            return
+        with self.tracer.span("quarantine", host=host_name,
+                              failures=count, reason=reason) as span:
+            pass
+        records = self.tracer.export(span)
+        if records:
+            exports.append(records)
+        self.tracer.count("runner.hosts_quarantined", 1)
+        failures.append(AttemptFailure(
+            attempt=attempt + 1,
+            phase="quarantine",
+            cause=f"host {host_name} quarantined: {reason}",
+            error_type="HostQuarantined",
+            transient=False,
+            resolution=QUARANTINED,
+            fault_kind=fault_kind,
+            host=host_name,
+        ))
 
     def run_task(self, task):
         """Execute one enumerated :class:`TrialTask`."""
@@ -179,6 +356,7 @@ class ExperimentRunner:
     def _run_allocated(self, allocation, experiment, topology, workload,
                        write_ratio):
         tracer = self.tracer
+        self._phase = "generate"
         with tracer.span("generate"):
             plan = HostPlan.from_allocation(allocation)
             bundle = self.mulini.generate(experiment, topology, workload,
@@ -187,12 +365,22 @@ class ExperimentRunner:
                             files=bundle.file_count(),
                             script_lines=bundle.script_line_total(),
                             config_lines=bundle.config_line_total())
-        with tracer.span("deploy"):
-            deployment = self.engine.deploy(bundle, allocation)
-        system = deployment.system
-        with tracer.span("verify"):
-            self.engine.verify(system, experiment, topology, workload,
-                               write_ratio)
+        self._phase = "deploy"
+        try:
+            with tracer.span("deploy"):
+                deployment = self.engine.deploy(bundle, allocation)
+            system = deployment.system
+            self._phase = "verify"
+            with tracer.span("verify"):
+                self.engine.verify(system, experiment, topology, workload,
+                                   write_ratio)
+        except ReproError:
+            # A half-deployed attempt must not leave processes or
+            # half-written results behind on the shared client/control
+            # hosts for a retry (or the next trial) to trip over.
+            self.engine.cleanup_failed(bundle, allocation)
+            raise
+        self._phase = "simulate"
         with tracer.span("simulate"):
             harness = NTierSimulation(system, tracer=tracer)
             emitters = attach_monitors(harness)
@@ -209,28 +397,46 @@ class ExperimentRunner:
                             sim_events=harness.sim.events_processed,
                             monitors=len(emitters))
         control = allocation.control
-        with tracer.span("collect"):
-            results_dir = self.engine.collect(deployment)
-            log_path = f"{results_dir}/requests.log"
-            if not control.fs.is_file(log_path):
-                raise ExperimentError(
-                    f"collect.sh did not deliver the request log for "
-                    f"{bundle.experiment_id}"
-                )
-            collected_log = control.fs.read(log_path)
-            sys_series = collect_sysstat_files(control, results_dir,
-                                               tracer=tracer)
-            data_bytes = collected_bytes(control, results_dir)
-            tracer.annotate(bytes=data_bytes, hosts=len(sys_series))
-        with tracer.span("analyze"):
-            window = measurement_window(experiment.trial)
-            metrics = summarize_log(collected_log, window)
-            per_state = summarize_log_by_state(collected_log, window)
-            host_cpu = {host: series.mean("cpu", window)
-                        for host, series in sys_series.items()}
-            tier_of_host = self._tier_map(system)
-        with tracer.span("teardown"):
-            self.engine.teardown(deployment)
+        window = measurement_window(experiment.trial)
+        try:
+            self._phase = "collect"
+            with tracer.span("collect"):
+                results_dir = self.engine.collect(deployment)
+                log_path = f"{results_dir}/requests.log"
+                if not control.fs.is_file(log_path):
+                    raise ExperimentError(
+                        f"collect.sh did not deliver the request log for "
+                        f"{bundle.experiment_id}"
+                    )
+                collected_log = control.fs.read(log_path)
+                sys_series = collect_sysstat_files(control, results_dir,
+                                                   tracer=tracer,
+                                                   faults=self.faults)
+                data_bytes = collected_bytes(control, results_dir)
+                tracer.annotate(bytes=data_bytes, hosts=len(sys_series))
+            self._phase = "analyze"
+            with tracer.span("analyze"):
+                metrics = summarize_log(collected_log, window)
+                per_state = summarize_log_by_state(collected_log, window)
+                host_cpu = {host: series.mean("cpu", window)
+                            for host, series in sys_series.items()}
+                tier_of_host = self._tier_map(system)
+            self._phase = "teardown"
+            with tracer.span("teardown"):
+                self.engine.teardown(deployment)
+        except TrialFailed:
+            raise
+        except ReproError as error:
+            # The run window already happened: salvage its driver-side
+            # measurements so even a gave-up trial contributes partial
+            # observations (TrialFailed.partial -> the DNF row).
+            self.engine.cleanup_failed(bundle, allocation)
+            raise TrialFailed(
+                f"trial lost after its run window in {self._phase} "
+                f"phase: {error}",
+                partial=summarize_records(records, window),
+                cause=error,
+            ) from error
         status = COMPLETED
         if metrics.error_ratio > experiment.slo.error_ratio:
             status = DNF

@@ -4,7 +4,11 @@
 period.  The warm-up period brings system resource utilization to a
 stable state.  Then measurements are taken during the run period."
 A :class:`TrialResult` carries everything one trial observed, including
-the management-scale accounting its bundle contributed to Table 3.
+the management-scale accounting its bundle contributed to Table 3 —
+and, since the fault plane landed, how hard the trial was to obtain:
+every failed attempt rides along as an :class:`AttemptFailure` and
+lands in the database's ``failures`` table, because the paper treats
+experiments that "could not complete" as observations, not noise.
 """
 
 from __future__ import annotations
@@ -13,6 +17,34 @@ from dataclasses import dataclass, field
 
 COMPLETED = "completed"
 DNF = "dnf"          # did not finish: exceeded the error budget (Table 7)
+
+
+@dataclass(frozen=True)
+class AttemptFailure:
+    """One failed attempt of a trial: what broke, where, what happened.
+
+    *attempt* is 1-based; *phase* is the lifecycle phase that raised;
+    *resolution* says what the runner did next (``retried``,
+    ``gave-up``, or ``quarantined`` for the synthetic record a host
+    quarantine emits).  *fault_kind*/*host* are filled when the failure
+    traces back to an injected fault event.
+    """
+
+    attempt: int
+    phase: str
+    cause: str
+    error_type: str
+    transient: bool
+    resolution: str
+    fault_kind: str = None
+    host: str = None
+    backoff_s: float = 0.0
+
+    def describe(self):
+        kind = f" [{self.fault_kind}]" if self.fault_kind else ""
+        where = f" on {self.host}" if self.host else ""
+        return (f"attempt {self.attempt} failed in {self.phase}{kind}"
+                f"{where}: {self.cause} -> {self.resolution}")
 
 
 @dataclass
@@ -41,10 +73,20 @@ class TrialResult:
     #: the producing runner traced; rides along so spans survive
     #: process-pool workers and land in the database's spans table.
     spans: list = field(default_factory=list)
+    #: how many attempts it took to obtain this result (1 = first try)
+    attempts: int = 1
+    #: AttemptFailure records for every attempt that did not produce
+    #: this result; ride along like spans and land in the database's
+    #: ``failures`` table.
+    failures: list = field(default_factory=list)
 
     @property
     def completed(self):
         return self.status == COMPLETED
+
+    @property
+    def retried(self):
+        return self.attempts > 1
 
     def response_time_ms(self):
         return self.metrics.mean_response_s * 1000.0
@@ -86,3 +128,39 @@ class TrialResult:
 def measurement_window(trial_phases):
     """The run-period window measurements are taken in (Section III.B)."""
     return (trial_phases.warmup, trial_phases.warmup + trial_phases.run)
+
+
+def empty_metrics():
+    """All-zero TrialMetrics for a DNF row whose attempts never got a
+    measurement window (the paper's truly-missing squares)."""
+    from repro.monitoring.metrics import TrialMetrics
+
+    return TrialMetrics(completed=0, errors=0, timeouts=0, rejections=0,
+                        duration_s=0.0, throughput=0.0,
+                        mean_response_s=0.0, p50_response_s=0.0,
+                        p90_response_s=0.0, p99_response_s=0.0)
+
+
+def failed_result(experiment, topology, workload, write_ratio, seed,
+                  failures, attempts, partial=None, machine_count=0):
+    """The enriched DNF row for a trial whose retry budget ran out.
+
+    *partial* carries measurements salvaged from a failed attempt
+    (:attr:`~repro.errors.TrialFailed.partial`) so an attempt that died
+    *after* its run window still contributes its observations, exactly
+    like the paper's could-not-complete cells contribute theirs.
+    """
+    return TrialResult(
+        experiment_name=experiment.name,
+        benchmark=experiment.benchmark,
+        platform=experiment.platform,
+        topology_label=topology.label(),
+        workload=workload,
+        write_ratio=write_ratio,
+        seed=seed,
+        status=DNF,
+        metrics=partial if partial is not None else empty_metrics(),
+        machine_count=machine_count,
+        attempts=attempts,
+        failures=list(failures),
+    )

@@ -1,0 +1,50 @@
+"""Fault plane: deterministic fault injection for the virtual cluster.
+
+See :mod:`repro.faults.plan` for the declarative, seeded
+:class:`FaultPlan`, :mod:`repro.faults.injector` for the runtime that
+arms it inside the cluster/deploy/shell/collect layers, and
+:mod:`repro.faults.retry` for the :class:`RetryPolicy` the execution
+layer uses to survive what the plan injects.
+"""
+
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    FaultInjector,
+    NullInjector,
+    as_injector,
+)
+from repro.faults.plan import (
+    EVERY_ATTEMPT,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.retry import (
+    GAVE_UP,
+    NO_RETRY,
+    QUARANTINED,
+    RETRIED,
+    TRANSIENT_ERRORS,
+    RetryPolicy,
+    as_policy,
+)
+
+__all__ = [
+    "EVERY_ATTEMPT",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "GAVE_UP",
+    "NO_RETRY",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "QUARANTINED",
+    "RETRIED",
+    "RetryPolicy",
+    "TRANSIENT_ERRORS",
+    "as_injector",
+    "as_policy",
+]

@@ -1,0 +1,117 @@
+"""Retry policy: bounded attempts with deterministic virtual backoff.
+
+DiPerF's framework treats client/host failure and recovery as part of
+running a measurement fleet; this module is the decision layer for
+that: which failures are worth re-running, how many times, and with
+what (virtual-time) backoff.  Nothing here sleeps — the backoff is an
+accounting quantity recorded on the attempt and in the trace, so chaos
+campaigns stay as fast as clean ones and remain fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    ClusterError,
+    DeployError,
+    ExperimentError,
+    MonitoringError,
+    ShellError,
+    TrialFailed,
+)
+
+#: Failure classes re-running an attempt can plausibly fix: broken
+#: infrastructure rather than broken specifications.  SpecError,
+#: GenerationError, WorkloadError, SimulationError and ResultsError are
+#: deliberately absent — retrying a wrong input or a logic bug just
+#: burns the budget.
+TRANSIENT_ERRORS = (ClusterError, DeployError, MonitoringError, ShellError)
+
+GAVE_UP = "gave-up"
+RETRIED = "retried"
+QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retries for failed trial attempts.
+
+    *max_attempts* counts the first attempt; 1 disables retries and
+    restores the raise-on-failure behaviour.  Backoff between attempts
+    is ``backoff_base_s * backoff_factor ** (attempt - 1)`` virtual
+    seconds, recorded (never slept).  *quarantine_after* is how many
+    failures may be blamed on one host before the runner quarantines it
+    on its cluster; *record_dnf* stores an enriched DNF row when the
+    budget is exhausted instead of re-raising.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 1.0
+    backoff_factor: float = 2.0
+    quarantine_after: int = 2
+    record_dnf: bool = True
+    transient: tuple = TRANSIENT_ERRORS
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ExperimentError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.quarantine_after < 1:
+            raise ExperimentError(
+                f"quarantine_after must be at least 1, "
+                f"got {self.quarantine_after}"
+            )
+
+    def is_transient(self, error):
+        """Whether re-running the attempt could help.
+
+        An injected fault decides by its spec's ``transient`` flag; a
+        :class:`TrialFailed` wrapper is judged by its underlying cause;
+        anything else by the transient error classes.  A DNF for
+        exceeding the error budget is an *observation*, never retried.
+        """
+        fault = getattr(error, "fault", None)
+        if fault is not None:
+            return fault.spec.transient
+        if isinstance(error, TrialFailed):
+            if error.cause is None:
+                return False
+            return self.is_transient(error.cause)
+        return isinstance(error, self.transient)
+
+    def backoff_s(self, attempt):
+        """Virtual-time backoff before retrying after *attempt* (1-based
+        count of failures so far)."""
+        if attempt < 1:
+            return 0.0
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+    def to_dict(self):
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_factor": self.backoff_factor,
+            "quarantine_after": self.quarantine_after,
+            "record_dnf": self.record_dnf,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+#: The do-nothing policy: one attempt, failures raise as they always
+#: did.  ``as_policy(None)`` returns it so the runner never branches.
+NO_RETRY = RetryPolicy(max_attempts=1, record_dnf=False)
+
+
+def as_policy(retry):
+    """Normalize a ``retry=`` argument: None -> :data:`NO_RETRY`, an
+    int -> that many attempts with defaults, a policy -> itself."""
+    if retry is None:
+        return NO_RETRY
+    if isinstance(retry, int):
+        return NO_RETRY if retry <= 1 else RetryPolicy(max_attempts=retry)
+    return retry

@@ -107,16 +107,28 @@ def parse_sysstat(text):
         parts = line.split()
         if len(parts) < 3:
             raise MonitoringError(f"malformed sample line: {line!r}")
-        timestamp = float(parts[0])
-        metric = parts[1]
-        values = tuple(float(p) for p in parts[2:])
+        try:
+            timestamp = float(parts[0])
+            metric = parts[1]
+            values = tuple(float(p) for p in parts[2:])
+        except ValueError:
+            raise MonitoringError(
+                f"malformed sample line: {line!r}"
+            ) from None
         series.samples.setdefault(metric, []).append((timestamp, values))
     return series
 
 
-def collect_sysstat_files(control_host, results_dir, tracer=None):
+def collect_sysstat_files(control_host, results_dir, tracer=None,
+                          faults=None):
     """Parse every ``*.sysstat.dat`` under *results_dir* on the control
-    host; returns ``{host_name: SysstatSeries}``."""
+    host; returns ``{host_name: SysstatSeries}``.
+
+    *faults* is the trial's fault injector: a ``monitor-truncate``
+    armed for this trial cuts a collected file mid-sample right before
+    parsing, so the damage surfaces as a :class:`MonitoringError`
+    rather than silently thinner series.
+    """
     tracer = as_tracer(tracer)
     collected = {}
     files = 0
@@ -124,6 +136,9 @@ def collect_sysstat_files(control_host, results_dir, tracer=None):
         for path in control_host.fs.walk_files(results_dir):
             if not path.endswith(".sysstat.dat"):
                 continue
+            if faults is not None:
+                faults.fire("collect.sysstat", control=control_host,
+                            path=path)
             series = parse_sysstat(control_host.fs.read(path))
             collected[series.host] = series
             files += 1

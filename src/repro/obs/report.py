@@ -135,6 +135,43 @@ def render_slowest_scripts(traced, limit=10):
     return "\n".join(rows)
 
 
+def render_injected_faults(traced):
+    """Fault and quarantine spans the chaos plane recorded, per trial.
+
+    Returns ``None`` for fault-free runs so the section only appears
+    when a :class:`~repro.faults.FaultPlan` actually fired something.
+    """
+    rows = []
+    quarantines = []
+    for info, spans in traced:
+        label = trial_label(info)
+        for span in spans:
+            if span.name == "fault":
+                attrs = span.attributes
+                rows.append((label, attrs.get("kind", "?"),
+                             attrs.get("point", "?"),
+                             attrs.get("host", "") or "-",
+                             attrs.get("attempt", 1)))
+            elif span.name == "quarantine":
+                attrs = span.attributes
+                quarantines.append(
+                    f"quarantined {attrs.get('host', '?')}: "
+                    f"{attrs.get('reason', 'no reason recorded')}")
+    if not rows and not quarantines:
+        return None
+    out = []
+    if rows:
+        label_width = max([len(r[0]) for r in rows] + [len("trial")])
+        out.append(f"{'trial':<{label_width}} {'fault':<16} "
+                   f"{'point':<18} {'host':<10} {'attempt':>7}")
+        out.append("-" * (label_width + 55))
+        for label, kind, point, host, attempt in rows:
+            out.append(f"{label:<{label_width}} {kind:<16} "
+                       f"{point:<18} {host:<10} {attempt:>7}")
+    out.extend(quarantines)
+    return "\n".join(out)
+
+
 def render_trace_report(database, experiment_name=None, limit=20):
     """The full ``repro trace`` report for one observation database."""
     traced = database.traced_trials(experiment_name=experiment_name)
@@ -160,4 +197,7 @@ def render_trace_report(database, experiment_name=None, limit=20):
     scripts = render_slowest_scripts(traced)
     if scripts is not None:
         sections.extend(["", "Slowest generated scripts", scripts])
+    faults = render_injected_faults(traced)
+    if faults is not None:
+        sections.extend(["", "Injected faults", faults])
     return "\n".join(sections)

@@ -108,6 +108,37 @@ def flatten_span(root):
     return records
 
 
+def merge_span_exports(exports):
+    """Merge several flattened span trees into one record list.
+
+    Retries give one trial several span trees (one per attempt); each
+    tree numbers its spans 1..n from its own root, so concatenation
+    re-bases every tree's ids past the previous ones.  Roots keep
+    parent 0 — consumers see a forest, one root per attempt.  A single
+    export passes through unchanged (ids and all), so the no-retry
+    path stays byte-identical to pre-fault-plane traces.
+    """
+    exports = [list(records) for records in exports if records]
+    if not exports:
+        return []
+    if len(exports) == 1:
+        return exports[0]
+    merged = []
+    offset = 0
+    for records in exports:
+        for record in records:
+            merged.append(SpanRecord(
+                span_id=record.span_id + offset,
+                parent_id=record.parent_id + offset
+                if record.parent_id else 0,
+                name=record.name, start_s=record.start_s,
+                duration_s=record.duration_s, status=record.status,
+                attributes=record.attributes,
+            ))
+        offset = len(merged)
+    return merged
+
+
 def worker_name():
     """This worker's identity for span attribution: ``pid/thread``."""
     return f"{os.getpid()}/{threading.current_thread().name}"

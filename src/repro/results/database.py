@@ -14,7 +14,8 @@ import sqlite3
 import threading
 
 from repro.errors import ResultsError
-from repro.experiments.trial import TrialResult
+from repro.experiments.trial import AttemptFailure, TrialResult
+from repro.faults.retry import GAVE_UP, QUARANTINED
 from repro.monitoring.metrics import TrialMetrics
 from repro.obs.tracer import SpanRecord
 
@@ -69,12 +70,37 @@ CREATE TABLE IF NOT EXISTS spans (
     status TEXT NOT NULL,
     attributes TEXT NOT NULL
 );
+-- The fault plane's failure record: one row per failed attempt (plus
+-- one synthetic row per host quarantine).  Deliberately a separate
+-- table so the observation tables (trials/host_cpu/state_metrics)
+-- stay byte-identical between a fault-free campaign and one that
+-- recovered from transient faults.
+CREATE TABLE IF NOT EXISTS failures (
+    trial_id INTEGER NOT NULL REFERENCES trials(id) ON DELETE CASCADE,
+    attempt INTEGER NOT NULL,
+    phase TEXT NOT NULL,
+    cause TEXT NOT NULL,
+    error_type TEXT NOT NULL,
+    transient INTEGER NOT NULL,
+    resolution TEXT NOT NULL,
+    fault_kind TEXT,
+    host TEXT,
+    backoff_s REAL NOT NULL DEFAULT 0.0
+);
+-- Campaign identity for checkpoint/resume: the TBL/MOF text and knobs
+-- that produced this database, so `repro resume <db>` can rebuild the
+-- campaign and run exactly the missing trials.
+CREATE TABLE IF NOT EXISTS campaign_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
 CREATE INDEX IF NOT EXISTS idx_state_metrics_trial
     ON state_metrics (trial_id);
 CREATE INDEX IF NOT EXISTS idx_trials_sweep
     ON trials (experiment_name, topology, workload, write_ratio);
 CREATE INDEX IF NOT EXISTS idx_host_cpu_trial ON host_cpu (trial_id);
 CREATE INDEX IF NOT EXISTS idx_spans_trial ON spans (trial_id);
+CREATE INDEX IF NOT EXISTS idx_failures_trial ON failures (trial_id);
 """
 
 
@@ -173,6 +199,8 @@ class ResultsDatabase:
                 (trial_id,))
             self._db.execute("DELETE FROM spans WHERE trial_id = ?",
                              (trial_id,))
+            self._db.execute("DELETE FROM failures WHERE trial_id = ?",
+                             (trial_id,))
         self._db.executemany(
             "INSERT INTO host_cpu (trial_id, host, tier, cpu_percent) "
             "VALUES (?,?,?,?)",
@@ -202,6 +230,19 @@ class ResultsDatabase:
                      span.start_s, span.duration_s, span.status,
                      span.attributes_json())
                     for span in spans
+                ],
+            )
+        failures = getattr(result, "failures", None)
+        if failures:
+            self._db.executemany(
+                "INSERT INTO failures (trial_id, attempt, phase, cause, "
+                "error_type, transient, resolution, fault_kind, host, "
+                "backoff_s) VALUES (?,?,?,?,?,?,?,?,?,?)",
+                [
+                    (trial_id, f.attempt, f.phase, f.cause, f.error_type,
+                     int(f.transient), f.resolution, f.fault_kind,
+                     f.host, f.backoff_s)
+                    for f in failures
                 ],
             )
         self._db.commit()
@@ -279,15 +320,81 @@ class ResultsDatabase:
                     (experiment_name,)).fetchone()
         return row[0] or 0
 
+    def trial_keys(self):
+        """The identity key of every stored trial — the campaign's
+        checkpoint: a resume skips exactly these."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT experiment_name, topology, workload, write_ratio, "
+                "seed FROM trials ORDER BY id").fetchall()
+        return [tuple(row) for row in rows]
+
     def dump_rows(self, table):
         """Every row of *table*, ordered by rowid — the raw comparison
         surface the determinism tests diff (tracing must never change
         what lands in the observation tables)."""
-        if table not in ("trials", "host_cpu", "state_metrics", "spans"):
+        if table not in ("trials", "host_cpu", "state_metrics", "spans",
+                         "failures"):
             raise ResultsError(f"unknown table {table!r}")
         with self._lock:
             return self._db.execute(
                 f"SELECT * FROM {table} ORDER BY rowid").fetchall()
+
+    # -- failures (the fault plane's record) -------------------------------
+
+    def failure_count(self):
+        with self._lock:
+            return self._db.execute(
+                "SELECT COUNT(*) FROM failures").fetchone()[0]
+
+    def failures_for(self, trial_id):
+        """Every :class:`AttemptFailure` of one trial, in attempt order."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT attempt, phase, cause, error_type, transient, "
+                "resolution, fault_kind, host, backoff_s FROM failures "
+                "WHERE trial_id = ? ORDER BY rowid", (trial_id,)).fetchall()
+        return [
+            AttemptFailure(attempt=attempt, phase=phase, cause=cause,
+                           error_type=error_type, transient=bool(transient),
+                           resolution=resolution, fault_kind=fault_kind,
+                           host=host, backoff_s=backoff_s)
+            for (attempt, phase, cause, error_type, transient, resolution,
+                 fault_kind, host, backoff_s) in rows
+        ]
+
+    def quarantined_hosts(self):
+        """Hosts the campaign quarantined, with their failure record."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT DISTINCT host, cause FROM failures "
+                "WHERE resolution = ? ORDER BY host",
+                (QUARANTINED,)).fetchall()
+        return {host: cause for host, cause in rows}
+
+    # -- campaign meta (checkpoint/resume) ---------------------------------
+
+    def set_meta(self, key, value):
+        """Store a campaign-identity string under *key*."""
+        with self._lock:
+            self._db.execute(
+                "INSERT OR REPLACE INTO campaign_meta (key, value) "
+                "VALUES (?, ?)", (key, str(value)))
+            self._db.commit()
+
+    def get_meta(self, key, default=None):
+        with self._lock:
+            row = self._db.execute(
+                "SELECT value FROM campaign_meta WHERE key = ?",
+                (key,)).fetchone()
+        return default if row is None else row[0]
+
+    def meta(self):
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT key, value FROM campaign_meta ORDER BY key"
+            ).fetchall()
+        return dict(rows)
 
     # -- spans (the trace plane) -------------------------------------------
 
@@ -366,6 +473,13 @@ class ResultsDatabase:
                     "mean_response_s": mean_response_s}
             for state, count, errors, mean_response_s in state_rows
         }
+        failures = self.failures_for(row["id"])
+        # Failed-attempt rows reconstruct the attempt count: a trial
+        # that gave up made exactly as many attempts as it failed; a
+        # recovered (or clean) trial made one more.
+        attempt_rows = [f for f in failures if f.resolution != QUARANTINED]
+        gave_up = any(f.resolution == GAVE_UP for f in attempt_rows)
+        attempts = len(attempt_rows) + (0 if gave_up else 1)
         return TrialResult(
             experiment_name=row["experiment_name"],
             benchmark=row["benchmark"],
@@ -384,4 +498,6 @@ class ResultsDatabase:
             config_lines=row["config_lines"],
             generated_files=row["generated_files"],
             machine_count=row["machine_count"],
+            attempts=attempts,
+            failures=failures,
         )

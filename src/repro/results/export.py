@@ -22,6 +22,7 @@ TRIAL_FIELDS = (
     "p50_response_ms", "p90_response_ms", "p99_response_ms",
     "error_ratio", "app_cpu_percent", "db_cpu_percent", "web_cpu_percent",
     "collected_bytes", "script_lines", "config_lines", "machine_count",
+    "attempts",
 )
 
 
@@ -55,6 +56,7 @@ def trial_row(result):
         "script_lines": result.script_lines,
         "config_lines": result.config_lines,
         "machine_count": result.machine_count,
+        "attempts": result.attempts,
     }
 
 
@@ -72,7 +74,12 @@ def to_csv(results):
 
 
 def to_json(results, indent=2):
-    """Render TrialResults as a JSON array, host CPU included."""
+    """Render TrialResults as a JSON array, host CPU included.
+
+    Trials the fault plane retried (or gave up on) additionally carry
+    their ``failures`` list — attempt, phase, cause, resolution — so
+    the DNF record survives the trip out of the toolchain intact.
+    """
     if not results:
         raise ResultsError("nothing to export")
     rows = []
@@ -81,6 +88,16 @@ def to_json(results, indent=2):
         row["host_cpu"] = {host: round(cpu, 2)
                            for host, cpu in sorted(result.host_cpu.items())}
         row["tier_of_host"] = dict(sorted(result.tier_of_host.items()))
+        failures = getattr(result, "failures", None)
+        if failures:
+            row["failures"] = [
+                {"attempt": f.attempt, "phase": f.phase,
+                 "cause": f.cause, "error_type": f.error_type,
+                 "transient": f.transient, "resolution": f.resolution,
+                 "fault_kind": f.fault_kind, "host": f.host,
+                 "backoff_s": f.backoff_s}
+                for f in failures
+            ]
         rows.append(row)
     return json.dumps(rows, indent=indent) + "\n"
 
@@ -93,7 +110,7 @@ def from_csv(text):
         raise ResultsError("not a repro trial export (missing columns)")
     int_fields = {"workload", "seed", "completed", "errors", "timeouts",
                   "rejections", "collected_bytes", "script_lines",
-                  "config_lines", "machine_count"}
+                  "config_lines", "machine_count", "attempts"}
     rows = []
     for raw in reader:
         row = {}

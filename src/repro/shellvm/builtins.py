@@ -280,6 +280,12 @@ def _ssh(interp, env, argv):
     if not remote_argv:
         raise CommandError("ssh: missing remote command")
     host = interp.network.host(host_name)
+    if getattr(host, "crashed", False):
+        # A dark host refuses the connection; under ``set -e`` the
+        # surrounding deployment script aborts, exactly like a real
+        # crashed node mid-deploy.
+        return 255, (f"ssh: connect to host {host_name}: "
+                     f"connection refused ({host.crash_reason})\n")
     command_text = " ".join(remote_argv)
     return interp.run_text_on(host, command_text,
                               script=f"ssh:{host_name}")

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import CommandError, ShellError
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.tracer import as_tracer
 from repro.shellvm.builtins import REGISTRY
 from repro.shellvm.environment import (
@@ -44,9 +45,10 @@ class LogEntry:
 class ShellInterpreter:
     """Executes parsed scripts against virtual hosts on one network."""
 
-    def __init__(self, network, *, tracer=None):
+    def __init__(self, network, *, tracer=None, faults=None):
         self.network = network
         self.tracer = as_tracer(tracer)
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self.log = []
         self.slept_seconds = 0.0
         self._depth = 0
@@ -71,6 +73,12 @@ class ShellInterpreter:
         else:
             env = ShellEnvironment(host=host, positional=tuple(args),
                                    script=full)
+        # Fault point: a ``daemon-kill`` armed for this trial strikes
+        # between scripts — the first script that starts while a
+        # matching daemon is alive somewhere on the network sees it
+        # die mid-deployment.
+        self.faults.fire("shell.script", network=self.network,
+                         host=host, path=full)
         with self.tracer.span("script", path=full, host=host.name,
                               depth=self._depth):
             status, output = self._run_parsed(parse(text, script=full), env)

@@ -14,6 +14,7 @@ import time
 from collections import Counter
 
 from repro.errors import AllocationError, ClusterError
+from repro.faults.injector import NULL_INJECTOR
 from repro.spec import catalog
 from repro.vcluster.archives import build_archive
 from repro.vcluster.host import VirtualHost
@@ -70,6 +71,11 @@ class VirtualCluster:
         # pool bookkeeping and lets `allocate(wait=True)` block until a
         # `release` makes nodes available again.
         self._nodes_available = threading.Condition(threading.RLock())
+        # The fault plane: a runner arms its injector here so allocate /
+        # release fire the vcluster fault points.  Defaults to the null
+        # injector, so fault-free clusters never branch.
+        self.faults = NULL_INJECTOR
+        self._quarantined = {}        # host name -> reason
         node_count = node_count or platform.total_nodes
         if node_count < 3:
             raise ClusterError("a cluster needs at least 3 nodes")
@@ -161,9 +167,16 @@ class VirtualCluster:
         tier_node_types = tier_node_types or {}
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._nodes_available:
+            self.faults.fire("vcluster.allocate", cluster=self,
+                             topology=topology)
             while True:
                 try:
-                    return self._allocate_now(topology, tier_node_types)
+                    allocation = self._allocate_now(topology,
+                                                    tier_node_types)
+                    self.faults.fire(
+                        "vcluster.allocated", cluster=self,
+                        hosts=allocation.all_server_hosts())
+                    return allocation
                 except AllocationError:
                     if not wait:
                         raise
@@ -193,7 +206,12 @@ class VirtualCluster:
                     hosts.append(host)
                 tier_hosts[tier] = hosts
         except AllocationError:
+            # Requeue the partially-taken nodes and wake waiters: a
+            # blocked request for a *different* node type may have been
+            # satisfiable all along and must re-check, not sleep until
+            # some unrelated release happens to poke it.
             self._free.extend(taken)
+            self._nodes_available.notify_all()
             raise
         return Allocation(control=self.control, client=self.client,
                           tier_hosts=tier_hosts)
@@ -248,12 +266,59 @@ class VirtualCluster:
         return best
 
     def release(self, allocation):
-        """Return an allocation's hosts to the pool, wiping their state."""
+        """Return an allocation's hosts to the pool, wiping their state.
+
+        Called from both success and failure paths — a failed trial's
+        nodes must come back (and waiters must wake) exactly like a
+        completed trial's, or one broken trial starves every blocked
+        ``allocate(wait=True)`` in a parallel campaign.  A crashed host
+        is replaced by a fresh one (the "reboot"); a quarantined host
+        is wiped but kept out of the free pool.
+        """
         with self._nodes_available:
             for host in allocation.all_server_hosts():
                 fresh = VirtualHost(host.name, host.node_type)
                 # Replace in-place so the network keeps a valid registry.
                 self.hosts[host.name] = fresh
                 self.network._hosts[host.name] = fresh
-                self._free.append(fresh)
+                if host.name not in self._quarantined:
+                    self._free.append(fresh)
             self._nodes_available.notify_all()
+
+    # -- quarantine ------------------------------------------------------
+
+    def quarantine(self, host_name, reason="repeated failures"):
+        """Stop allocating onto *host_name*; returns True if newly
+        quarantined.
+
+        The host leaves the free pool (now, or on release if a trial
+        still holds it) and the pool's capacity accounting shrinks, so
+        blocked ``allocate(wait=True)`` callers whose requests became
+        unsatisfiable raise instead of waiting forever.
+        """
+        if host_name not in self.hosts:
+            raise ClusterError(
+                f"unknown host {host_name!r} in cluster {self.name!r}"
+            )
+        if host_name in (CONTROL_HOST, CLIENT_HOST):
+            raise ClusterError(
+                f"cannot quarantine structural host {host_name!r}"
+            )
+        with self._nodes_available:
+            if host_name in self._quarantined:
+                return False
+            self._quarantined[host_name] = reason
+            host = self.hosts[host_name]
+            self._free = [h for h in self._free if h.name != host_name]
+            self._pool_capacity[host.node_type.name] -= 1
+            self._nodes_available.notify_all()
+            return True
+
+    def quarantined(self):
+        """``{host name: reason}`` for every quarantined host."""
+        with self._nodes_available:
+            return dict(self._quarantined)
+
+    def is_quarantined(self, host_name):
+        with self._nodes_available:
+            return host_name in self._quarantined

@@ -29,10 +29,21 @@ def normalize(path, cwd="/"):
 class VirtualFileSystem:
     """A tree of directories and text files with modification counters."""
 
+    #: Bulk-write threshold for a stalled (degraded) disk: small writes
+    #: (configs, markers) still land, but anything monitor-flush sized
+    #: hangs and errors — the slow-disk fault's observable effect.
+    STALL_THRESHOLD_BYTES = 1024
+
     def __init__(self):
         self._files = {}
         self._dirs = {"/"}
         self._mtime = 0
+        self._stalled_owner = None
+
+    def stall_bulk_writes(self, owner="host"):
+        """Degrade the backing disk: writes of ``STALL_THRESHOLD_BYTES``
+        or more raise :class:`ClusterError` from now on."""
+        self._stalled_owner = owner
 
     # -- queries ---------------------------------------------------------
 
@@ -113,6 +124,12 @@ class VirtualFileSystem:
         if not isinstance(content, str):
             raise ClusterError(
                 f"virtual files hold text, got {type(content).__name__}"
+            )
+        if self._stalled_owner is not None \
+                and len(content) >= self.STALL_THRESHOLD_BYTES:
+            raise ClusterError(
+                f"{self._stalled_owner}: disk degraded; write of "
+                f"{len(content)} bytes to {path} stalled"
             )
         parent = posixpath.dirname(path)
         if parent not in self._dirs:

@@ -56,8 +56,53 @@ class VirtualHost:
         self.fs = VirtualFileSystem()
         self.processes = {}
         self.installed_packages = {}
+        self.crashed = False
+        self.crash_reason = None
+        self.degradations = set()     # {"disk", "nic"} -- see degrade()
         for directory in _STANDARD_DIRS:
             self.fs.mkdir(directory)
+
+    # -- failure state ---------------------------------------------------
+
+    def crash(self, reason="host crashed"):
+        """Take the host down hard: every process dies, and new work
+        (spawn, ssh) is refused until the pool replaces the host.
+
+        Crashing an already-crashed host is a no-op — the fault plane
+        may fire while the host is still dark.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_reason = reason
+        for process in self.processes.values():
+            process.alive = False
+
+    def degrade(self, resource):
+        """Mark *resource* (``disk`` or ``nic``) as degraded.
+
+        A degraded disk makes bulk filesystem writes stall (monitor
+        flushes fail); a degraded NIC makes network transfers to or
+        from this host stall.  Cleared when the pool replaces the host.
+        """
+        if resource not in ("disk", "nic"):
+            raise ClusterError(
+                f"{self.name}: unknown degradable resource {resource!r}"
+            )
+        self.degradations.add(resource)
+        if resource == "disk":
+            self.fs.stall_bulk_writes(self.name)
+
+    def is_degraded(self, resource):
+        return resource in self.degradations
+
+    def check_up(self, action="use"):
+        """Raise unless the host is reachable (not crashed)."""
+        if self.crashed:
+            raise ClusterError(
+                f"{self.name}: host is down ({self.crash_reason}); "
+                f"cannot {action}"
+            )
 
     # -- processes -------------------------------------------------------
 
@@ -65,6 +110,7 @@ class VirtualHost:
         """Start a process; daemons must point at an existing executable."""
         if not argv:
             raise ClusterError(f"{self.name}: cannot spawn empty command")
+        self.check_up(action="spawn a process")
         executable = argv[0]
         if executable.startswith("/") and not self.fs.is_file(executable):
             raise ClusterError(
@@ -80,16 +126,28 @@ class VirtualHost:
         self.processes[process.pid] = process
         return process
 
-    def kill(self, pid):
-        try:
-            process = self.processes[pid]
-        except KeyError:
-            raise ClusterError(f"{self.name}: no such process {pid}")
+    def kill(self, pid, strict=True):
+        """Kill process *pid*; killing an already-dead process is a
+        no-op (returns it).  With ``strict=False`` an unknown pid also
+        no-ops (returns None) — the idempotent form teardown paths use
+        after a failed trial, where the process table may already have
+        been wiped.
+        """
+        process = self.processes.get(pid)
+        if process is None:
+            if strict:
+                raise ClusterError(f"{self.name}: no such process {pid}")
+            return None
         process.alive = False
         return process
 
     def kill_by_name(self, name):
-        """Kill every live process whose basename matches *name*."""
+        """Kill every live process whose basename matches *name*.
+
+        Idempotent: processes that already exited are skipped, and a
+        second kill of the same name returns an empty list rather than
+        raising — a double-teardown after a failed trial must no-op.
+        """
         killed = []
         for process in self.live_processes():
             if process.name == name:

@@ -46,6 +46,17 @@ class VirtualNetwork:
             raise ClusterError(
                 f"{src_host.name} cannot reach {dst_host.name}"
             )
+        for endpoint in (src_host, dst_host):
+            if getattr(endpoint, "crashed", False):
+                raise ClusterError(
+                    f"{endpoint.name}: host is down "
+                    f"({endpoint.crash_reason}); transfer failed"
+                )
+            if endpoint.is_degraded("nic"):
+                raise ClusterError(
+                    f"{endpoint.name}: NIC degraded; transfer "
+                    f"{src_path} -> {dst_path} stalled"
+                )
         if src_host.fs.is_file(src_path):
             content = src_host.fs.read(src_path)
             if dst_host.fs.is_dir(dst_path):
