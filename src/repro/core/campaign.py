@@ -34,6 +34,14 @@ from repro.spec.tbl import parse as parse_tbl
 from repro.spec.validation import validate
 from repro.vcluster import VirtualCluster
 
+#: Trials buffered before the write-behind store flushes them to the
+#: database in one transaction (one commit, one fsync when file-backed).
+#: Results always flush in submission order — the scheduler already
+#: delivers them that way — so jobs=N rows stay byte-identical to a
+#: jobs=1 run; the campaign flushes the tail on every exit path, so an
+#: interrupted run still checkpoints everything it was handed.
+INGEST_BATCH = 16
+
 #: campaign_meta keys a campaign persists for `repro resume`.
 META_TBL = "tbl_text"
 META_MOF = "mof_text"
@@ -183,12 +191,23 @@ class ObservationCampaign:
         total = len(tasks)
         # One store closure shared by every experiment; counts are
         # aggregated under a lock because scheduler configurations may
-        # invoke it from worker threads.
+        # invoke it from worker threads.  Inserts are write-behind:
+        # results buffer in arrival (= submission) order and flush to
+        # the database in single-transaction batches.
         lock = threading.Lock()
+        pending = []
+
+        def flush_pending():
+            # Caller holds `lock`.
+            if pending:
+                self.database.insert_many(pending, replace=replace)
+                del pending[:]
 
         def store(result):
             with lock:
-                self.database.insert(result, replace=replace)
+                pending.append(result)
+                if len(pending) >= INGEST_BATCH:
+                    flush_pending()
                 report.trials += 1
                 report.by_experiment[result.experiment_name] = \
                     report.by_experiment.get(result.experiment_name, 0) + 1
@@ -215,14 +234,20 @@ class ObservationCampaign:
                        if result.retried else "")
                 )
 
-        if jobs == 1:
-            for task in tasks:
-                store(self.runner.run_task(task))
-        else:
-            scheduler = TrialScheduler(self._worker_runner, jobs=jobs,
-                                       backend=backend,
-                                       tracer=self.tracer)
-            scheduler.run(tasks, on_result=store)
+        try:
+            if jobs == 1:
+                for task in tasks:
+                    store(self.runner.run_task(task))
+            else:
+                scheduler = TrialScheduler(self._worker_runner, jobs=jobs,
+                                           backend=backend,
+                                           tracer=self.tracer)
+                scheduler.run(tasks, on_result=store)
+        finally:
+            # The tail batch — and, on an aborted campaign, everything
+            # delivered so far, so resume finds every stored trial.
+            with lock:
+                flush_pending()
         return report
 
     def _record_meta(self):

@@ -23,7 +23,9 @@ default picks ``"process"`` where ``fork`` is available.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -73,7 +75,15 @@ def enumerate_tasks(experiment, start_index=0):
 
 
 def default_backend():
-    """Process workers where ``fork`` exists, threads otherwise."""
+    """Process workers where ``fork`` exists, threads otherwise.
+
+    This is a static choice: it cannot see whether the campaign's
+    results will actually survive the worker→parent pickle (a tracer or
+    fault hook configured with a lambda or a lock-bearing closure will
+    not).  The scheduler therefore treats the process backend as a
+    best-effort default and falls back to threads at run time when
+    result pickling fails — see :meth:`TrialScheduler._run_processes`.
+    """
     if "fork" in multiprocessing.get_all_start_methods():
         return PROCESS
     return THREAD
@@ -175,12 +185,41 @@ class TrialScheduler:
             return self._drain(futures, on_result)
 
     def _run_processes(self, tasks, on_result):
+        # Worker state is inherited by fork (initargs never pickle), but
+        # every task and every result crosses the process boundary via
+        # pickle.  A runner configured with an unpicklable callback — a
+        # lambda tracer clock, say — only fails when its first result
+        # comes back, so catch that here and resume the remaining tasks
+        # on the thread backend.  Results are delivered strictly in
+        # submission order, so `delivered` tells us exactly which tasks
+        # are still owed; trials are deterministic, so the splice is
+        # byte-identical to an all-thread run.
+        delivered = []
+
+        def deliver(result):
+            delivered.append(result)
+            if on_result is not None:
+                on_result(result)
+
         context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=self.jobs, mp_context=context,
-                                 initializer=_process_init,
-                                 initargs=(self.runner_factory,)) as pool:
-            futures = [pool.submit(_process_run, task) for task in tasks]
-            return self._drain(futures, on_result)
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs,
+                                     mp_context=context,
+                                     initializer=_process_init,
+                                     initargs=(self.runner_factory,)) as pool:
+                futures = [pool.submit(_process_run, task) for task in tasks]
+                self._drain(futures, deliver)
+                return delivered
+        except (TypeError, pickle.PicklingError, AttributeError) as error:
+            warnings.warn(
+                f"process backend cannot pickle trial results ({error}); "
+                f"falling back to the thread backend for the remaining "
+                f"{len(tasks) - len(delivered)} task(s)",
+                RuntimeWarning, stacklevel=3,
+            )
+            self.tracer.count("scheduler.backend_fallbacks", 1)
+            rest = self._run_threads(tasks[len(delivered):], on_result)
+            return delivered + rest
 
     def _drain(self, futures, on_result):
         results = []

@@ -208,7 +208,8 @@ class FaultPlan:
         try:
             data = json.loads(text)
         except ValueError as error:
-            raise FaultPlanError(f"{source}: not valid JSON: {error}")
+            raise FaultPlanError(
+                f"{source}: not valid JSON: {error}") from error
         if not isinstance(data, dict) or "faults" not in data:
             raise FaultPlanError(
                 f"{source}: fault plan JSON needs a 'faults' list "

@@ -52,6 +52,14 @@ class HostPlan:
         return cls(control="control", client="client",
                    tier_hosts=tier_hosts)
 
+    def fingerprint(self):
+        """Hashable identity of the role->host mapping — part of the
+        bundle cache key, since every generated script embeds the
+        concrete host names."""
+        return (self.control, self.client,
+                tuple((tier, tuple(hosts))
+                      for tier, hosts in sorted(self._tier_hosts.items())))
+
     def host_for(self, tier, index):
         hosts = self._tier_hosts.get(tier, [])
         if not 1 <= index <= len(hosts):

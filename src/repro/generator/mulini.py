@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import re
 
+from repro import hotpath
 from repro.errors import GenerationError
 from repro.generator.artifacts import HostPlan
 from repro.generator.backends.shell import ShellBackend
@@ -64,6 +65,14 @@ class Mulini:
                                        write_ratio)
         if backend == "shell":
             generator = ShellBackend(self.resource_model, stack)
+            if hotpath.enabled():
+                # Memoized path: byte-identical to the uncached one
+                # (the hot-path identity tests diff the two), but a
+                # sweep re-renders only the parameter-bearing files.
+                from repro.generator.cache import cached_generate
+                return cached_generate(generator, experiment, topology,
+                                       workload, write_ratio, host_plan,
+                                       point_id)
         elif backend == "smartfrog":
             generator = SmartFrogBackend(self.resource_model, stack)
         else:

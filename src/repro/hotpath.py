@@ -1,0 +1,131 @@
+"""The campaign hot-path caching plane: one switch, shared accounting.
+
+The paper's observation-at-scale claim rests on the apparatus being
+cheap to produce and run; this module is the control point for every
+cache that amortizes apparatus cost across a campaign — the Mulini
+bundle cache, the shellvm parse cache and the package-archive memo all
+register here.  The caches are pure memoization: **they must never be
+observable** in results, traces or fault injection.  A campaign run
+with caches disabled stores a byte-identical database to one run with
+caches on (``benchmarks/test_bench_hotpath.py`` enforces this), which
+is why the switch exists at all — the identity tests need an honest
+cache-free leg to diff against.
+
+Use :func:`caches_disabled` to run a code block cache-free::
+
+    with hotpath.caches_disabled():
+        report = run_campaign(tbl)        # every artifact built fresh
+
+Disabling clears every registered cache, so re-enabling starts cold;
+:func:`stats` exposes per-cache hit/miss counters for the benchmark's
+report (never for control flow).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+_state_lock = threading.Lock()
+_enabled = True
+_caches = {}        # name -> MemoCache
+
+
+def enabled():
+    """Whether the hot-path caches are currently active."""
+    return _enabled
+
+
+def set_enabled(flag):
+    """Flip the global cache switch; disabling drops cached entries.
+
+    Meant for test/benchmark setup, not for flipping mid-campaign —
+    workers observe the switch at their next cache lookup.
+    """
+    global _enabled
+    with _state_lock:
+        _enabled = bool(flag)
+        if not _enabled:
+            for cache in _caches.values():
+                cache.clear()
+
+
+@contextmanager
+def caches_disabled():
+    """Run a block with every hot-path cache off (and emptied)."""
+    previous = _enabled
+    set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+def clear():
+    """Empty every registered cache (counters included) — the cold
+    start the benchmark's caches-on leg measures from."""
+    with _state_lock:
+        for cache in _caches.values():
+            cache.clear()
+
+
+def stats():
+    """``{cache name: {"entries": n, "hits": h, "misses": m}}``."""
+    with _state_lock:
+        return {name: cache.snapshot_stats()
+                for name, cache in sorted(_caches.items())}
+
+
+class MemoCache:
+    """A bounded, thread-safe memo table honouring the global switch.
+
+    Values must be immutable (or treated as such by every consumer):
+    a hit returns the stored object itself, shared across threads.
+    When the table reaches *capacity* it is emptied — campaign working
+    sets are far below any sane capacity, so eviction is a backstop
+    against unbounded growth, not a tuning knob.
+    """
+
+    def __init__(self, name, capacity=4096):
+        self.name = name
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._table = {}
+        self._hits = 0
+        self._misses = 0
+        with _state_lock:
+            _caches[name] = self
+
+    def get(self, key, build):
+        """The cached value for *key*, building (and storing) on miss.
+
+        *build* runs outside the table lock; two threads racing the
+        same key both build, and the later store wins — safe because
+        values are pure functions of their key.
+        """
+        if not _enabled:
+            return build()
+        with self._lock:
+            try:
+                value = self._table[key]
+                self._hits += 1
+                return value
+            except KeyError:
+                self._misses += 1
+        value = build()
+        with self._lock:
+            if len(self._table) >= self.capacity:
+                self._table.clear()
+            self._table[key] = value
+        return value
+
+    def clear(self):
+        with self._lock:
+            self._table.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def snapshot_stats(self):
+        with self._lock:
+            return {"entries": len(self._table), "hits": self._hits,
+                    "misses": self._misses}

@@ -146,6 +146,9 @@ class ResultsDatabase:
 
     # -- writes -----------------------------------------------------------
 
+    #: Child tables hanging off ``trials.id``.
+    _CHILD_TABLES = ("host_cpu", "state_metrics", "spans", "failures")
+
     def insert(self, result, replace=False):
         """Store a :class:`TrialResult`; returns its row id.
 
@@ -155,14 +158,43 @@ class ResultsDatabase:
         trials.
         """
         with self._lock:
-            return self._insert_locked(result, replace)
+            try:
+                trial_id = self._insert_locked(result, replace)
+            except Exception:
+                self._db.rollback()
+                raise
+            self._db.commit()
+        return trial_id
 
     def _insert_locked(self, result, replace):
+        """Write one trial and its children; caller commits."""
         metrics = result.metrics
-        verb = "INSERT OR REPLACE" if replace else "INSERT"
+        if replace:
+            # Replace by natural key *before* the insert.  The old
+            # INSERT OR REPLACE path deleted children keyed on the new
+            # row's id — a no-op that orphaned the replaced trial's
+            # children whenever foreign-key enforcement was off (which
+            # is SQLite's per-connection default; our own connections
+            # enable it, but the database file must stay consistent
+            # for any reader).
+            row = self._db.execute(
+                "SELECT id FROM trials WHERE experiment_name = ? AND "
+                "topology = ? AND workload = ? AND write_ratio = ? AND "
+                "seed = ?",
+                (result.experiment_name, result.topology_label,
+                 result.workload, result.write_ratio, result.seed),
+            ).fetchone()
+            if row is not None:
+                old_id = row[0]
+                for table in self._CHILD_TABLES:
+                    self._db.execute(
+                        f"DELETE FROM {table} WHERE trial_id = ?",
+                        (old_id,))
+                self._db.execute("DELETE FROM trials WHERE id = ?",
+                                 (old_id,))
         try:
             cursor = self._db.execute(
-                f"""{verb} INTO trials (
+                """INSERT INTO trials (
                     experiment_name, benchmark, platform, topology,
                     workload, write_ratio, seed, status,
                     completed_requests, errors, timeouts, rejections,
@@ -189,18 +221,8 @@ class ResultsDatabase:
             raise ResultsError(
                 f"duplicate trial {result.experiment_name}/"
                 f"{result.topology_label}/u{result.workload}: {error}"
-            )
+            ) from error
         trial_id = cursor.lastrowid
-        if replace:
-            self._db.execute("DELETE FROM host_cpu WHERE trial_id = ?",
-                             (trial_id,))
-            self._db.execute(
-                "DELETE FROM state_metrics WHERE trial_id = ?",
-                (trial_id,))
-            self._db.execute("DELETE FROM spans WHERE trial_id = ?",
-                             (trial_id,))
-            self._db.execute("DELETE FROM failures WHERE trial_id = ?",
-                             (trial_id,))
         self._db.executemany(
             "INSERT INTO host_cpu (trial_id, host, tier, cpu_percent) "
             "VALUES (?,?,?,?)",
@@ -245,11 +267,48 @@ class ResultsDatabase:
                     for f in failures
                 ],
             )
-        self._db.commit()
         return trial_id
 
     def insert_many(self, results, replace=False):
-        return [self.insert(result, replace=replace) for result in results]
+        """Store many :class:`TrialResult`\\ s in **one** transaction.
+
+        Every trial's statements run back-to-back and a single commit
+        (one fsync on file-backed databases) covers the whole batch —
+        the campaign hot path.  Row ids and contents are exactly what
+        the same sequence of :meth:`insert` calls would produce; on
+        error the entire batch rolls back, so the database never holds
+        a partial batch.
+        """
+        ids = []
+        with self._lock:
+            try:
+                for result in results:
+                    ids.append(self._insert_locked(result, replace))
+            except Exception:
+                self._db.rollback()
+                raise
+            self._db.commit()
+        return ids
+
+    def integrity_check(self):
+        """Scan for child rows orphaned from ``trials`` — the damage
+        the replace-path bug used to leave behind.  Returns a list of
+        problem descriptions (empty when consistent).  Works without
+        foreign-key enforcement, so it validates the file itself, not
+        this connection's pragma state.
+        """
+        problems = []
+        with self._lock:
+            for table in self._CHILD_TABLES:
+                count = self._db.execute(
+                    f"SELECT COUNT(*) FROM {table} c WHERE NOT EXISTS "
+                    f"(SELECT 1 FROM trials t WHERE t.id = c.trial_id)"
+                ).fetchone()[0]
+                if count:
+                    problems.append(
+                        f"{table}: {count} row(s) orphaned from trials"
+                    )
+        return problems
 
     # -- reads -------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import re
 
+from repro import hotpath
 from repro.errors import ShellError
 from repro.shellvm.lexer import tokenize
 from repro.shellvm.nodes import (
@@ -252,8 +253,22 @@ def _as_assignment(parts):
     return name, tuple(value_parts)
 
 
+# Interned parse results: generated scripts are executed far more often
+# than they are distinct (every repetition replays the same text, and
+# the inline `ssh host cmd` bodies repeat across every trial of a
+# campaign), so each unique (script, text) pair is lexed and parsed
+# once.  Safe to share across scheduler workers: the AST is frozen
+# dataclasses over tuples and the interpreter never mutates it.
+_PARSE_CACHE = hotpath.MemoCache("shellvm.parse", capacity=8192)
+
+
 def parse(text, script="<script>"):
     """Parse shell *text* into a :class:`Script`."""
+    return _PARSE_CACHE.get((script, text),
+                            lambda: _parse_fresh(text, script))
+
+
+def _parse_fresh(text, script):
     tokens = tokenize(text, script=script)
     statements = _Parser(tokens, script).parse_script()
     return Script(statements=tuple(statements), source=script, text=text)

@@ -85,6 +85,26 @@ class ResourceModel:
                 f"{sorted(self.tiers)}"
             )
 
+    def fingerprint(self):
+        """Hashable identity of everything generation consumes.
+
+        Two models with equal fingerprints generate byte-identical
+        bundles for the same experiment point, so this is the bundle
+        cache's invalidation key: any tier reassignment, platform
+        change or package override changes the fingerprint.
+        """
+        tiers = tuple(
+            (name, assignment.node_type.name,
+             tuple((p.name, p.version) for p in assignment.packages))
+            for name, assignment in sorted(self.tiers.items())
+        )
+        overrides = tuple(
+            (name, tuple(sorted(override.items())))
+            for name, override in sorted(self.overrides.items())
+        )
+        return (self.cluster_name, self.platform.name,
+                self.package_repository, tiers, overrides)
+
     def package(self, name):
         """Catalog package with any Elba_PackageOverride applied."""
         package = catalog.get_package(name)

@@ -17,14 +17,25 @@ to be meaningful.
 
 from __future__ import annotations
 
+from repro import hotpath
 from repro.errors import ClusterError
 
 MAGIC = "#!repro-tarball"
 MEMBER_MARKER = ">>> "
 
+# Archive text is a pure function of the (frozen, hashable) package, so
+# re-rendering it for every cluster construction — every scheduler
+# worker clones one — is pure waste; the memo shares one immutable
+# string per package across all clusters and workers.
+_ARCHIVE_CACHE = hotpath.MemoCache("vcluster.archive", capacity=256)
+
 
 def build_archive(package):
     """Render the archive text for a :class:`SoftwarePackage`."""
+    return _ARCHIVE_CACHE.get(package, lambda: _build_archive(package))
+
+
+def _build_archive(package):
     members = {
         "VERSION": f"{package.name} {package.version}\n",
         package.daemon: _daemon_stub(package),

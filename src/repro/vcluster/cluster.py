@@ -13,6 +13,7 @@ import threading
 import time
 from collections import Counter
 
+from repro import hotpath
 from repro.errors import AllocationError, ClusterError
 from repro.faults.injector import NULL_INJECTOR
 from repro.spec import catalog
@@ -55,7 +56,8 @@ class Allocation:
 class VirtualCluster:
     """A named pool of virtual hosts on one hardware platform."""
 
-    def __init__(self, platform, node_count=None, name=None):
+    def __init__(self, platform, node_count=None, name=None,
+                 _control_state=None):
         if isinstance(platform, str):
             platform = catalog.get_platform(platform)
         self.platform = platform
@@ -88,7 +90,18 @@ class VirtualCluster:
             self._free.append(host)
         self._pool_capacity = Counter(host.node_type.name
                                       for host in self._free)
-        self._stock_package_repository()
+        if _control_state is not None:
+            # Clone fast path: the parent's pristine control-host tree
+            # (package repository included) restored copy-on-write —
+            # archive contents are shared immutable strings, so no
+            # re-rendering and no duplicated repository per worker.
+            self.control.fs.restore(_control_state)
+        else:
+            self._stock_package_repository()
+        # Captured before any trial runs, so clones always start from
+        # an intact repository even if this cluster's archives are
+        # later corrupted by an armed fault plan.
+        self._pristine_control = self.control.fs.snapshot()
 
     def clone(self):
         """A fresh cluster with this one's platform and pool shape.
@@ -96,9 +109,13 @@ class VirtualCluster:
         Scheduler workers each own a clone, so virtual-host state never
         crosses workers and every trial starts from pristine hosts —
         exactly what a sequential run sees after `release` wipes them.
+        With the hot-path caches on, the clone shares the pristine
+        control-host state copy-on-write instead of re-stocking the
+        package repository from scratch; host state is never shared.
         """
+        state = self._pristine_control if hotpath.enabled() else None
         return VirtualCluster(self.platform, node_count=self.node_count,
-                              name=self.name)
+                              name=self.name, _control_state=state)
 
     def _node_type_for_index(self, index, total):
         """Mixed platforms (Emulab) get a blend of node types.

@@ -45,6 +45,27 @@ class VirtualFileSystem:
         or more raise :class:`ClusterError` from now on."""
         self._stalled_owner = owner
 
+    # -- snapshots --------------------------------------------------------
+
+    def snapshot(self):
+        """An immutable-shared snapshot of the whole tree.
+
+        File contents are immutable ``(text, mtime)`` tuples, so only
+        the index structures are copied; restoring into another
+        filesystem shares the strings copy-on-write — a later
+        :meth:`write` replaces the dict entry without touching the
+        snapshot or any sibling restored from it.
+        """
+        return (dict(self._files), set(self._dirs), self._mtime)
+
+    def restore(self, snap):
+        """Replace this filesystem's state with *snap* (mtime counter
+        included, so restored trees evolve identically to originals)."""
+        files, dirs, mtime = snap
+        self._files = dict(files)
+        self._dirs = set(dirs)
+        self._mtime = mtime
+
     # -- queries ---------------------------------------------------------
 
     def exists(self, path):

@@ -73,6 +73,10 @@ CHAOS_RETRY = RetryPolicy(max_attempts=3, quarantine_after=10)
 
 
 def observation_dump(database):
+    # Byte-identity means nothing if the file is internally broken:
+    # every dump doubles as a referential-integrity audit (the replace
+    # path once orphaned child rows of replaced trials).
+    assert database.integrity_check() == []
     return {table: database.dump_rows(table)
             for table in OBSERVATION_TABLES}
 

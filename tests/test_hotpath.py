@@ -1,0 +1,308 @@
+"""Hot-path caching plane tests: correctness, invalidation, identity.
+
+The caches exist to make campaigns cheap, but their contract is that
+they are *invisible*: every artifact a cached path produces must be
+byte-identical to what a cache-free build produces, results databases
+included.  These tests pin that contract — plus the cache-specific
+hazards: stale entries after a resource-model change, shared ASTs
+leaking execution state, cloned clusters sharing mutable host state.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import FaultPlan, FaultSpec, RetryPolicy, hotpath, run_campaign
+from repro.experiments.scheduler import TrialScheduler, enumerate_tasks
+from repro.generator.mulini import Mulini
+from repro.shellvm import ShellInterpreter, parse
+from repro.spec import get_platform
+from repro.spec.mof import load_resource_model, render_resource_mof
+from repro.spec.tbl import parse as parse_tbl
+from repro.vcluster import VirtualCluster, VirtualHost, VirtualNetwork
+
+SWEEP_TBL = """
+benchmark rubis; platform emulab;
+experiment "sweep" {
+    topology 1-1-1, 1-2-1;
+    workload 100, 200;
+    write_ratio 15%;
+    trial { warmup 3s; run 15s; cooldown 3s; }
+}
+"""
+
+CHAOS_TBL = """
+benchmark rubis; platform emulab;
+experiment "chaos" {
+    topology 1-1-1, 1-2-1;
+    workload 100, 200;
+    write_ratio 15%;
+    trial { warmup 3s; run 15s; cooldown 3s; }
+}
+"""
+
+CHAOS_PLAN = FaultPlan([
+    FaultSpec(kind="host-crash", target="node-*", rate=0.5),
+    FaultSpec(kind="monitor-truncate", rate=0.4),
+], seed=11)
+
+CHAOS_RETRY = RetryPolicy(max_attempts=3, quarantine_after=10)
+
+#: Every persistent table — the caches must be invisible in all of them.
+ALL_TABLES = ("trials", "host_cpu", "state_metrics", "spans", "failures")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Each test starts cold with caches on, and leaves them that way."""
+    hotpath.set_enabled(True)
+    hotpath.clear()
+    yield
+    hotpath.set_enabled(True)
+    hotpath.clear()
+
+
+def full_dump(database):
+    return {table: database.dump_rows(table) for table in ALL_TABLES}
+
+
+# ---------------------------------------------------------------------------
+# The switch and the memo table
+
+
+class TestMemoCache:
+    def test_hit_returns_stored_object(self):
+        cache = hotpath.MemoCache("test.basic", capacity=8)
+        built = []
+
+        def build():
+            built.append(1)
+            return {"value": 42}
+
+        first = cache.get("k", build)
+        second = cache.get("k", build)
+        assert first is second
+        assert built == [1]
+        assert cache.snapshot_stats() == {"entries": 1, "hits": 1,
+                                          "misses": 1}
+
+    def test_disabled_bypasses_and_empties(self):
+        cache = hotpath.MemoCache("test.switch", capacity=8)
+        cache.get("k", lambda: "v")
+        with hotpath.caches_disabled():
+            assert not hotpath.enabled()
+            assert cache.snapshot_stats()["entries"] == 0
+            one = cache.get("k", lambda: [1])
+            two = cache.get("k", lambda: [1])
+            assert one is not two       # no interning while disabled
+        assert hotpath.enabled()
+
+    def test_capacity_is_a_backstop_not_an_error(self):
+        cache = hotpath.MemoCache("test.cap", capacity=2)
+        for key in range(5):
+            cache.get(key, lambda k=key: k)
+        assert cache.snapshot_stats()["entries"] <= 2
+        assert cache.get(99, lambda: "fresh") == "fresh"
+
+
+# ---------------------------------------------------------------------------
+# Bundle cache: identity and invalidation
+
+
+class TestBundleCache:
+    def _model(self, extra_mof=""):
+        return load_resource_model(
+            render_resource_mof("rubis", "emulab") + extra_mof)
+
+    def _experiment(self):
+        return parse_tbl(SWEEP_TBL).experiments[0]
+
+    def test_cached_bundles_byte_identical_to_fresh(self):
+        experiment = self._experiment()
+        with hotpath.caches_disabled():
+            fresh = {
+                (topology.label(), workload, write_ratio):
+                    Mulini(self._model()).generate(
+                        experiment, topology, workload, write_ratio).files
+                for topology, workload, write_ratio in experiment.points()
+            }
+        hotpath.clear()
+        mulini = Mulini(self._model())
+        for topology, workload, write_ratio in experiment.points():
+            bundle = mulini.generate(experiment, topology, workload,
+                                     write_ratio)
+            key = (topology.label(), workload, write_ratio)
+            assert bundle.files == fresh[key]
+        # The sweep must actually have exercised the chassis cache:
+        # 2 topologies -> 2 chassis misses, the other points reuse them.
+        stats = hotpath.stats()["generator.chassis"]
+        assert stats["misses"] == 2
+        assert stats["hits"] == 2
+
+    def test_exact_point_cache_serves_repeats(self):
+        experiment = self._experiment()
+        mulini = Mulini(self._model())
+        topology, workload, write_ratio = next(iter(experiment.points()))
+        first = mulini.generate(experiment, topology, workload, write_ratio)
+        second = mulini.generate(experiment, topology, workload, write_ratio)
+        assert first.files == second.files
+        assert first is not second          # fresh Bundle, shared strings
+        assert hotpath.stats()["generator.bundle"]["hits"] == 1
+
+    def test_resource_model_change_invalidates(self):
+        experiment = self._experiment()
+        topology, workload, write_ratio = next(iter(experiment.points()))
+        # Warm the cache with the stock model...
+        default = Mulini(self._model()).generate(
+            experiment, topology, workload, write_ratio)
+        # ...then generate against a model with a package override:
+        # the warm cache must not serve the stock chassis for it.
+        tuned_model = self._model("""
+        instance of Elba_PackageOverride {
+            Package = "jonas";
+            WorkerPool = 64;
+        };
+        """)
+        cached = Mulini(tuned_model).generate(
+            experiment, topology, workload, write_ratio)
+        with hotpath.caches_disabled():
+            fresh = Mulini(tuned_model).generate(
+                experiment, topology, workload, write_ratio)
+        assert cached.files == fresh.files
+        assert cached.files != default.files
+
+
+# ---------------------------------------------------------------------------
+# Parse cache: interning without state leakage
+
+
+class TestParseCache:
+    def test_identical_text_is_interned(self):
+        text = "X=1\necho $X\n"
+        assert parse(text) is parse(text)
+        with hotpath.caches_disabled():
+            assert parse(text) is not parse(text)
+
+    def test_shared_ast_executes_independently(self):
+        network = VirtualNetwork()
+        node_type = get_platform("warp").node_type()
+        for name in ("node-1", "node-2"):
+            network.attach(VirtualHost(name, node_type))
+        interp = ShellInterpreter(network)
+        script = (
+            "echo tier=$TIER >> /tmp/report\n"
+            "cat /tmp/report\n"
+        )
+        host_one = network.host("node-1")
+        host_two = network.host("node-2")
+        # Same text, so both executions run the same interned AST; each
+        # must see only its own host's filesystem and variables.
+        status, out_app = interp.run_text_on(host_one, script,
+                                             variables={"TIER": "app"})
+        assert status == 0
+        status, out_db = interp.run_text_on(host_two, script,
+                                            variables={"TIER": "db"})
+        assert status == 0
+        assert out_app.strip() == "tier=app"
+        assert out_db.strip() == "tier=db"
+        # Re-running on a mutated environment appends, never replays
+        # stale state from the first execution.
+        status, again = interp.run_text_on(host_one, script,
+                                           variables={"TIER": "web"})
+        assert status == 0
+        assert again.strip().split("\n") == ["tier=app", "tier=web"]
+
+
+# ---------------------------------------------------------------------------
+# Cheap cluster clones: shared pristine state, isolated mutation
+
+
+class TestClusterClone:
+    def test_clone_matches_fresh_cluster(self):
+        cluster = VirtualCluster("emulab", node_count=5)
+        clone = cluster.clone()
+        with hotpath.caches_disabled():
+            stock = VirtualCluster("emulab", node_count=5)
+        for fs in (clone.control.fs, stock.control.fs):
+            assert list(fs.walk_files("/packages"))
+        assert {path: clone.control.fs.read(path)
+                for path in clone.control.fs.walk_files("/")} == \
+               {path: stock.control.fs.read(path)
+                for path in stock.control.fs.walk_files("/")}
+
+    def test_clone_mutation_never_crosses_clusters(self):
+        cluster = VirtualCluster("emulab", node_count=5)
+        clone_a = cluster.clone()
+        clone_b = cluster.clone()
+        archive = next(iter(clone_a.control.fs.walk_files("/packages")))
+        original = clone_a.control.fs.read(archive)
+        clone_a.control.fs.write(archive, "CORRUPTED\n")
+        assert clone_b.control.fs.read(archive) == original
+        assert cluster.control.fs.read(archive) == original
+        # Even a clone taken *after* the corruption starts pristine:
+        # clones derive from the parent's pristine snapshot, not from
+        # whatever a fault plan did to the parent since.
+        cluster.control.fs.write(archive, "ALSO CORRUPTED\n")
+        assert cluster.clone().control.fs.read(archive) == original
+
+    def test_clone_works_with_caches_disabled(self):
+        with hotpath.caches_disabled():
+            cluster = VirtualCluster("emulab", node_count=5)
+            clone = cluster.clone()
+            archive = next(iter(clone.control.fs.walk_files("/packages")))
+            assert clone.control.fs.read(archive) == \
+                cluster.control.fs.read(archive)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler: process backend falls back when results cannot pickle
+
+
+class FallbackRunner:
+    """Returns results that cannot cross a process boundary."""
+
+    def run_task(self, task):
+        return {"index": task.index, "callback": lambda: None}
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend needs fork")
+class TestProcessFallback:
+    def test_unpicklable_results_fall_back_to_threads(self):
+        tasks = enumerate_tasks(parse_tbl(SWEEP_TBL).experiments[0])
+        scheduler = TrialScheduler(FallbackRunner, jobs=2,
+                                   backend="process")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            results = scheduler.run(tasks)
+        assert [r["index"] for r in results] == [t.index for t in tasks]
+        assert all(callable(r["callback"]) for r in results)
+
+
+# ---------------------------------------------------------------------------
+# The headline invariant: a cached chaos campaign stores the same bytes
+
+
+class TestCampaignIdentity:
+    def test_parallel_chaos_campaign_identical_with_caches(self):
+        # No tracer: span attributes carry the executing worker's name,
+        # which legitimately differs across jobs counts.  Everything
+        # else — including the failures the fault plan injects — must
+        # be byte-identical between a cache-free sequential run and a
+        # cached jobs=4 run.
+        with hotpath.caches_disabled():
+            reference = run_campaign(CHAOS_TBL, faults=CHAOS_PLAN,
+                                     retry=CHAOS_RETRY)
+        hotpath.clear()
+        report = run_campaign(CHAOS_TBL, faults=CHAOS_PLAN,
+                              retry=CHAOS_RETRY, jobs=4, backend="thread")
+        assert report.dnf == 0
+        assert report.database.failure_count() > 0
+        assert full_dump(report.database) == full_dump(reference.database)
+        assert report.database.integrity_check() == []
+        assert reference.database.integrity_check() == []
+        # The run must actually have hit the caches, or the identity
+        # assertion proved nothing.
+        stats = hotpath.stats()
+        assert stats["generator.chassis"]["hits"] > 0
+        assert stats["shellvm.parse"]["hits"] > 0

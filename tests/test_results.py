@@ -56,6 +56,57 @@ class TestDatabase:
             assert len(rows) == 1
             assert rows[0].metrics.mean_response_s == pytest.approx(0.09)
 
+    def test_replace_does_not_orphan_children(self):
+        # Regression: the old replace path deleted child rows keyed on
+        # the *new* trial's id — a no-op that left the replaced trial's
+        # host_cpu/state_metrics/spans/failures rows orphaned whenever
+        # foreign-key enforcement was off, which is SQLite's default
+        # posture for any other reader of the file.
+        with ResultsDatabase() as db:
+            db._db.execute("PRAGMA foreign_keys = OFF")
+            db.insert(make_result())
+            db.insert(make_result(mean_rt=0.09), replace=True)
+            assert db.integrity_check() == []
+            (trial_id,) = [row[0] for row in db.dump_rows("trials")]
+            host_rows = db.dump_rows("host_cpu")
+            assert len(host_rows) == 3          # one trial's worth
+            assert {row[0] for row in host_rows} == {trial_id}
+            assert {row[0] for row in db.dump_rows("state_metrics")} \
+                <= {trial_id}
+
+    def test_integrity_check_reports_orphans(self):
+        with ResultsDatabase() as db:
+            db._db.execute("PRAGMA foreign_keys = OFF")
+            db._db.execute(
+                "INSERT INTO host_cpu (trial_id, host, tier, cpu_percent) "
+                "VALUES (999, 'node-1', 'app', 50.0)")
+            problems = db.integrity_check()
+            assert problems == ["host_cpu: 1 row(s) orphaned from trials"]
+
+    def test_insert_many_matches_serial_inserts(self):
+        serial = ResultsDatabase()
+        for workload in (100, 200, 300):
+            serial.insert(make_result(workload=workload))
+        batched = ResultsDatabase()
+        ids = batched.insert_many(
+            [make_result(workload=w) for w in (100, 200, 300)])
+        assert len(ids) == 3
+        for table in ("trials", "host_cpu", "state_metrics"):
+            assert batched.dump_rows(table) == serial.dump_rows(table)
+
+    def test_insert_many_rolls_back_whole_batch(self):
+        with ResultsDatabase() as db:
+            db.insert(make_result(workload=200))
+            with pytest.raises(ResultsError):
+                db.insert_many([make_result(workload=100),
+                                make_result(workload=200)])   # duplicate
+            # Nothing from the failed batch may remain — not even the
+            # workload=100 trial that inserted cleanly before the
+            # duplicate aborted the transaction.
+            assert db.count() == 1
+            assert len(db.query(workload=100)) == 0
+            assert db.integrity_check() == []
+
     def test_filters(self):
         with ResultsDatabase() as db:
             db.insert(make_result(topology="1-1-1", workload=100))
