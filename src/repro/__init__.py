@@ -29,8 +29,10 @@ scenarios.
 
 from repro.api import (
     open_results,
+    plan_campaign,
     reproduce_figure,
     resume_campaign,
+    run_adaptive,
     run_campaign,
     run_experiment,
     trace_report,
@@ -40,6 +42,7 @@ from repro.core import (
     CampaignReport,
     CapacityPlan,
     CapacityPlanner,
+    InfeasiblePlan,
     ObservationCampaign,
     PerformanceMap,
     ScaleOutStrategy,
@@ -57,8 +60,10 @@ __version__ = "1.2.0"
 
 __all__ = [
     "open_results",
+    "plan_campaign",
     "reproduce_figure",
     "resume_campaign",
+    "run_adaptive",
     "run_campaign",
     "run_experiment",
     "trace_report",
@@ -69,6 +74,7 @@ __all__ = [
     "CampaignReport",
     "CapacityPlan",
     "CapacityPlanner",
+    "InfeasiblePlan",
     "ObservationCampaign",
     "PerformanceMap",
     "ScaleOutStrategy",

@@ -5,8 +5,11 @@ its signatures are the package's compatibility surface:
 
 - :func:`run_experiment` — one TBL experiment, results in memory.
 - :func:`run_campaign` — a whole TBL spec into a results database.
-- :func:`resume_campaign` — finish an interrupted campaign from its
-  database checkpoint.
+- :func:`run_adaptive` — closed-loop exploration of one experiment
+  (planner policy picks trials from the observations so far).
+- :func:`plan_campaign` — dry-run a planner policy's first round.
+- :func:`resume_campaign` — finish an interrupted campaign (fixed-grid
+  or adaptive) from its database checkpoint.
 - :func:`reproduce_figure` — regenerate one paper figure/table.
 - :func:`open_results` — open (or create) an observation database.
 - :func:`trace_report` — render the flight-recorder report of a run.
@@ -95,17 +98,90 @@ def resume_campaign(database, *, jobs=1, backend=None, tracer=None,
     """Finish an interrupted campaign from its database checkpoint.
 
     *database* (a :class:`ResultsDatabase` or a path) must have been
-    produced by :func:`run_campaign`, which persists the TBL/MOF text,
-    cluster size, fault plan and retry policy in the database's
-    ``campaign_meta`` table.  Already-stored trials are skipped; only
-    the missing ones run.  Returns the :class:`CampaignReport`.
+    produced by :func:`run_campaign` or :func:`run_adaptive`, which
+    persist the TBL/MOF text, cluster size, fault plan, retry policy —
+    and, for adaptive explorations, the planner policy/budget — in the
+    database's ``campaign_meta`` table.  Already-stored trials are
+    skipped; an interrupted exploration replays its planner loop and
+    runs only the missing trials.  Returns the :class:`CampaignReport`.
     """
-    from repro.core.campaign import ObservationCampaign
+    from repro.core.campaign import (
+        META_PLANNER_BUDGET,
+        META_PLANNER_EXPERIMENT,
+        META_PLANNER_POLICY,
+        ObservationCampaign,
+    )
 
     database = open_results(database, create=False)
     campaign = ObservationCampaign.from_database(database, tracer=tracer)
+    policy = database.get_meta(META_PLANNER_POLICY)
+    if policy is not None:
+        budget = database.get_meta(META_PLANNER_BUDGET)
+        return campaign.run_adaptive(
+            policy,
+            experiment_name=database.get_meta(META_PLANNER_EXPERIMENT),
+            budget=int(budget) if budget is not None else None,
+            jobs=jobs, backend=backend, on_result=on_result,
+            on_progress=on_progress, resume=True)
     return campaign.run(on_result=on_result, jobs=jobs, backend=backend,
                         on_progress=on_progress, resume=True)
+
+
+def run_adaptive(tbl_text, *, policy="knee", budget=None, experiment=None,
+                 mof_text=None, database=None, node_count=36, jobs=1,
+                 backend=None, tracer=None, replace=True, on_result=None,
+                 on_progress=None, tbl_source="<campaign>", faults=None,
+                 retry=None, resume=False):
+    """Explore one TBL experiment with a closed-loop planner policy.
+
+    Where :func:`run_campaign` executes the full sweep grid,
+    ``run_adaptive`` lets *policy* (``grid``/``knee``/``promote``, or a
+    :class:`repro.planner.Policy` instance) choose trials round by
+    round from the observations so far, optionally capped at *budget*
+    trials.  Decisions land in the database's ``planner_decisions``
+    table; the report's ``outcome`` carries the
+    :class:`~repro.planner.AdaptiveOutcome` (rounds, trial savings,
+    knees found).  Deterministic: the same policy over the same spec
+    yields the same decision log and trial rows at any ``jobs``.
+    """
+    from repro.core.campaign import ObservationCampaign
+
+    database = _as_database(database, create=True)
+    campaign = ObservationCampaign(tbl_text, mof_text=mof_text,
+                                   database=database,
+                                   node_count=node_count,
+                                   tbl_source=tbl_source, tracer=tracer,
+                                   faults=faults, retry=retry)
+    return campaign.run_adaptive(policy, experiment_name=experiment,
+                                 budget=budget, jobs=jobs, backend=backend,
+                                 on_result=on_result,
+                                 on_progress=on_progress, replace=replace,
+                                 resume=resume)
+
+
+def plan_campaign(tbl_text, *, policy="knee", budget=None, experiment=None,
+                  tbl_source="<campaign>"):
+    """Dry-run a planner policy's first round — no cluster, no trials.
+
+    Parses *tbl_text*, builds the policy, and returns a
+    :class:`~repro.planner.PlanPreview` of what the first adaptive
+    round would measure (``repro explore --dry-run``).
+    """
+    from repro.planner import make_policy, plan_preview
+    from repro.spec.tbl import parse as parse_tbl
+
+    spec = parse_tbl(tbl_text, source=tbl_source)
+    if experiment is not None:
+        chosen = spec.experiment(experiment)
+    elif len(spec.experiments) == 1:
+        chosen = spec.experiments[0]
+    else:
+        names = ", ".join(e.name for e in spec.experiments)
+        raise ExperimentError(
+            f"spec defines {len(spec.experiments)} experiments "
+            f"({names}); pass experiment=<name>"
+        )
+    return plan_preview(chosen, make_policy(policy, budget=budget))
 
 
 def reproduce_figure(figure_id, *, scale=None, jobs=1, tracer=None,
@@ -171,8 +247,10 @@ __all__ = [
     "Tracer",
     "as_tracer",
     "open_results",
+    "plan_campaign",
     "reproduce_figure",
     "resume_campaign",
+    "run_adaptive",
     "run_campaign",
     "run_experiment",
     "trace_report",

@@ -13,6 +13,10 @@ Commands::
               [--backend shell|smartfrog] --out DIR
     run       --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--jobs N]
               [--faults FILE] [--retries N] [--resume] [--trace] [--quiet]
+    explore   --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--jobs N]
+              [--policy grid|knee|promote] [--budget N]
+              [--experiment NAME] [--dry-run] [--resume] [--trace]
+              [--quiet]
     resume    DB [--jobs N] [--trace] [--quiet]
     report    --db FILE [--experiment NAME] [--topology W-A-D]
               [--format text|csv|json] [--out FILE]
@@ -100,6 +104,41 @@ def build_parser():
                           "(inspect with: repro trace <db>)")
     run.add_argument("--quiet", action="store_true")
     run.set_defaults(handler=cmd_run)
+
+    explore = commands.add_parser(
+        "explore", help="adaptive exploration: a planner policy picks "
+                        "trials from the observations so far")
+    _spec_arguments(explore)
+    explore.add_argument("--db", default="observations.sqlite",
+                         help="SQLite file for the results "
+                              "(default: observations.sqlite)")
+    explore.add_argument("--policy", choices=("grid", "knee", "promote"),
+                         default="knee",
+                         help="experiment-selection policy (default knee: "
+                              "bisect each workload ladder to its SLO "
+                              "knee)")
+    explore.add_argument("--budget", type=int, default=None, metavar="N",
+                         help="hard cap on executed trials")
+    explore.add_argument("--experiment", default=None,
+                         help="experiment to explore (default: the "
+                              "spec's only one)")
+    explore.add_argument("--nodes", type=int, default=36,
+                         help="virtual cluster size (default 36)")
+    explore.add_argument("--jobs", type=int, default=1,
+                         help="parallel trial workers (default 1; "
+                              "decisions and results are identical for "
+                              "any value)")
+    explore.add_argument("--dry-run", action="store_true",
+                         help="print the policy's first round and exit "
+                              "without running trials")
+    explore.add_argument("--resume", action="store_true",
+                         help="feed trials already stored in --db back "
+                              "into the planner instead of re-running")
+    explore.add_argument("--trace", action="store_true",
+                         help="record lifecycle spans into the database "
+                              "(inspect with: repro trace <db>)")
+    explore.add_argument("--quiet", action="store_true")
+    explore.set_defaults(handler=cmd_explore)
 
     resume = commands.add_parser(
         "resume", help="finish an interrupted campaign from its database")
@@ -286,6 +325,42 @@ def cmd_run(args):
                               faults=faults, retry=args.retries,
                               resume=args.resume)
         _print_report(report)
+    print(f"observations stored in {args.db}")
+    if args.trace:
+        print(f"lifecycle spans recorded; inspect with: "
+              f"repro trace {args.db}")
+    return 0
+
+
+def cmd_explore(args):
+    from repro.api import open_results, plan_campaign, run_adaptive
+    from repro.obs import Tracer
+
+    _spec, _model, tbl_text, mof_text = _load_specs(args)
+    if args.dry_run:
+        preview = plan_campaign(tbl_text, policy=args.policy,
+                                budget=args.budget,
+                                experiment=args.experiment,
+                                tbl_source=args.tbl)
+        print(preview.describe())
+        return 0
+    with open_results(args.db) as database:
+        report = run_adaptive(tbl_text, policy=args.policy,
+                              budget=args.budget,
+                              experiment=args.experiment,
+                              mof_text=mof_text, database=database,
+                              node_count=args.nodes, jobs=args.jobs,
+                              tracer=Tracer() if args.trace else None,
+                              on_result=_trial_progress(args),
+                              tbl_source=args.tbl, resume=args.resume)
+        _print_report(report)
+        outcome = report.outcome
+        if outcome is not None:
+            for knee in outcome.knees:
+                print(f"finding: {knee.reason}")
+            print(f"explored {outcome.executed} of "
+                  f"{outcome.universe_size() * outcome.experiment.repetitions} "
+                  f"grid trial(s) ({outcome.savings_ratio():.0%} saved)")
     print(f"observations stored in {args.db}")
     if args.trace:
         print(f"lifecycle spans recorded; inspect with: "

@@ -8,7 +8,7 @@ from repro.core.bottleneck import (
     tier_utilizations,
 )
 from repro.core.campaign import CampaignReport, ObservationCampaign
-from repro.core.capacity import CapacityPlan, CapacityPlanner
+from repro.core.capacity import CapacityPlan, CapacityPlanner, InfeasiblePlan
 from repro.core.characterization import PerformanceMap
 from repro.core.heuristics import (
     ScaleOutOutcome,
@@ -26,6 +26,7 @@ __all__ = [
     "ObservationCampaign",
     "CapacityPlan",
     "CapacityPlanner",
+    "InfeasiblePlan",
     "PerformanceMap",
     "ScaleOutOutcome",
     "ScaleOutStep",

@@ -39,7 +39,17 @@ def detect_bottleneck(result, threshold=SATURATION_CPU_PERCENT):
 
 
 def slo_violated(result, slo):
-    """SLO check on a trial: response time or error budget exceeded."""
+    """SLO check on a trial: response time or error budget exceeded.
+
+    A trial that did not finish (DNF) violates by definition: its
+    metrics are empty or partial — an empty
+    :func:`~repro.experiments.trial.empty_metrics` record would
+    otherwise read as a 0 ms response time and *pass* — and a
+    configuration that cannot complete the benchmark certainly does not
+    meet its service level objective.
+    """
+    if not result.completed:
+        return True
     return (result.metrics.mean_response_s > slo.response_time
             or result.metrics.error_ratio > slo.error_ratio)
 
@@ -56,6 +66,7 @@ def diagnose(result, slo, threshold=SATURATION_CPU_PERCENT):
     return {
         "topology": result.topology_label,
         "workload": result.workload,
+        "status": result.status,
         "slo_violated": violated,
         "bottleneck": bottleneck,
         "utilizations": tier_utilizations(result),

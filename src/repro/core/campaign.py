@@ -20,6 +20,7 @@ import json
 import threading
 from dataclasses import dataclass, field
 
+from repro import hotpath
 from repro.core.characterization import PerformanceMap
 from repro.deprecation import absorb_positional
 from repro.errors import ExperimentError
@@ -48,6 +49,13 @@ META_MOF = "mof_text"
 META_NODE_COUNT = "node_count"
 META_FAULT_PLAN = "fault_plan"
 META_RETRY = "retry_policy"
+#: ... plus the planner plane's identity, so `repro resume` knows an
+#: adaptive exploration (policy, budget, target experiment) is what it
+#: is resuming, and the trace report can show cache effectiveness.
+META_PLANNER_POLICY = "planner_policy"
+META_PLANNER_BUDGET = "planner_budget"
+META_PLANNER_EXPERIMENT = "planner_experiment"
+META_CACHE_STATS = "hotpath_stats"
 
 
 @dataclass
@@ -71,6 +79,21 @@ class CampaignReport:
     failed_attempts: int = 0
     #: host name -> quarantine reason, aggregated across workers
     quarantined: dict = field(default_factory=dict)
+    #: planner plane (run_adaptive only): policy name, rounds walked,
+    #: points pruned as inferable, and the full AdaptiveOutcome
+    policy: str = None
+    rounds: int = 0
+    pruned: int = 0
+    outcome: object = None
+    #: hot-path cache hit/miss counters captured at campaign end
+    #: (``repro.hotpath.stats()`` shape: name -> entries/hits/misses)
+    cache_stats: dict = field(default_factory=dict)
+
+    def cache_totals(self):
+        """Aggregate (hits, misses) across every hot-path cache."""
+        hits = sum(c.get("hits", 0) for c in self.cache_stats.values())
+        misses = sum(c.get("misses", 0) for c in self.cache_stats.values())
+        return hits, misses
 
     def summary(self):
         text = (f"{self.trials} trials ({self.completed} completed, "
@@ -85,6 +108,14 @@ class CampaignReport:
             extras.append(
                 f"{len(self.quarantined)} host(s) quarantined"
             )
+        if self.policy:
+            extras.append(
+                f"policy {self.policy}: {self.rounds} round(s), "
+                f"{self.pruned} point(s) pruned"
+            )
+        hits, misses = self.cache_totals()
+        if hits or misses:
+            extras.append(f"caches: {hits} hit / {misses} miss")
         if extras:
             text += "; " + ", ".join(extras)
         return text
@@ -188,12 +219,38 @@ class ObservationCampaign:
             tasks = remaining
             self.tracer.count("campaign.trials_skipped", report.skipped)
         self._record_meta()
-        total = len(tasks)
-        # One store closure shared by every experiment; counts are
-        # aggregated under a lock because scheduler configurations may
-        # invoke it from worker threads.  Inserts are write-behind:
-        # results buffer in arrival (= submission) order and flush to
-        # the database in single-transaction batches.
+        store, flush_tail = self._ingest(report, replace=replace,
+                                         on_result=on_result,
+                                         on_progress=on_progress,
+                                         total=len(tasks))
+        try:
+            if jobs == 1:
+                for task in tasks:
+                    store(self.runner.run_task(task))
+            else:
+                scheduler = TrialScheduler(self._worker_runner, jobs=jobs,
+                                           backend=backend,
+                                           tracer=self.tracer)
+                scheduler.run(tasks, on_result=store)
+        finally:
+            # The tail batch — and, on an aborted campaign, everything
+            # delivered so far, so resume finds every stored trial.
+            flush_tail()
+        self._record_cache_stats(report)
+        return report
+
+    def _ingest(self, report, *, replace, on_result, on_progress, total):
+        """The write-behind store shared by :meth:`run` and
+        :meth:`run_adaptive`: a ``store(result)`` closure plus the
+        ``flush_tail()`` the caller must invoke on every exit path.
+
+        Counts are aggregated under a lock because scheduler
+        configurations may invoke ``store`` from worker threads.
+        Results buffer in arrival (= submission) order and flush to the
+        database in single-transaction batches of :data:`INGEST_BATCH`.
+        *total* may be None (adaptive campaigns don't know theirs up
+        front); progress lines then show the running count alone.
+        """
         lock = threading.Lock()
         pending = []
 
@@ -202,6 +259,10 @@ class ObservationCampaign:
             if pending:
                 self.database.insert_many(pending, replace=replace)
                 del pending[:]
+
+        def flush_tail():
+            with lock:
+                flush_pending()
 
         def store(result):
             with lock:
@@ -226,29 +287,147 @@ class ObservationCampaign:
             if on_result is not None:
                 on_result(result)
             if on_progress is not None:
+                progress = f"trial {stored}/{total}" if total is not None \
+                    else f"trial {stored}"
                 on_progress(
-                    f"[{result.experiment_name}] trial {stored}/{total}: "
+                    f"[{result.experiment_name}] {progress}: "
                     f"{result.topology_label} u={result.workload} "
                     f"wr={result.write_ratio:.0%} -> {result.status}"
                     + (f" ({result.attempts} attempts)"
                        if result.retried else "")
                 )
 
+        return store, flush_tail
+
+    def _record_cache_stats(self, report):
+        """Capture hot-path cache counters into the report and the
+        database meta, so cache effectiveness is observable per run."""
+        report.cache_stats = hotpath.stats()
+        self.database.set_meta(
+            META_CACHE_STATS,
+            json.dumps(report.cache_stats, sort_keys=True))
+
+    def run_adaptive(self, policy="knee", *, experiment_name=None,
+                     budget=None, jobs=1, backend=None, on_result=None,
+                     on_progress=None, replace=True, resume=False):
+        """Run one experiment family as a closed exploration loop.
+
+        Instead of the fixed grid :meth:`run` executes, a planner
+        *policy* (a name from ``repro.planner.POLICY_NAMES`` or a
+        :class:`~repro.planner.Policy` instance) proposes trial batches
+        round by round, observing each round's results before choosing
+        the next — the paper's "observations steer the next
+        configuration" methodology.  *budget* caps executed trials.
+
+        Every decision lands in the ``planner_decisions`` table and the
+        policy/budget/experiment identity in ``campaign_meta``, so
+        ``repro resume`` on a killed exploration replays the loop: the
+        decisions are pure functions of recorded observations, trials
+        already stored are fed back from the database instead of
+        re-running (``resume=True``), and the finished database is
+        byte-identical to an uninterrupted run's at any worker count.
+        """
+        from repro.planner import AdaptivePlanner, BudgetedExplorer, \
+            make_policy
+
+        report = CampaignReport(warnings=list(self.validation_warnings),
+                                database=self.database)
+        experiment = self._select_experiment(experiment_name)
+        report.experiments.append(experiment.name)
+        if isinstance(policy, str):
+            policy_obj = make_policy(policy, budget=budget)
+        else:
+            policy_obj = policy if budget is None \
+                else BudgetedExplorer(policy, budget)
+        self._record_meta()
+        db = self.database
+        db.set_meta(META_PLANNER_POLICY, policy_obj.name)
+        db.set_meta(META_PLANNER_EXPERIMENT, experiment.name)
+        if budget is not None:
+            db.set_meta(META_PLANNER_BUDGET, budget)
+        # The loop replays from scratch on resume (decisions are pure
+        # functions of observations), so the log is rewritten wholesale
+        # — a resumed exploration's log matches an uninterrupted one.
+        db.clear_planner_decisions()
+        done = {}
+        if resume:
+            for result in db.query(experiment_name=experiment.name):
+                done[(experiment.name, result.topology_label,
+                      result.workload, result.write_ratio,
+                      result.seed)] = result
+        store, flush_tail = self._ingest(report, replace=replace,
+                                         on_result=on_result,
+                                         on_progress=on_progress,
+                                         total=None)
+        session = None
+        if jobs != 1:
+            scheduler = TrialScheduler(self._worker_runner, jobs=jobs,
+                                       backend=backend,
+                                       tracer=self.tracer)
+            session = scheduler.session()
+
+        def execute(tasks):
+            missing = [task for task in tasks if task.key() not in done]
+            skipped = len(tasks) - len(missing)
+            if skipped:
+                report.skipped += skipped
+                self.tracer.count("campaign.trials_skipped", skipped)
+            delivered = {}
+            if missing:
+                if session is None:
+                    for task in missing:
+                        result = self.runner.run_task(task)
+                        delivered[task.key()] = result
+                        store(result)
+                else:
+                    for task, result in zip(
+                            missing,
+                            session.run_batch(missing, on_result=store)):
+                        delivered[task.key()] = result
+            return [done[task.key()] if task.key() in done
+                    else delivered[task.key()] for task in tasks]
+
+        def record_round(round_no, decisions):
+            db.insert_decisions(
+                (round_no, seq, policy_obj.name, experiment.name,
+                 decision.action, decision.topology, decision.workload,
+                 decision.write_ratio, decision.reason)
+                for seq, decision in enumerate(decisions))
+            if on_progress is not None:
+                measures = sum(1 for d in decisions
+                               if d.action == "measure")
+                on_progress(
+                    f"[{experiment.name}] planner round {round_no}: "
+                    f"{measures} point(s) proposed, "
+                    f"{len(decisions) - measures} other decision(s)")
+
+        planner = AdaptivePlanner(experiment, policy_obj,
+                                  tracer=self.tracer)
         try:
-            if jobs == 1:
-                for task in tasks:
-                    store(self.runner.run_task(task))
-            else:
-                scheduler = TrialScheduler(self._worker_runner, jobs=jobs,
-                                           backend=backend,
-                                           tracer=self.tracer)
-                scheduler.run(tasks, on_result=store)
+            outcome = planner.run(execute, on_round=record_round)
         finally:
-            # The tail batch — and, on an aborted campaign, everything
-            # delivered so far, so resume finds every stored trial.
-            with lock:
-                flush_pending()
+            flush_tail()
+            if session is not None:
+                session.close()
+        report.policy = policy_obj.name
+        report.rounds = outcome.rounds
+        report.pruned = outcome.pruned_points
+        report.outcome = outcome
+        self._record_cache_stats(report)
         return report
+
+    def _select_experiment(self, name):
+        """The one experiment an adaptive exploration targets."""
+        if name is not None:
+            return self.spec.experiment(name)
+        if len(self.spec.experiments) == 1:
+            return self.spec.experiments[0]
+        names = ", ".join(e.name for e in self.spec.experiments)
+        raise ExperimentError(
+            f"spec declares {len(self.spec.experiments)} experiments "
+            f"({names}); an adaptive exploration targets one — pass "
+            f"experiment_name"
+        )
 
     def _record_meta(self):
         """Persist the campaign's identity so ``repro resume <db>`` can

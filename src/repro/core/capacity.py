@@ -25,11 +25,43 @@ class CapacityPlan:
     expected_response_s: float
     headroom_users: int        # largest observed workload still in SLO
 
+    #: Plans are feasible by construction; test ``plan.feasible``
+    #: before using one — :meth:`CapacityPlanner.plan` returns an
+    #: :class:`InfeasiblePlan` when no measured configuration
+    #: qualifies.
+    feasible = True
+
     def describe(self):
         return (f"{self.users} users -> {self.topology} "
                 f"({self.total_servers} servers, expected RT "
                 f"{self.expected_response_s * 1000:.0f} ms, good to "
                 f"{self.headroom_users} users)")
+
+
+@dataclass(frozen=True)
+class InfeasiblePlan:
+    """The planner's explicit "measure bigger configurations" answer.
+
+    Returned (never raised) when no *measured* configuration serves the
+    target within the SLO — the observational stance forbids
+    extrapolating one.  Carries the nearest measured topology (the one
+    supporting the most users within the SLO) so the operator knows
+    where the observations ran out.
+    """
+
+    users: int
+    reason: str
+    nearest_topology: str = None
+    nearest_supported_users: int = None
+
+    feasible = False
+
+    def describe(self):
+        text = f"{self.users} users -> infeasible: {self.reason}"
+        if self.nearest_topology is not None:
+            text += (f" (nearest measured: {self.nearest_topology}, "
+                     f"good to {self.nearest_supported_users} users)")
+        return text
 
 
 class CapacityPlanner:
@@ -43,15 +75,21 @@ class CapacityPlanner:
         """The smallest observed topology serving *users* within *slo*.
 
         Ties on server count break toward lower expected response time.
-        Raises :class:`ResultsError` when no observed configuration
-        qualifies — the observational answer is "measure bigger
-        configurations", never an extrapolation.
+        Returns an :class:`InfeasiblePlan` (check ``plan.feasible``)
+        when no observed configuration qualifies — the observational
+        answer is "measure bigger configurations", never an
+        extrapolation and never a silently violating topology.
         """
         candidates = []
+        nearest = None            # (supported users, label)
         for label in self.map.topologies():
             supported = self.map.supported_users(label, slo,
                                                  self.write_ratio)
-            if supported is None or supported < users:
+            if supported is None:
+                continue
+            if nearest is None or supported > nearest[0]:
+                nearest = (supported, label)
+            if supported < users:
                 continue
             topology = Topology.parse(label)
             response = self.map.response_time(label, users,
@@ -64,31 +102,33 @@ class CapacityPlanner:
                 headroom_users=supported,
             ))
         if not candidates:
-            raise ResultsError(
-                f"no observed configuration supports {users} users within "
-                f"the SLO; extend the observation campaign"
+            return InfeasiblePlan(
+                users=users,
+                reason=f"no observed configuration supports {users} "
+                       f"users within the SLO; extend the observation "
+                       f"campaign",
+                nearest_topology=nearest[1] if nearest else None,
+                nearest_supported_users=nearest[0] if nearest else None,
             )
         candidates.sort(key=lambda plan: (plan.total_servers,
                                           plan.expected_response_s))
         return candidates[0]
 
     def plan_range(self, user_levels, slo):
-        """Plans for several target levels; skips unsatisfiable ones.
+        """Plans for several target levels.
 
-        Returns ``{users: CapacityPlan-or-None}`` — the provisioning
-        table an operator would pin next to the paper's Figure 5.
+        Returns ``{users: CapacityPlan-or-InfeasiblePlan}`` — the
+        provisioning table an operator would pin next to the paper's
+        Figure 5, with every unsatisfiable level carrying its reason
+        and the nearest measured topology instead of a silent gap.
         """
-        plans = {}
-        for users in user_levels:
-            try:
-                plans[users] = self.plan(users, slo)
-            except ResultsError:
-                plans[users] = None
-        return plans
+        return {users: self.plan(users, slo) for users in user_levels}
 
     def over_provisioning(self, users, slo, topology_label):
         """How many servers *topology_label* wastes against the minimal
         plan for *users* (the V.B capacity-planning discussion)."""
         minimal = self.plan(users, slo)
+        if not minimal.feasible:
+            raise ResultsError(minimal.describe())
         chosen = Topology.parse(topology_label)
         return chosen.total_servers() - minimal.total_servers

@@ -143,12 +143,21 @@ class TrialScheduler:
     def run(self, tasks, on_result=None):
         """Execute *tasks*; returns their TrialResults in task order."""
         tasks = list(tasks)
-        self.tracer.count("scheduler.tasks_queued", len(tasks))
         if self.jobs == 1 or len(tasks) <= 1:
+            self.tracer.count("scheduler.tasks_queued", len(tasks))
             return self._run_inline(tasks, on_result)
-        if self.backend == THREAD:
-            return self._run_threads(tasks, on_result)
-        return self._run_processes(tasks, on_result)
+        with self.session() as session:
+            return session.run_batch(tasks, on_result)
+
+    def session(self):
+        """A :class:`SchedulerSession`: a live pool fed batch by batch.
+
+        The closed-loop planner's entry point — each planner round
+        submits one batch to the same warm workers, so no pool (or
+        worker cluster) is torn down between rounds.  ``run()`` is just
+        a one-batch session.
+        """
+        return SchedulerSession(self)
 
     # -- backends ---------------------------------------------------------
 
@@ -167,60 +176,6 @@ class TrialScheduler:
                 on_result(result)
         return results
 
-    def _run_threads(self, tasks, on_result):
-        local = threading.local()
-
-        def run_one(task):
-            runner = getattr(local, "runner", None)
-            if runner is None:
-                runner = local.runner = self.runner_factory()
-            self.tracer.count("scheduler.tasks_running", 1)
-            try:
-                return runner.run_task(task)
-            finally:
-                self.tracer.count("scheduler.tasks_running", -1)
-
-        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            futures = [pool.submit(run_one, task) for task in tasks]
-            return self._drain(futures, on_result)
-
-    def _run_processes(self, tasks, on_result):
-        # Worker state is inherited by fork (initargs never pickle), but
-        # every task and every result crosses the process boundary via
-        # pickle.  A runner configured with an unpicklable callback — a
-        # lambda tracer clock, say — only fails when its first result
-        # comes back, so catch that here and resume the remaining tasks
-        # on the thread backend.  Results are delivered strictly in
-        # submission order, so `delivered` tells us exactly which tasks
-        # are still owed; trials are deterministic, so the splice is
-        # byte-identical to an all-thread run.
-        delivered = []
-
-        def deliver(result):
-            delivered.append(result)
-            if on_result is not None:
-                on_result(result)
-
-        context = multiprocessing.get_context("fork")
-        try:
-            with ProcessPoolExecutor(max_workers=self.jobs,
-                                     mp_context=context,
-                                     initializer=_process_init,
-                                     initargs=(self.runner_factory,)) as pool:
-                futures = [pool.submit(_process_run, task) for task in tasks]
-                self._drain(futures, deliver)
-                return delivered
-        except (TypeError, pickle.PicklingError, AttributeError) as error:
-            warnings.warn(
-                f"process backend cannot pickle trial results ({error}); "
-                f"falling back to the thread backend for the remaining "
-                f"{len(tasks) - len(delivered)} task(s)",
-                RuntimeWarning, stacklevel=3,
-            )
-            self.tracer.count("scheduler.backend_fallbacks", 1)
-            rest = self._run_threads(tasks[len(delivered):], on_result)
-            return delivered + rest
-
     def _drain(self, futures, on_result):
         results = []
         try:
@@ -236,3 +191,154 @@ class TrialScheduler:
                 future.cancel()
             raise
         return results
+
+
+#: Session execution modes.  ``inline`` is the jobs=1 degenerate pool:
+#: one runner, reused batch after batch, on the calling thread.
+_INLINE = "inline"
+
+
+class SchedulerSession:
+    """A live worker pool accepting successive task batches.
+
+    Built by :meth:`TrialScheduler.session`.  Pools — and each worker's
+    runner, with its virtual cluster — are created lazily on the first
+    batch and persist until :meth:`close`, so streaming callers (the
+    adaptive planner's rounds) pay worker start-up once, not per round.
+
+    Per batch, the delivery contract is exactly :meth:`TrialScheduler.
+    run`'s: results return (and *on_result* fires, on the calling
+    thread) in task-submission order regardless of completion order.
+    A process-backend session whose results cannot pickle falls back to
+    the thread backend *permanently* — the remaining tasks of the
+    failing batch and every later batch run on threads, with the same
+    submission-order splice the one-shot scheduler performs.
+    """
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self._mode = _INLINE if scheduler.jobs == 1 else scheduler.backend
+        self._pool = None
+        self._runner = None          # inline mode's persistent runner
+        self._local = None           # thread mode's per-thread runners
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def close(self):
+        """Shut the pool down (waiting for in-flight work) and forget
+        all worker runners.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._teardown_pool()
+        self._runner = None
+        self._local = None
+
+    def _teardown_pool(self):
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- batches ----------------------------------------------------------
+
+    def run_batch(self, tasks, on_result=None):
+        """Execute one batch; returns TrialResults in task order."""
+        if self._closed:
+            raise ExperimentError(
+                "scheduler session is closed; create a new session")
+        tasks = list(tasks)
+        self.scheduler.tracer.count("scheduler.tasks_queued", len(tasks))
+        if not tasks:
+            return []
+        if self._mode == _INLINE:
+            return self._inline_batch(tasks, on_result)
+        if self._mode == THREAD:
+            return self._thread_batch(tasks, on_result)
+        return self._process_batch(tasks, on_result)
+
+    def _inline_batch(self, tasks, on_result):
+        if self._runner is None:
+            self._runner = self.scheduler.runner_factory()
+        tracer = self.scheduler.tracer
+        results = []
+        for task in tasks:
+            tracer.count("scheduler.tasks_running", 1)
+            try:
+                result = self._runner.run_task(task)
+            finally:
+                tracer.count("scheduler.tasks_running", -1)
+            results.append(result)
+            tracer.count("scheduler.tasks_done", 1)
+            if on_result is not None:
+                on_result(result)
+        return results
+
+    def _thread_batch(self, tasks, on_result):
+        scheduler = self.scheduler
+        if self._pool is None:
+            self._local = threading.local()
+            self._pool = ThreadPoolExecutor(max_workers=scheduler.jobs)
+        local = self._local
+
+        def run_one(task):
+            runner = getattr(local, "runner", None)
+            if runner is None:
+                runner = local.runner = scheduler.runner_factory()
+            scheduler.tracer.count("scheduler.tasks_running", 1)
+            try:
+                return runner.run_task(task)
+            finally:
+                scheduler.tracer.count("scheduler.tasks_running", -1)
+
+        futures = [self._pool.submit(run_one, task) for task in tasks]
+        return scheduler._drain(futures, on_result)
+
+    def _process_batch(self, tasks, on_result):
+        # Worker state is inherited by fork (initargs never pickle), but
+        # every task and every result crosses the process boundary via
+        # pickle.  A runner configured with an unpicklable callback — a
+        # lambda tracer clock, say — only fails when its first result
+        # comes back, so catch that here and finish on the thread
+        # backend.  Results are delivered strictly in submission order,
+        # so `delivered` tells us exactly which tasks are still owed;
+        # trials are deterministic, so the splice is byte-identical to
+        # an all-thread run.
+        scheduler = self.scheduler
+        delivered = []
+
+        def deliver(result):
+            delivered.append(result)
+            if on_result is not None:
+                on_result(result)
+
+        try:
+            if self._pool is None:
+                context = multiprocessing.get_context("fork")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=scheduler.jobs, mp_context=context,
+                    initializer=_process_init,
+                    initargs=(scheduler.runner_factory,))
+            futures = [self._pool.submit(_process_run, task)
+                       for task in tasks]
+            scheduler._drain(futures, deliver)
+            return delivered
+        except (TypeError, pickle.PicklingError, AttributeError) as error:
+            warnings.warn(
+                f"process backend cannot pickle trial results ({error}); "
+                f"falling back to the thread backend for the remaining "
+                f"{len(tasks) - len(delivered)} task(s)",
+                RuntimeWarning, stacklevel=3,
+            )
+            scheduler.tracer.count("scheduler.backend_fallbacks", 1)
+            self._teardown_pool()
+            self._mode = THREAD
+            rest = self._thread_batch(tasks[len(delivered):], on_result)
+            return delivered + rest

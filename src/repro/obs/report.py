@@ -172,6 +172,72 @@ def render_injected_faults(traced):
     return "\n".join(out)
 
 
+def render_planner_decisions(database, limit=40):
+    """The planner plane's decision log, round by round.
+
+    Returns ``None`` when the database holds no planner decisions (the
+    run was a fixed-grid campaign), so the section only appears for
+    adaptive explorations.
+    """
+    decisions = database.planner_decisions()
+    if not decisions:
+        return None
+    policy = decisions[0]["policy"]
+    rounds = decisions[-1]["round"]
+    out = [f"policy {policy!r}: {len(decisions)} decision(s) across "
+           f"{rounds} round(s)",
+           f"{'round':>5} {'action':<17} {'point':<22} reason",
+           "-" * 72]
+    for decision in decisions[:limit]:
+        if decision["topology"] is None:
+            point = "-"
+        elif decision["workload"] is None:
+            point = decision["topology"]
+        else:
+            point = f"{decision['topology']} u={decision['workload']}"
+        out.append(f"{decision['round']:>5} {decision['action']:<17} "
+                   f"{point:<22} {decision['reason']}")
+    if len(decisions) > limit:
+        out.append(f"... and {len(decisions) - limit} more decisions")
+    return "\n".join(out)
+
+
+def render_cache_stats(database):
+    """Hot-path cache effectiveness, from the run's persisted counters.
+
+    Returns ``None`` when the run recorded no cache stats (it predates
+    the planner plane or every counter is zero).
+    """
+    import json
+
+    raw = database.get_meta("hotpath_stats")
+    if raw is None:
+        return None
+    stats = json.loads(raw)
+    if not any(c.get("hits", 0) or c.get("misses", 0)
+               for c in stats.values()):
+        return None
+    rows = [f"{'cache':<28} {'entries':>8} {'hits':>8} {'misses':>8} "
+            f"{'hit rate':>9}",
+            "-" * 64]
+    total_hits = total_misses = 0
+    for name in sorted(stats):
+        cache = stats[name]
+        hits = cache.get("hits", 0)
+        misses = cache.get("misses", 0)
+        total_hits += hits
+        total_misses += misses
+        lookups = hits + misses
+        rate = f"{hits / lookups:.1%}" if lookups else "-"
+        rows.append(f"{name:<28} {cache.get('entries', 0):>8} "
+                    f"{hits:>8} {misses:>8} {rate:>9}")
+    lookups = total_hits + total_misses
+    rows.append(f"{'total':<28} {'':>8} {total_hits:>8} "
+                f"{total_misses:>8} "
+                f"{(total_hits / lookups if lookups else 0):>9.1%}")
+    return "\n".join(rows)
+
+
 def render_trace_report(database, experiment_name=None, limit=20):
     """The full ``repro trace`` report for one observation database."""
     traced = database.traced_trials(experiment_name=experiment_name)
@@ -200,4 +266,10 @@ def render_trace_report(database, experiment_name=None, limit=20):
     faults = render_injected_faults(traced)
     if faults is not None:
         sections.extend(["", "Injected faults", faults])
+    decisions = render_planner_decisions(database)
+    if decisions is not None:
+        sections.extend(["", "Planner decisions", decisions])
+    caches = render_cache_stats(database)
+    if caches is not None:
+        sections.extend(["", "Hot-path caches", caches])
     return "\n".join(sections)

@@ -94,6 +94,23 @@ CREATE TABLE IF NOT EXISTS campaign_meta (
     key TEXT PRIMARY KEY,
     value TEXT NOT NULL
 );
+-- The planner plane's decision log: one row per planner decision, in
+-- (round, seq) order.  Decisions are pure functions of observations,
+-- so resuming an adaptive campaign replays the loop and regenerates
+-- exactly these rows — the log is cleared and rewritten on every
+-- run_adaptive, and byte-compared across worker counts by the tests.
+CREATE TABLE IF NOT EXISTS planner_decisions (
+    round INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    policy TEXT NOT NULL,
+    experiment_name TEXT NOT NULL,
+    action TEXT NOT NULL,
+    topology TEXT,
+    workload INTEGER,
+    write_ratio REAL,
+    reason TEXT NOT NULL,
+    PRIMARY KEY (round, seq)
+);
 CREATE INDEX IF NOT EXISTS idx_state_metrics_trial
     ON state_metrics (trial_id);
 CREATE INDEX IF NOT EXISTS idx_trials_sweep
@@ -393,11 +410,57 @@ class ResultsDatabase:
         surface the determinism tests diff (tracing must never change
         what lands in the observation tables)."""
         if table not in ("trials", "host_cpu", "state_metrics", "spans",
-                         "failures"):
+                         "failures", "planner_decisions"):
             raise ResultsError(f"unknown table {table!r}")
         with self._lock:
             return self._db.execute(
                 f"SELECT * FROM {table} ORDER BY rowid").fetchall()
+
+    # -- planner decisions (the planner plane's log) ------------------------
+
+    _DECISION_COLUMNS = ("round", "seq", "policy", "experiment_name",
+                         "action", "topology", "workload", "write_ratio",
+                         "reason")
+
+    def insert_decisions(self, rows):
+        """Store planner-decision tuples (in :attr:`_DECISION_COLUMNS`
+        order) in one transaction.  ``INSERT OR REPLACE`` keyed on
+        ``(round, seq)`` makes re-logging a replayed round idempotent."""
+        rows = list(rows)
+        if not rows:
+            return
+        with self._lock:
+            try:
+                self._db.executemany(
+                    "INSERT OR REPLACE INTO planner_decisions "
+                    "(round, seq, policy, experiment_name, action, "
+                    "topology, workload, write_ratio, reason) "
+                    "VALUES (?,?,?,?,?,?,?,?,?)", rows)
+            except Exception:
+                self._db.rollback()
+                raise
+            self._db.commit()
+
+    def clear_planner_decisions(self):
+        """Drop the decision log — run_adaptive rewrites it wholesale,
+        so a resumed exploration's log matches an uninterrupted one."""
+        with self._lock:
+            self._db.execute("DELETE FROM planner_decisions")
+            self._db.commit()
+
+    def planner_decisions(self):
+        """Every decision as a dict, in (round, seq) order."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT round, seq, policy, experiment_name, action, "
+                "topology, workload, write_ratio, reason "
+                "FROM planner_decisions ORDER BY round, seq").fetchall()
+        return [dict(zip(self._DECISION_COLUMNS, row)) for row in rows]
+
+    def decision_count(self):
+        with self._lock:
+            return self._db.execute(
+                "SELECT COUNT(*) FROM planner_decisions").fetchone()[0]
 
     # -- failures (the fault plane's record) -------------------------------
 

@@ -60,6 +60,80 @@ class TestBottleneck:
         results = [make_result(workload=100, mean_rt=0.05)]
         assert bottleneck_progression(results, slo) is None
 
+    def test_dnf_violates_slo(self):
+        # A DNF row carries empty metrics (mean RT 0.0), which a naive
+        # threshold check reads as a pass; a trial that could not
+        # complete the benchmark violates by definition.
+        from repro.experiments.trial import DNF, empty_metrics
+
+        slo = ServiceLevelObjective(response_time=0.1, error_ratio=0.1)
+        dnf = make_result(status=DNF, mean_rt=0.0)
+        assert dnf.metrics.mean_response_s <= slo.response_time
+        assert slo_violated(dnf, slo)
+        assert empty_metrics().mean_response_s == 0.0
+
+    def test_diagnose_reports_dnf_status(self):
+        from repro.experiments.trial import DNF
+
+        slo = ServiceLevelObjective(response_time=0.1)
+        verdict = diagnose(make_result(status=DNF, mean_rt=0.0,
+                                       app_cpu=99.0), slo)
+        assert verdict["status"] == DNF
+        assert verdict["slo_violated"]
+        assert verdict["bottleneck"] == "app"
+
+    def test_diagnose_handles_failed_result_without_hosts(self):
+        # failed_result rows have no host_cpu/tier_of_host at all —
+        # diagnose must not require monitor data to render a verdict.
+        from repro.experiments.trial import AttemptFailure, failed_result
+        from repro.spec.tbl import parse as parse_tbl
+        from repro.spec.topology import Topology
+
+        spec = parse_tbl(
+            'benchmark rubis; platform emulab; experiment "e" { '
+            "topology 1-1-1; workload 100; write_ratio 15%; "
+            "trial { warmup 1s; run 5s; cooldown 1s; } }")
+        dnf = failed_result(
+            spec.experiments[0], Topology.parse("1-1-1"), 100, 0.15, 42,
+            failures=[AttemptFailure(attempt=1, phase="deploy",
+                                     cause="host crashed",
+                                     error_type="DeploymentError",
+                                     transient=True, resolution="gave-up")],
+            attempts=1)
+        slo = ServiceLevelObjective(response_time=0.1)
+        verdict = diagnose(dnf, slo)
+        assert verdict["slo_violated"]
+        assert verdict["bottleneck"] is None
+        assert verdict["utilizations"] == {}
+
+    def test_progression_with_dnf_mixed_in(self):
+        # The knee lands on the DNF even though its raw metrics would
+        # read as the healthiest trial of the series.
+        from repro.experiments.trial import DNF
+
+        slo = ServiceLevelObjective(response_time=1.0, error_ratio=0.1)
+        results = [
+            make_result(workload=300, mean_rt=0.0, status=DNF,
+                        app_cpu=0.0, db_cpu=0.0),
+            make_result(workload=100, mean_rt=0.05, app_cpu=40),
+            make_result(workload=200, mean_rt=0.08, app_cpu=70),
+        ]
+        verdict = bottleneck_progression(results, slo)
+        assert verdict["workload"] == 300
+        assert verdict["status"] == DNF
+
+    def test_progression_dnf_before_clean_violation(self):
+        from repro.experiments.trial import DNF
+
+        slo = ServiceLevelObjective(response_time=0.5)
+        results = [
+            make_result(workload=100, mean_rt=0.05),
+            make_result(workload=200, mean_rt=0.0, status=DNF),
+            make_result(workload=300, mean_rt=2.0, app_cpu=99),
+        ]
+        verdict = bottleneck_progression(results, slo)
+        assert verdict["workload"] == 200    # first violation, the DNF
+
 
 class TestPerformanceMap:
     def _map(self):
@@ -147,16 +221,30 @@ class TestCapacityPlanner:
             300, ServiceLevelObjective(response_time=1.0))
         assert plan.topology == "1-2-1"
 
-    def test_unsatisfiable_raises(self):
-        with pytest.raises(ResultsError):
-            self._planner().plan(5000,
-                                 ServiceLevelObjective(response_time=0.5))
+    def test_unsatisfiable_returns_infeasible_plan(self):
+        plan = self._planner().plan(
+            5000, ServiceLevelObjective(response_time=0.5))
+        assert not plan.feasible
+        assert plan.users == 5000
+        assert "5000" in plan.reason
+        # The nearest measured configuration is named, so the operator
+        # knows where the observations ran out: 1-3-1 carries the most
+        # users (700) of anything measured.
+        assert plan.nearest_topology == "1-3-1"
+        assert plan.nearest_supported_users == 700
+        assert "1-3-1" in plan.describe()
 
     def test_plan_range_marks_unsatisfiable(self):
         plans = self._planner().plan_range(
             [100, 5000], ServiceLevelObjective(response_time=1.0))
-        assert plans[100] is not None
-        assert plans[5000] is None
+        assert plans[100].feasible
+        assert not plans[5000].feasible
+        assert plans[5000].nearest_topology == "1-3-1"
+
+    def test_over_provisioning_raises_when_infeasible(self):
+        with pytest.raises(ResultsError, match="infeasible"):
+            self._planner().over_provisioning(
+                5000, ServiceLevelObjective(response_time=0.5), "1-3-1")
 
     def test_over_provisioning(self):
         planner = self._planner()

@@ -1,0 +1,404 @@
+"""Planner plane tests: frontier, policies, loop, adaptive campaigns.
+
+The contracts under test:
+
+- decisions are pure functions of recorded observations, so the same
+  policy over the same spec yields the same decision log and
+  byte-identical executed-trial tables at any worker count;
+- an adaptive exploration only ever runs points of the declared grid;
+- a killed exploration resumes to the same database as an
+  uninterrupted one;
+- GridPolicy reproduces today's exhaustive campaign exactly.
+"""
+
+import pytest
+
+from repro.api import plan_campaign, resume_campaign, run_adaptive
+from repro.core.campaign import (
+    META_PLANNER_EXPERIMENT,
+    META_PLANNER_POLICY,
+    ObservationCampaign,
+)
+from repro.errors import ExperimentError
+from repro.planner import (
+    AdaptivePlanner,
+    BudgetedExplorer,
+    Decision,
+    GridPolicy,
+    KneeBisectionPolicy,
+    ObservationFrontier,
+    TopologyPromotionPolicy,
+    make_policy,
+    plan_preview,
+)
+from repro.planner.policy import (
+    BUDGET_EXHAUSTED,
+    KNEE,
+    MEASURE,
+    NO_KNEE,
+    PROMOTE,
+    STOP,
+)
+from repro.spec.tbl import parse as parse_tbl
+
+# One topology, an 8-rung workload ladder with its SLO knee at u=200:
+# the grid costs 8 trials, the bisection 4.
+KNEE_TBL = """
+benchmark rubis;
+platform emulab;
+
+experiment "adaptive" {
+    topology 1-1-1;
+    workload 100, 200, 300, 400, 500, 600, 700, 800;
+    write_ratio 15%;
+    trial { warmup 2s; run 10s; cooldown 2s; }
+    slo { response_time 1.0s; error_ratio 10%; }
+}
+"""
+
+# A topology family for the promotion walk: the app tier saturates
+# first, so the walk should climb the app ladder and never touch the
+# topologies the observations don't call for.
+PROMO_TBL = """
+benchmark rubis;
+platform emulab;
+
+experiment "promo" {
+    topology 1-1-1, 1-2-1, 1-2-2, 1-4-2;
+    workload 100, 300, 500, 700;
+    write_ratio 15%;
+    trial { warmup 2s; run 10s; cooldown 2s; }
+    slo { response_time 1.0s; error_ratio 10%; }
+}
+"""
+
+
+def experiment_of(tbl):
+    return parse_tbl(tbl).experiments[0]
+
+
+def observation_dump(database):
+    assert database.integrity_check() == []
+    return {
+        table: database.dump_rows(table)
+        for table in ("trials", "host_cpu", "state_metrics",
+                      "planner_decisions")
+    }
+
+
+class TestObservationFrontier:
+    def test_universe_is_the_declared_grid(self):
+        frontier = ObservationFrontier(experiment_of(KNEE_TBL))
+        assert len(frontier.universe) == 8
+        assert frontier.workloads() == [100, 200, 300, 400,
+                                        500, 600, 700, 800]
+        assert [t.label() for t in frontier.topologies()] == ["1-1-1"]
+
+    def test_point_outside_universe_raises(self):
+        frontier = ObservationFrontier(experiment_of(KNEE_TBL))
+        topology = frontier.topologies()[0]
+        with pytest.raises(ExperimentError, match="not a sweep point"):
+            frontier.point(topology, 999, 0.15)
+
+    def test_prune_never_overrides_a_measurement(self):
+        frontier = ObservationFrontier(experiment_of(KNEE_TBL))
+        point = frontier.universe[0]
+        frontier.observe(point, object())
+        frontier.prune(point, "should not stick")
+        assert frontier.is_measured(point)
+        assert not frontier.is_pruned(point)
+
+    def test_unresolved_excludes_pending(self):
+        frontier = ObservationFrontier(experiment_of(KNEE_TBL))
+        frontier.mark_pending(frontier.universe[0])
+        assert frontier.universe[0] not in frontier.unresolved()
+        assert len(frontier.unresolved()) == 7
+
+
+class TestPolicies:
+    def test_make_policy_names(self):
+        assert make_policy("grid").name == "grid"
+        assert make_policy("knee").name == "knee"
+        assert make_policy("promote").name == "promote"
+        with pytest.raises(ExperimentError, match="unknown planner"):
+            make_policy("genetic")
+
+    def test_budget_wrapping_keeps_inner_name(self):
+        policy = make_policy("knee", budget=4)
+        assert isinstance(policy, BudgetedExplorer)
+        assert policy.name == "knee"
+        with pytest.raises(ExperimentError, match="at least 1"):
+            make_policy("knee", budget=0)
+
+    def test_grid_policy_proposes_canonical_order(self):
+        frontier = ObservationFrontier(experiment_of(PROMO_TBL))
+        decisions = GridPolicy().propose(frontier)
+        assert all(d.action == MEASURE for d in decisions)
+        assert [d.point for d in decisions] == list(frontier.universe)
+
+    def test_knee_first_round_is_the_endpoints(self):
+        preview = plan_preview(experiment_of(KNEE_TBL),
+                               KneeBisectionPolicy())
+        workloads = [d.workload for d in preview.decisions]
+        assert workloads == [100, 800]
+
+    def test_budget_defers_and_stops(self):
+        frontier = ObservationFrontier(experiment_of(KNEE_TBL))
+        policy = BudgetedExplorer(GridPolicy(), budget=3)
+        decisions = policy.propose(frontier)
+        measures = [d for d in decisions if d.action == MEASURE]
+        assert len(measures) == 3
+        assert decisions[-1].action == BUDGET_EXHAUSTED
+        assert "5 proposed point(s) deferred" in decisions[-1].reason
+        assert policy.propose(frontier) == []
+
+    def test_decision_equality_ignores_live_point(self):
+        frontier = ObservationFrontier(experiment_of(KNEE_TBL))
+        a = Decision.measure(frontier.universe[0], "why")
+        b = Decision(action=MEASURE, reason="why", topology="1-1-1",
+                     workload=100, write_ratio=0.15)
+        assert a == b
+
+
+class TestAdaptiveKnee:
+    def _explore(self, jobs=1, **kwargs):
+        campaign = ObservationCampaign(KNEE_TBL, node_count=8)
+        report = campaign.run_adaptive(
+            policy="knee", jobs=jobs,
+            backend="thread" if jobs > 1 else None, **kwargs)
+        return campaign, report
+
+    def test_finds_knee_with_half_the_trials(self):
+        campaign, report = self._explore()
+        outcome = report.outcome
+        assert outcome.converged and not outcome.budget_exhausted
+        assert outcome.executed == 4            # grid would run 8
+        assert outcome.savings_ratio() >= 0.5
+        knees = [d for d in outcome.knees if d.action == KNEE]
+        assert len(knees) == 1
+        assert knees[0].workload == 200
+
+    def test_knee_matches_the_exhaustive_grid(self):
+        from repro.core.bottleneck import slo_violated
+
+        campaign, report = self._explore()
+        grid = ObservationCampaign(KNEE_TBL, node_count=8)
+        grid.run()
+        experiment = grid.spec.experiments[0]
+        violating = sorted(
+            r.workload for r in grid.database.query()
+            if slo_violated(r, experiment.slo))
+        assert report.outcome.knees[0].workload == violating[0]
+
+    def test_decision_log_persisted_in_order(self):
+        campaign, _report = self._explore()
+        decisions = campaign.database.planner_decisions()
+        assert [(d["round"], d["seq"]) for d in decisions] == \
+            sorted((d["round"], d["seq"]) for d in decisions)
+        actions = [d["action"] for d in decisions]
+        assert actions[-1] == "converged"
+        assert "knee" in actions
+
+    def test_jobs_do_not_change_decisions_or_rows(self):
+        campaign_1, _ = self._explore(jobs=1)
+        campaign_4, _ = self._explore(jobs=4)
+        assert observation_dump(campaign_1.database) == \
+            observation_dump(campaign_4.database)
+
+    def test_measured_points_are_a_subset_of_the_grid(self):
+        campaign, _report = self._explore()
+        grid_keys = {
+            (t.label(), w, round(wr, 6))
+            for t, w, wr in campaign.spec.experiments[0].points()
+        }
+        for result in campaign.database.query():
+            assert result.key() in grid_keys
+
+    def test_no_knee_when_slo_never_breaks(self):
+        relaxed = KNEE_TBL.replace(
+            "workload 100, 200, 300, 400, 500, 600, 700, 800;",
+            "workload 10, 25, 50, 75, 100;")
+        campaign = ObservationCampaign(relaxed, node_count=8)
+        report = campaign.run_adaptive(policy="knee")
+        outcome = report.outcome
+        assert outcome.executed == 2             # the two endpoints
+        assert [d.action for d in outcome.knees] == [NO_KNEE]
+
+    def test_budget_exhaustion_is_recorded(self):
+        campaign, report = self._explore(budget=2)
+        assert report.outcome.budget_exhausted
+        assert not report.outcome.converged
+        assert report.outcome.executed == 2
+        actions = [d["action"] for d in
+                   campaign.database.planner_decisions()]
+        assert "budget-exhausted" in actions
+        assert campaign.database.get_meta("planner_budget") == "2"
+
+    def test_report_carries_planner_and_cache_lines(self):
+        _campaign, report = self._explore()
+        summary = report.summary()
+        assert "policy knee" in summary
+        assert "pruned" in summary
+        assert report.policy == "knee"
+        assert report.rounds == report.outcome.rounds
+        assert isinstance(report.cache_stats, dict)
+
+
+class TestAdaptivePromotion:
+    def test_walk_promotes_only_the_saturated_tier(self):
+        campaign = ObservationCampaign(PROMO_TBL, node_count=12)
+        report = campaign.run_adaptive(policy="promote")
+        decisions = campaign.database.planner_decisions()
+        promotions = [d for d in decisions if d["action"] == PROMOTE]
+        assert [d["topology"] for d in promotions] == ["1-2-1", "1-4-2"]
+        # 1-2-2 adds a DB server the observations never called for: the
+        # walk must not have measured it.
+        measured = {r.topology_label for r in campaign.database.query()}
+        assert "1-2-2" not in measured
+        assert report.outcome.executed < 16      # grid size
+
+    def test_walk_stops_with_a_recorded_reason(self):
+        campaign = ObservationCampaign(PROMO_TBL, node_count=12)
+        campaign.run_adaptive(policy="promote")
+        stops = [d for d in campaign.database.planner_decisions()
+                 if d["action"] == STOP]
+        assert len(stops) == 1
+        assert "heaviest workload" in stops[0]["reason"]
+
+
+class TestGridEquivalence:
+    def test_grid_policy_stores_exactly_the_fixed_sweep(self):
+        adaptive = ObservationCampaign(KNEE_TBL, node_count=8)
+        adaptive.run_adaptive(policy="grid")
+        fixed = ObservationCampaign(KNEE_TBL, node_count=8)
+        fixed.run()
+        for table in ("trials", "host_cpu", "state_metrics"):
+            assert adaptive.database.dump_rows(table) == \
+                fixed.database.dump_rows(table)
+
+
+class TestResumeAdaptive:
+    class _Kill(Exception):
+        pass
+
+    def _killed_database(self, after):
+        campaign = ObservationCampaign(KNEE_TBL, node_count=8)
+        seen = []
+
+        def killer(result):
+            seen.append(result)
+            if len(seen) == after:
+                raise self._Kill()
+
+        with pytest.raises(self._Kill):
+            campaign.run_adaptive(policy="knee", on_result=killer)
+        return campaign.database
+
+    def test_killed_exploration_resumes_byte_identically(self):
+        reference = ObservationCampaign(KNEE_TBL, node_count=8)
+        reference.run_adaptive(policy="knee")
+        database = self._killed_database(after=2)
+        assert database.count() == 2
+        report = resume_campaign(database)
+        assert report.skipped == 2
+        assert observation_dump(database) == \
+            observation_dump(reference.database)
+
+    def test_resume_dispatches_on_planner_meta(self):
+        database = self._killed_database(after=1)
+        assert database.get_meta(META_PLANNER_POLICY) == "knee"
+        assert database.get_meta(META_PLANNER_EXPERIMENT) == "adaptive"
+        report = resume_campaign(database)
+        assert report.policy == "knee"
+        assert report.outcome is not None
+
+    def test_completed_exploration_resumes_to_a_noop(self):
+        campaign = ObservationCampaign(KNEE_TBL, node_count=8)
+        first = campaign.run_adaptive(policy="knee")
+        again = campaign.run_adaptive(policy="knee", resume=True)
+        assert again.trials == 0
+        assert again.skipped == first.trials
+        assert observation_dump(campaign.database)["trials"] != []
+
+
+class TestAdaptiveApi:
+    def test_run_adaptive_facade(self):
+        report = run_adaptive(KNEE_TBL, policy="knee", node_count=8)
+        assert report.outcome.executed == 4
+        assert report.database.decision_count() > 0
+
+    def test_plan_campaign_is_a_pure_dry_run(self):
+        preview = plan_campaign(KNEE_TBL, policy="knee")
+        assert preview.policy_name == "knee"
+        assert preview.universe == 8
+        assert len(preview.decisions) == 2
+        assert "bisection endpoint" in preview.describe()
+
+    def test_multi_experiment_spec_needs_a_name(self):
+        tbl = """
+        benchmark rubis; platform emulab;
+        experiment "a" { topology 1-1-1; workload 100; write_ratio 15%;
+            trial { warmup 1s; run 5s; cooldown 1s; } }
+        experiment "b" { topology 1-1-1; workload 100; write_ratio 15%;
+            trial { warmup 1s; run 5s; cooldown 1s; } }
+        """
+        with pytest.raises(ExperimentError, match="targets one"):
+            run_adaptive(tbl, node_count=8)
+        report = run_adaptive(tbl, experiment="b", node_count=8)
+        assert report.experiments == ["b"]
+
+
+class TestPlannerLoopContract:
+    def test_execute_must_align_results(self):
+        experiment = experiment_of(KNEE_TBL)
+        planner = AdaptivePlanner(experiment, KneeBisectionPolicy())
+        with pytest.raises(RuntimeError, match="result"):
+            planner.run(lambda tasks: [])
+
+    def test_promotion_policy_is_replayable(self):
+        # Two fresh policy instances fed the same observations make the
+        # same decisions — the property resume relies on.
+        experiment = experiment_of(PROMO_TBL)
+        campaign = ObservationCampaign(PROMO_TBL, node_count=12)
+
+        def run_with(policy):
+            planner = AdaptivePlanner(experiment, policy)
+            log = []
+
+            def execute(tasks):
+                return [campaign.runner.run_task(task) for task in tasks]
+
+            outcome = planner.run(
+                execute,
+                on_round=lambda n, ds: log.extend(
+                    (n, d.action, d.topology, d.workload, d.reason)
+                    for d in ds))
+            return log, outcome.executed
+
+        first = run_with(TopologyPromotionPolicy())
+        second = run_with(TopologyPromotionPolicy())
+        assert first == second
+
+
+class TestTraceReportSections:
+    def test_planner_and_cache_sections_render(self):
+        from repro.obs import Tracer
+        from repro.obs.report import render_trace_report
+
+        campaign = ObservationCampaign(KNEE_TBL, node_count=8,
+                                       tracer=Tracer())
+        campaign.run_adaptive(policy="knee")
+        report = render_trace_report(campaign.database)
+        assert "Planner decisions" in report
+        assert "policy 'knee'" in report
+        assert "Hot-path caches" in report
+
+    def test_fixed_grid_trace_has_no_planner_section(self):
+        from repro.obs import Tracer
+        from repro.obs.report import render_trace_report
+
+        campaign = ObservationCampaign(KNEE_TBL, node_count=8,
+                                       tracer=Tracer())
+        campaign.run()
+        report = render_trace_report(campaign.database)
+        assert "Planner decisions" not in report
