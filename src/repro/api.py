@@ -13,6 +13,8 @@ its signatures are the package's compatibility surface:
 - :func:`reproduce_figure` — regenerate one paper figure/table.
 - :func:`open_results` — open (or create) an observation database.
 - :func:`trace_report` — render the flight-recorder report of a run.
+- :func:`serve_campaigns` / :func:`campaign_client` — the campaign
+  service plane: run the ``repro serve`` daemon, or talk to one.
 
 All parameters beyond the primary input are keyword-only; every entry
 point takes ``tracer=`` so one :class:`~repro.obs.Tracer` can follow a
@@ -237,6 +239,34 @@ def trace_report(database, *, experiment=None, limit=20):
             database.close()
 
 
+def serve_campaigns(*, host="127.0.0.1", port=8642, jobs=4, max_active=8,
+                    tracer=None, on_ready=None):
+    """Run the campaign daemon until interrupted (``repro serve``).
+
+    One shared :class:`~repro.service.WorkerFleet` of *jobs* workers
+    executes every submitted campaign under fair-share scheduling;
+    *max_active* caps campaigns in flight before submits see
+    :class:`~repro.errors.ServiceBusy` backpressure.  Blocks; see
+    :class:`repro.service.ServiceDaemon` for the embeddable form.
+    """
+    from repro.service import serve
+
+    return serve(host=host, port=port, jobs=jobs, max_active=max_active,
+                 tracer=tracer, on_ready=on_ready)
+
+
+def campaign_client(url="http://127.0.0.1:8642", *, timeout=60):
+    """A thin client for a running campaign daemon.
+
+    The returned :class:`~repro.service.CampaignClient` speaks the
+    daemon's local HTTP API: ``submit``/``status``/``cancel``/
+    ``resume``/``wait``/``aggregate``/``shutdown``.
+    """
+    from repro.service import CampaignClient
+
+    return CampaignClient(url, timeout=timeout)
+
+
 def _as_database(database, create=True):
     if database is None or isinstance(database, ResultsDatabase):
         return database if database is not None else ResultsDatabase()
@@ -246,6 +276,7 @@ def _as_database(database, create=True):
 __all__ = [
     "Tracer",
     "as_tracer",
+    "campaign_client",
     "open_results",
     "plan_campaign",
     "reproduce_figure",
@@ -253,5 +284,6 @@ __all__ = [
     "run_adaptive",
     "run_campaign",
     "run_experiment",
+    "serve_campaigns",
     "trace_report",
 ]

@@ -14,10 +14,18 @@ Commands::
     run       --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--jobs N]
               [--faults FILE] [--retries N] [--resume] [--trace] [--quiet]
     explore   --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--jobs N]
+              [--faults FILE] [--retries N]
               [--policy grid|knee|promote] [--budget N]
               [--experiment NAME] [--dry-run] [--resume] [--trace]
               [--quiet]
-    resume    DB [--jobs N] [--trace] [--quiet]
+    resume    DB [--jobs N] [--trace] [--quiet] [--url URL]
+    serve     [--host H] [--port N] [--jobs N] [--max-active N]
+    submit    --tbl FILE [--mof FILE] --db FILE [--nodes N] [--jobs N]
+              [--faults FILE] [--retries N] [--policy P] [--budget N]
+              [--experiment NAME] [--resume] [--wait] [--url URL]
+    status    [ID] [--url URL]
+    cancel    ID [--url URL]
+    shutdown  [--abort] [--url URL]
     report    --db FILE [--experiment NAME] [--topology W-A-D]
               [--format text|csv|json] [--out FILE]
     figure    --id ID [--scale F] [--jobs N] [--trace] [--db FILE]
@@ -29,6 +37,13 @@ The run/figure/report/trace handlers are thin wrappers over the
 :mod:`repro.api` facade; ``--trace`` turns on the lifecycle flight
 recorder, whose spans land in the database next to the trials and are
 rendered by ``repro trace <db>``.
+
+serve/submit/status/cancel/shutdown are the campaign-service surface:
+``repro serve`` runs the controller/worker daemon and the others speak
+to it over its local HTTP API (see :mod:`repro.service`).  Shared flags
+(--tbl/--mof, --db, --jobs, --faults/--retries, --trace/--quiet) are
+defined once as argparse parent parsers, so ``repro run`` and ``repro
+submit`` stay flag-compatible by construction.
 """
 
 from __future__ import annotations
@@ -61,14 +76,23 @@ def build_parser():
     )
     commands = parser.add_subparsers(metavar="command")
 
+    # The flag families shared across subcommands are each defined once
+    # as a parent parser, so `repro run` and `repro submit` (and every
+    # other command touching the same concern) cannot drift apart.
+    spec = _spec_parent()
+    db = _db_parent()
+    jobs = _jobs_parent()
+    faults = _faults_parent()
+    output = _output_parent()
+
     validate = commands.add_parser(
-        "validate", help="check a TBL (and optional MOF) spec pair")
-    _spec_arguments(validate)
+        "validate", parents=[spec],
+        help="check a TBL (and optional MOF) spec pair")
     validate.set_defaults(handler=cmd_validate)
 
     generate = commands.add_parser(
-        "generate", help="write a Mulini bundle for one experiment point")
-    _spec_arguments(generate)
+        "generate", parents=[spec],
+        help="write a Mulini bundle for one experiment point")
     generate.add_argument("--experiment", required=True)
     generate.add_argument("--topology", default=None,
                           help="w-a-d (default: the experiment's first)")
@@ -81,75 +105,86 @@ def build_parser():
     generate.set_defaults(handler=cmd_generate)
 
     run = commands.add_parser(
-        "run", help="run every experiment of a TBL spec into a database")
-    _spec_arguments(run)
-    run.add_argument("--db", default="observations.sqlite",
-                     help="SQLite file for the results "
-                          "(default: observations.sqlite)")
+        "run", parents=[spec, db, jobs, faults, output],
+        help="run every experiment of a TBL spec into a database")
     run.add_argument("--nodes", type=int, default=36,
                      help="virtual cluster size (default 36)")
-    run.add_argument("--jobs", type=int, default=1,
-                     help="parallel trial workers (default 1; results "
-                          "are identical for any value)")
-    run.add_argument("--faults", default=None, metavar="FILE",
-                     help="JSON fault plan to arm during the campaign "
-                          "(chaos mode; see repro.faults.FaultPlan)")
-    run.add_argument("--retries", type=int, default=None, metavar="N",
-                     help="max attempts per trial (enables retry, "
-                          "quarantine and enriched DNF recording)")
     run.add_argument("--resume", action="store_true",
                      help="skip trials already stored in --db")
-    run.add_argument("--trace", action="store_true",
-                     help="record lifecycle spans into the database "
-                          "(inspect with: repro trace <db>)")
-    run.add_argument("--quiet", action="store_true")
     run.set_defaults(handler=cmd_run)
 
     explore = commands.add_parser(
-        "explore", help="adaptive exploration: a planner policy picks "
-                        "trials from the observations so far")
-    _spec_arguments(explore)
-    explore.add_argument("--db", default="observations.sqlite",
-                         help="SQLite file for the results "
-                              "(default: observations.sqlite)")
-    explore.add_argument("--policy", choices=("grid", "knee", "promote"),
-                         default="knee",
-                         help="experiment-selection policy (default knee: "
-                              "bisect each workload ladder to its SLO "
-                              "knee)")
-    explore.add_argument("--budget", type=int, default=None, metavar="N",
-                         help="hard cap on executed trials")
-    explore.add_argument("--experiment", default=None,
-                         help="experiment to explore (default: the "
-                              "spec's only one)")
+        "explore", parents=[spec, db, jobs, faults, output],
+        help="adaptive exploration: a planner policy picks "
+             "trials from the observations so far")
+    _planner_arguments(explore)
     explore.add_argument("--nodes", type=int, default=36,
                          help="virtual cluster size (default 36)")
-    explore.add_argument("--jobs", type=int, default=1,
-                         help="parallel trial workers (default 1; "
-                              "decisions and results are identical for "
-                              "any value)")
     explore.add_argument("--dry-run", action="store_true",
                          help="print the policy's first round and exit "
                               "without running trials")
     explore.add_argument("--resume", action="store_true",
                          help="feed trials already stored in --db back "
                               "into the planner instead of re-running")
-    explore.add_argument("--trace", action="store_true",
-                         help="record lifecycle spans into the database "
-                              "(inspect with: repro trace <db>)")
-    explore.add_argument("--quiet", action="store_true")
     explore.set_defaults(handler=cmd_explore)
 
     resume = commands.add_parser(
-        "resume", help="finish an interrupted campaign from its database")
-    resume.add_argument("db", help="results database of a prior run")
-    resume.add_argument("--jobs", type=int, default=1,
-                        help="parallel trial workers (default 1)")
-    resume.add_argument("--trace", action="store_true",
-                        help="record lifecycle spans for the resumed "
-                             "trials")
-    resume.add_argument("--quiet", action="store_true")
+        "resume", parents=[jobs, output],
+        help="finish an interrupted campaign from its database")
+    resume.add_argument("db", help="results database of a prior run "
+                                   "(with --url: the interrupted "
+                                   "campaign's --db path)")
+    resume.add_argument("--url", default=None, metavar="URL",
+                        help="resume on a running campaign daemon "
+                             "instead of in-process")
     resume.set_defaults(handler=cmd_resume)
+
+    serve = commands.add_parser(
+        "serve", parents=[_jobs_parent(default=4)],
+        help="run the campaign daemon: one worker fleet, many campaigns")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--max-active", type=int, default=8, metavar="N",
+                       help="campaigns in flight before submits get "
+                            "backpressure (default 8)")
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = commands.add_parser(
+        "submit",
+        parents=[_spec_parent(required=False), db, jobs, faults,
+                 _url_parent()],
+        help="submit a campaign to a running daemon")
+    _planner_arguments(submit, optional=True)
+    submit.add_argument("--nodes", type=int, default=36,
+                        help="virtual cluster size (default 36)")
+    submit.add_argument("--resume", action="store_true",
+                        help="continue from the campaign's checkpoint "
+                             "(shard or merged database) at --db")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the campaign settles and "
+                             "print its summary")
+    submit.set_defaults(handler=cmd_submit)
+
+    status = commands.add_parser(
+        "status", parents=[_url_parent()],
+        help="show the daemon's campaigns, fleet, and aggregate")
+    status.add_argument("id", nargs="?", default=None,
+                        help="one campaign's id (default: everything)")
+    status.set_defaults(handler=cmd_status)
+
+    cancel = commands.add_parser(
+        "cancel", parents=[_url_parent()],
+        help="cancel a running campaign, keeping its shard checkpoint")
+    cancel.add_argument("id", help="the campaign id to cancel")
+    cancel.set_defaults(handler=cmd_cancel)
+
+    shutdown = commands.add_parser(
+        "shutdown", parents=[_url_parent()],
+        help="stop the campaign daemon")
+    shutdown.add_argument("--abort", action="store_true",
+                          help="kill instead of draining; running "
+                               "campaigns survive as shard checkpoints")
+    shutdown.set_defaults(handler=cmd_shutdown)
 
     report = commands.add_parser(
         "report", help="render or export observations from a database")
@@ -204,12 +239,84 @@ def build_parser():
     return parser
 
 
-def _spec_arguments(subparser):
-    subparser.add_argument("--tbl", required=True,
-                           help="Testbed Language specification file")
-    subparser.add_argument("--mof", default=None,
-                           help="CIM/MOF resource model file "
-                                "(default: derived from the TBL header)")
+# -- shared flag families (argparse parent parsers) ----------------------
+#
+# Each family is defined in exactly one place and attached via
+# ``parents=[...]``; a new subcommand that needs, say, the fault flags
+# inherits them wholesale instead of re-declaring (and mistyping) them.
+
+def _parent():
+    return argparse.ArgumentParser(add_help=False)
+
+
+def _spec_parent(required=True):
+    parent = _parent()
+    parent.add_argument("--tbl", required=required,
+                        help="Testbed Language specification file")
+    parent.add_argument("--mof", default=None,
+                        help="CIM/MOF resource model file "
+                             "(default: derived from the TBL header)")
+    return parent
+
+
+def _db_parent():
+    parent = _parent()
+    parent.add_argument("--db", default="observations.sqlite",
+                        help="SQLite file for the results "
+                             "(default: observations.sqlite)")
+    return parent
+
+
+def _jobs_parent(default=1):
+    parent = _parent()
+    parent.add_argument("--jobs", type=int, default=default,
+                        help=f"parallel trial workers (default {default}; "
+                             f"results are identical for any value)")
+    return parent
+
+
+def _faults_parent():
+    parent = _parent()
+    parent.add_argument("--faults", default=None, metavar="FILE",
+                        help="JSON fault plan to arm during the campaign "
+                             "(chaos mode; see repro.faults.FaultPlan)")
+    parent.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="max attempts per trial (enables retry, "
+                             "quarantine and enriched DNF recording)")
+    return parent
+
+
+def _output_parent():
+    parent = _parent()
+    parent.add_argument("--trace", action="store_true",
+                        help="record lifecycle spans into the database "
+                             "(inspect with: repro trace <db>)")
+    parent.add_argument("--quiet", action="store_true")
+    return parent
+
+
+def _url_parent():
+    parent = _parent()
+    parent.add_argument("--url", default="http://127.0.0.1:8642",
+                        metavar="URL",
+                        help="the campaign daemon's address "
+                             "(default http://127.0.0.1:8642)")
+    return parent
+
+
+def _planner_arguments(subparser, optional=False):
+    subparser.add_argument("--policy", choices=("grid", "knee", "promote"),
+                          default=None if optional else "knee",
+                          help="experiment-selection policy"
+                               + (" (submits an adaptive exploration "
+                                  "instead of the fixed grid)" if optional
+                                  else " (default knee: bisect each "
+                                       "workload ladder to its SLO knee)"))
+    subparser.add_argument("--budget", type=int, default=None, metavar="N",
+                          help="hard cap on executed trials")
+    subparser.add_argument("--experiment", default=None,
+                          help="experiment to explore (default: the "
+                               "spec's only one)")
 
 
 def _load_specs(args):
@@ -307,14 +414,10 @@ def _print_report(report):
 
 def cmd_run(args):
     from repro.api import open_results, run_campaign
-    from repro.faults import FaultPlan
     from repro.obs import Tracer
 
     _spec, _model, tbl_text, mof_text = _load_specs(args)
-    faults = None
-    if args.faults is not None:
-        faults = FaultPlan.from_json(
-            pathlib.Path(args.faults).read_text(), source=args.faults)
+    faults = _load_fault_plan(args)
     with open_results(args.db) as database:
         report = run_campaign(tbl_text, mof_text=mof_text,
                               database=database, node_count=args.nodes,
@@ -330,6 +433,15 @@ def cmd_run(args):
         print(f"lifecycle spans recorded; inspect with: "
               f"repro trace {args.db}")
     return 0
+
+
+def _load_fault_plan(args):
+    from repro.faults import FaultPlan
+
+    if args.faults is None:
+        return None
+    return FaultPlan.from_json(
+        pathlib.Path(args.faults).read_text(), source=args.faults)
 
 
 def cmd_explore(args):
@@ -352,7 +464,9 @@ def cmd_explore(args):
                               node_count=args.nodes, jobs=args.jobs,
                               tracer=Tracer() if args.trace else None,
                               on_result=_trial_progress(args),
-                              tbl_source=args.tbl, resume=args.resume)
+                              tbl_source=args.tbl,
+                              faults=_load_fault_plan(args),
+                              retry=args.retries, resume=args.resume)
         _print_report(report)
         outcome = report.outcome
         if outcome is not None:
@@ -372,12 +486,120 @@ def cmd_resume(args):
     from repro.api import open_results, resume_campaign
     from repro.obs import Tracer
 
+    if args.url is not None:
+        from repro.api import campaign_client
+
+        client = campaign_client(args.url)
+        campaign_id = client.resume(db_path=args.db, jobs=args.jobs)
+        print(f"resumed as campaign {campaign_id} on {args.url}")
+        return _wait_and_report(client, campaign_id, quiet=args.quiet)
     with open_results(args.db, create=False) as database:
         report = resume_campaign(database, jobs=args.jobs,
                                  tracer=Tracer() if args.trace else None,
                                  on_result=_trial_progress(args))
         _print_report(report)
     print(f"observations stored in {args.db}")
+    return 0
+
+
+# -- the campaign-service surface -----------------------------------------
+
+def cmd_serve(args):
+    from repro.service import serve
+
+    print(f"campaign daemon: fleet of {args.jobs} worker(s), up to "
+          f"{args.max_active} campaign(s) in flight")
+    serve(host=args.host, port=args.port, jobs=args.jobs,
+          max_active=args.max_active,
+          on_ready=lambda url: print(f"listening on {url}", flush=True))
+    return 0
+
+
+def cmd_submit(args):
+    from repro.api import campaign_client
+
+    tbl_text = None
+    mof_text = None
+    if args.tbl is not None:
+        _spec, _model, tbl_text, mof_text = _load_specs(args)
+    elif not args.resume:
+        print("error: submit needs --tbl (or --resume with a "
+              "checkpointed --db)", file=sys.stderr)
+        return 2
+    client = campaign_client(args.url)
+    campaign_id = client.submit(
+        tbl_text, db_path=args.db, jobs=args.jobs, mof_text=mof_text,
+        node_count=args.nodes, policy=args.policy, budget=args.budget,
+        experiment=args.experiment,
+        faults=_load_fault_plan(args), retry=args.retries,
+        resume=args.resume)
+    print(f"submitted campaign {campaign_id} on {args.url} "
+          f"(db: {args.db})")
+    if not args.wait:
+        return 0
+    return _wait_and_report(client, campaign_id, quiet=False)
+
+
+def _wait_and_report(client, campaign_id, *, quiet):
+    record = client.wait(campaign_id, timeout=3600)
+    if record is None:
+        print(f"campaign {campaign_id} still running after timeout",
+              file=sys.stderr)
+        return 1
+    if not quiet and record.get("summary"):
+        print(record["summary"])
+    if record["state"] != "done":
+        print(f"campaign {campaign_id} {record['state']}: "
+              f"{record.get('error')}", file=sys.stderr)
+        return 1
+    print(f"observations stored in {record['db_path']}")
+    return 0
+
+
+def cmd_status(args):
+    from repro.api import campaign_client
+
+    client = campaign_client(args.url)
+    if args.id is not None:
+        record = client.status(args.id)
+        print(f"{record['id']}: {record['state']} "
+              f"({record['trials']} trial(s), "
+              f"{record['skipped']} skipped) -> {record['db_path']}")
+        if record.get("summary"):
+            print(f"  {record['summary']}")
+        if record.get("error"):
+            print(f"  error: {record['error']}")
+        return 0
+    state = client.status()
+    fleet = state["fleet"]
+    print(f"fleet: {fleet['workers']} worker(s), "
+          f"{fleet['in_flight']} in flight, "
+          f"{fleet['dispatched']} dispatched")
+    if not state["campaigns"]:
+        print("no campaigns")
+    for cid in sorted(state["campaigns"]):
+        record = state["campaigns"][cid]
+        print(f"  {cid}: {record['state']} "
+              f"({record['trials']} trial(s)) -> {record['db_path']}")
+    return 0
+
+
+def cmd_cancel(args):
+    from repro.api import campaign_client
+
+    campaign_client(args.url).cancel(args.id)
+    print(f"cancelled campaign {args.id}; its shard checkpoint stays "
+          f"for resume")
+    return 0
+
+
+def cmd_shutdown(args):
+    from repro.api import campaign_client
+
+    campaign_client(args.url).shutdown(abort=args.abort)
+    print("daemon stopping"
+          + (" (aborted; shards keep the checkpoints)" if args.abort
+             else ""))
     return 0
 
 

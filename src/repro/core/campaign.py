@@ -12,6 +12,19 @@ and transient failures are retried (and recorded) instead of aborting
 the sweep; give :meth:`run` ``resume=True`` and trials already in the
 database are skipped, so an interrupted campaign finishes from its
 checkpoint — the database itself — running exactly the missing trials.
+
+Since the campaign service plane landed, a campaign is explicitly two
+halves:
+
+- :class:`CampaignState` — the *state*: parsed spec, resource model,
+  validation warnings, fault/retry identity, the task frontier and the
+  ``campaign_meta`` checkpoint.  A controller can hold hundreds of
+  these for queued campaigns; none of them owns a cluster or a worker.
+- :class:`ObservationCampaign` — the *execution*: a cluster, a runner,
+  and the run loops.  Execution may be delegated wholesale to an
+  *executor* (anything with ``run_tasks(tasks, on_result)`` returning
+  results in task order) — the seam the ``repro serve`` daemon uses to
+  run many campaigns' trials on one shared worker fleet.
 """
 
 from __future__ import annotations
@@ -86,7 +99,8 @@ class CampaignReport:
     pruned: int = 0
     outcome: object = None
     #: hot-path cache hit/miss counters captured at campaign end
-    #: (``repro.hotpath.stats()`` shape: name -> entries/hits/misses)
+    #: (``repro.hotpath.stats()`` shape: name -> entries/hits/misses;
+    #: a daemon-hosted campaign records its own tenant's attribution)
     cache_stats: dict = field(default_factory=dict)
 
     def cache_totals(self):
@@ -121,33 +135,20 @@ class CampaignReport:
         return text
 
 
-class ObservationCampaign:
-    """End-to-end campaign bound to one TBL spec and one cluster.
+class CampaignState:
+    """The separable state of one campaign — no cluster, no workers.
 
-    Everything after *tbl_text* is keyword-only (the legacy positional
-    form is deprecated); a *tracer* makes every trial of the campaign
-    record its lifecycle span tree into the database's ``spans`` table.
-
-    *faults* arms a :class:`~repro.faults.FaultPlan` on every runner of
-    the campaign (the chaos mode); *retry* sets the
-    :class:`~repro.faults.RetryPolicy` governing failed attempts — an
-    int is shorthand for "this many attempts".  Without *retry*, any
-    trial failure propagates exactly as before the fault plane existed.
+    Everything a controller must hold for a queued, running or
+    interrupted campaign: the parsed spec and resource model, the
+    validation warnings, the fault/retry identity, and the operations
+    over them — experiment selection, task enumeration, resume
+    filtering, and the ``campaign_meta`` checkpoint.  Execution state
+    (worker leases, clusters, runners) deliberately lives elsewhere;
+    see :class:`ObservationCampaign`.
     """
 
-    def __init__(self, tbl_text, *args, mof_text=None, database=None,
-                 node_count=36, tbl_source="<campaign>", tracer=None,
-                 faults=None, retry=None):
-        merged = absorb_positional(
-            "ObservationCampaign",
-            ("mof_text", "database", "node_count", "tbl_source"), args,
-            {"mof_text": mof_text, "database": database,
-             "node_count": node_count, "tbl_source": tbl_source})
-        mof_text = merged["mof_text"]
-        database = merged["database"]
-        node_count = merged["node_count"]
-        tbl_source = merged["tbl_source"]
-        self.tracer = as_tracer(tracer)
+    def __init__(self, tbl_text, *, mof_text=None, node_count=36,
+                 tbl_source="<campaign>", faults=None, retry=None):
         self.tbl_text = tbl_text
         self.spec = parse_tbl(tbl_text, source=tbl_source)
         if mof_text is None:
@@ -167,18 +168,166 @@ class ObservationCampaign:
                 f"spec needs up to {needed} machines but the campaign "
                 f"cluster has only {node_count} nodes"
             )
+
+    def select_experiments(self, experiment_names=None):
+        """The experiments a fixed-grid run covers (all by default)."""
+        experiments = self.spec.experiments
+        if experiment_names is not None:
+            experiments = [self.spec.experiment(name)
+                           for name in experiment_names]
+        if not experiments:
+            raise ExperimentError("campaign selects no experiments")
+        return experiments
+
+    def select_experiment(self, name=None):
+        """The one experiment an adaptive exploration targets."""
+        if name is not None:
+            return self.spec.experiment(name)
+        if len(self.spec.experiments) == 1:
+            return self.spec.experiments[0]
+        names = ", ".join(e.name for e in self.spec.experiments)
+        raise ExperimentError(
+            f"spec declares {len(self.spec.experiments)} experiments "
+            f"({names}); an adaptive exploration targets one — pass "
+            f"experiment_name"
+        )
+
+    def enumerate_plan(self, experiments):
+        """Every trial of *experiments* as TrialTasks, in sweep order."""
+        tasks = []
+        for experiment in experiments:
+            tasks.extend(enumerate_tasks(experiment,
+                                         start_index=len(tasks)))
+        return tasks
+
+    def pending(self, tasks, database):
+        """``(remaining, skipped)`` after resume-filtering *tasks*
+        against what *database* already stores."""
+        done = set(database.trial_keys())
+        remaining = [t for t in tasks if t.key() not in done]
+        return remaining, len(tasks) - len(remaining)
+
+    def record_meta(self, database):
+        """Persist the campaign's identity so ``repro resume <db>`` (or
+        a daemon restart) can rebuild it from the database alone."""
+        database.set_meta(META_TBL, self.tbl_text)
+        database.set_meta(META_MOF, self.mof_text)
+        database.set_meta(META_NODE_COUNT, self.node_count)
+        if isinstance(self.fault_plan, FaultPlan):
+            database.set_meta(META_FAULT_PLAN, self.fault_plan.to_json())
+        if isinstance(self.retry_policy, RetryPolicy):
+            database.set_meta(META_RETRY,
+                              json.dumps(self.retry_policy.to_dict(),
+                                         sort_keys=True))
+
+    @classmethod
+    def from_database(cls, database):
+        """Rebuild campaign state from a database's persisted meta."""
+        tbl_text = database.get_meta(META_TBL)
+        if tbl_text is None:
+            raise ExperimentError(
+                "database carries no campaign meta; it predates the "
+                "fault plane or was not produced by run_campaign"
+            )
+        plan_json = database.get_meta(META_FAULT_PLAN)
+        retry_json = database.get_meta(META_RETRY)
+        return cls(
+            tbl_text,
+            mof_text=database.get_meta(META_MOF),
+            node_count=int(database.get_meta(META_NODE_COUNT, 36)),
+            tbl_source="<resume>",
+            faults=FaultPlan.from_json(plan_json) if plan_json else None,
+            retry=RetryPolicy.from_dict(json.loads(retry_json))
+            if retry_json else None,
+        )
+
+
+class ObservationCampaign:
+    """End-to-end campaign bound to one TBL spec and one cluster.
+
+    Everything after *tbl_text* is keyword-only (the legacy positional
+    form is deprecated); a *tracer* makes every trial of the campaign
+    record its lifecycle span tree into the database's ``spans`` table.
+
+    *faults* arms a :class:`~repro.faults.FaultPlan` on every runner of
+    the campaign (the chaos mode); *retry* sets the
+    :class:`~repro.faults.RetryPolicy` governing failed attempts — an
+    int is shorthand for "this many attempts".  Without *retry*, any
+    trial failure propagates exactly as before the fault plane existed.
+
+    *tenant* names the campaign on a shared cache plane (the daemon
+    sets it to the campaign id): hot-path statistics recorded at the
+    end of a run are then the campaign's own attribution, not the
+    plane-wide totals.
+    """
+
+    def __init__(self, tbl_text, *args, mof_text=None, database=None,
+                 node_count=36, tbl_source="<campaign>", tracer=None,
+                 faults=None, retry=None, state=None, tenant=None):
+        merged = absorb_positional(
+            "ObservationCampaign",
+            ("mof_text", "database", "node_count", "tbl_source"), args,
+            {"mof_text": mof_text, "database": database,
+             "node_count": node_count, "tbl_source": tbl_source})
+        database = merged["database"]
+        self.tracer = as_tracer(tracer)
+        self.tenant = tenant
+        if state is None:
+            state = CampaignState(tbl_text,
+                                  mof_text=merged["mof_text"],
+                                  node_count=merged["node_count"],
+                                  tbl_source=merged["tbl_source"],
+                                  faults=faults, retry=retry)
+        self.state = state
         self.cluster = VirtualCluster(self.spec.platform,
-                                      node_count=node_count)
+                                      node_count=self.node_count)
         self.runner = ExperimentRunner(cluster=self.cluster,
                                        resource_model=self.resource_model,
                                        tracer=self.tracer,
-                                       faults=faults,
-                                       retry=self.retry_policy)
+                                       faults=self.fault_plan,
+                                       retry=self.retry_policy,
+                                       tenant=tenant)
         self.database = database if database is not None \
             else ResultsDatabase()
 
+    # The state half is the source of truth for campaign identity;
+    # these properties keep the historical attribute surface intact.
+
+    @property
+    def tbl_text(self):
+        return self.state.tbl_text
+
+    @property
+    def mof_text(self):
+        return self.state.mof_text
+
+    @property
+    def spec(self):
+        return self.state.spec
+
+    @property
+    def node_count(self):
+        return self.state.node_count
+
+    @property
+    def fault_plan(self):
+        return self.state.fault_plan
+
+    @property
+    def retry_policy(self):
+        return self.state.retry_policy
+
+    @property
+    def resource_model(self):
+        return self.state.resource_model
+
+    @property
+    def validation_warnings(self):
+        return self.state.validation_warnings
+
     def run(self, experiment_names=None, *, on_result=None, replace=True,
-            jobs=1, backend=None, on_progress=None, resume=False):
+            jobs=1, backend=None, on_progress=None, resume=False,
+            executor=None):
         """Run the spec's experiments, storing every trial.
 
         *experiment_names* restricts to a subset; *on_result* is a
@@ -191,7 +340,10 @@ class ObservationCampaign:
         ``jobs=N`` executes the whole campaign's trial tasks — across
         all selected experiments — on a worker pool; results are stored
         in enumeration order, so the resulting database rows match a
-        ``jobs=1`` run exactly.
+        ``jobs=1`` run exactly.  An *executor* overrides the worker
+        plane entirely: anything with ``run_tasks(tasks, on_result)``
+        delivering results in task order (the daemon passes a fleet
+        lease here, so many campaigns share one pool).
 
         ``resume=True`` skips every task whose trial key is already in
         the database, so an interrupted campaign completes exactly its
@@ -201,30 +353,22 @@ class ObservationCampaign:
         """
         report = CampaignReport(warnings=list(self.validation_warnings),
                                 database=self.database)
-        experiments = self.spec.experiments
-        if experiment_names is not None:
-            experiments = [self.spec.experiment(name)
-                           for name in experiment_names]
-        if not experiments:
-            raise ExperimentError("campaign selects no experiments")
-        tasks = []
-        for experiment in experiments:
-            report.experiments.append(experiment.name)
-            tasks.extend(enumerate_tasks(experiment,
-                                         start_index=len(tasks)))
+        experiments = self.state.select_experiments(experiment_names)
+        report.experiments.extend(e.name for e in experiments)
+        tasks = self.state.enumerate_plan(experiments)
         if resume:
-            done = set(self.database.trial_keys())
-            remaining = [t for t in tasks if t.key() not in done]
-            report.skipped = len(tasks) - len(remaining)
-            tasks = remaining
+            tasks, report.skipped = self.state.pending(tasks,
+                                                       self.database)
             self.tracer.count("campaign.trials_skipped", report.skipped)
-        self._record_meta()
+        self.state.record_meta(self.database)
         store, flush_tail = self._ingest(report, replace=replace,
                                          on_result=on_result,
                                          on_progress=on_progress,
                                          total=len(tasks))
         try:
-            if jobs == 1:
+            if executor is not None:
+                executor.run_tasks(tasks, store)
+            elif jobs == 1:
                 for task in tasks:
                     store(self.runner.run_task(task))
             else:
@@ -301,15 +445,19 @@ class ObservationCampaign:
 
     def _record_cache_stats(self, report):
         """Capture hot-path cache counters into the report and the
-        database meta, so cache effectiveness is observable per run."""
-        report.cache_stats = hotpath.stats()
+        database meta, so cache effectiveness is observable per run.
+        A tenant-scoped campaign records its own attribution — on a
+        shared daemon the plane-wide totals belong to no one campaign.
+        """
+        report.cache_stats = hotpath.stats(tenant=self.tenant)
         self.database.set_meta(
             META_CACHE_STATS,
             json.dumps(report.cache_stats, sort_keys=True))
 
     def run_adaptive(self, policy="knee", *, experiment_name=None,
                      budget=None, jobs=1, backend=None, on_result=None,
-                     on_progress=None, replace=True, resume=False):
+                     on_progress=None, replace=True, resume=False,
+                     executor=None):
         """Run one experiment family as a closed exploration loop.
 
         Instead of the fixed grid :meth:`run` executes, a planner
@@ -326,20 +474,23 @@ class ObservationCampaign:
         already stored are fed back from the database instead of
         re-running (``resume=True``), and the finished database is
         byte-identical to an uninterrupted run's at any worker count.
+
+        An *executor* (see :meth:`run`) replaces the private scheduler
+        session: each planner round's batch runs on it instead.
         """
         from repro.planner import AdaptivePlanner, BudgetedExplorer, \
             make_policy
 
         report = CampaignReport(warnings=list(self.validation_warnings),
                                 database=self.database)
-        experiment = self._select_experiment(experiment_name)
+        experiment = self.state.select_experiment(experiment_name)
         report.experiments.append(experiment.name)
         if isinstance(policy, str):
             policy_obj = make_policy(policy, budget=budget)
         else:
             policy_obj = policy if budget is None \
                 else BudgetedExplorer(policy, budget)
-        self._record_meta()
+        self.state.record_meta(self.database)
         db = self.database
         db.set_meta(META_PLANNER_POLICY, policy_obj.name)
         db.set_meta(META_PLANNER_EXPERIMENT, experiment.name)
@@ -360,7 +511,7 @@ class ObservationCampaign:
                                          on_progress=on_progress,
                                          total=None)
         session = None
-        if jobs != 1:
+        if executor is None and jobs != 1:
             scheduler = TrialScheduler(self._worker_runner, jobs=jobs,
                                        backend=backend,
                                        tracer=self.tracer)
@@ -374,7 +525,12 @@ class ObservationCampaign:
                 self.tracer.count("campaign.trials_skipped", skipped)
             delivered = {}
             if missing:
-                if session is None:
+                if executor is not None:
+                    for task, result in zip(
+                            missing,
+                            executor.run_tasks(missing, store)):
+                        delivered[task.key()] = result
+                elif session is None:
                     for task in missing:
                         result = self.runner.run_task(task)
                         delivered[task.key()] = result
@@ -418,53 +574,23 @@ class ObservationCampaign:
 
     def _select_experiment(self, name):
         """The one experiment an adaptive exploration targets."""
-        if name is not None:
-            return self.spec.experiment(name)
-        if len(self.spec.experiments) == 1:
-            return self.spec.experiments[0]
-        names = ", ".join(e.name for e in self.spec.experiments)
-        raise ExperimentError(
-            f"spec declares {len(self.spec.experiments)} experiments "
-            f"({names}); an adaptive exploration targets one — pass "
-            f"experiment_name"
-        )
+        return self.state.select_experiment(name)
 
     def _record_meta(self):
         """Persist the campaign's identity so ``repro resume <db>`` can
         rebuild it from the database alone."""
-        db = self.database
-        db.set_meta(META_TBL, self.tbl_text)
-        db.set_meta(META_MOF, self.mof_text)
-        db.set_meta(META_NODE_COUNT, self.node_count)
-        if isinstance(self.fault_plan, FaultPlan):
-            db.set_meta(META_FAULT_PLAN, self.fault_plan.to_json())
-        if isinstance(self.retry_policy, RetryPolicy):
-            db.set_meta(META_RETRY,
-                        json.dumps(self.retry_policy.to_dict(),
-                                   sort_keys=True))
+        self.state.record_meta(self.database)
 
     @classmethod
-    def from_database(cls, database, *, tracer=None):
+    def from_database(cls, database, *, tracer=None, tenant=None):
         """Rebuild a campaign from a database's persisted meta — the
-        engine behind ``repro resume <db>``."""
-        tbl_text = database.get_meta(META_TBL)
-        if tbl_text is None:
-            raise ExperimentError(
-                "database carries no campaign meta; it predates the "
-                "fault plane or was not produced by run_campaign"
-            )
-        plan_json = database.get_meta(META_FAULT_PLAN)
-        retry_json = database.get_meta(META_RETRY)
+        engine behind ``repro resume <db>`` and the daemon's resume."""
         return cls(
-            tbl_text,
-            mof_text=database.get_meta(META_MOF),
+            None,
+            state=CampaignState.from_database(database),
             database=database,
-            node_count=int(database.get_meta(META_NODE_COUNT, 36)),
-            tbl_source="<resume>",
             tracer=tracer,
-            faults=FaultPlan.from_json(plan_json) if plan_json else None,
-            retry=RetryPolicy.from_dict(json.loads(retry_json))
-            if retry_json else None,
+            tenant=tenant,
         )
 
     def _worker_runner(self):

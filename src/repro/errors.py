@@ -125,3 +125,19 @@ class TrialFailed(ExperimentError):
 
 class FaultPlanError(ReproError):
     """A declarative fault plan is malformed (unknown kind, bad rate)."""
+
+
+class ServiceError(ReproError):
+    """The campaign service rejected a request (unknown campaign, bad
+    submission, daemon unreachable)."""
+
+
+class ServiceBusy(ServiceError):
+    """The daemon's admission queue is full — backpressure.  Resubmit
+    once running campaigns drain."""
+
+
+class CampaignCancelled(ServiceError):
+    """A campaign was cancelled while its trials were still queued or
+    running; the shard keeps everything delivered so far, so a
+    ``resume`` completes exactly the missing trials."""

@@ -86,11 +86,18 @@ class ExperimentRunner:
     :class:`~repro.faults.RetryPolicy` (or a bare attempt count).
     Leaving both unset preserves the historical single-attempt,
     exception-propagating behaviour exactly.
+
+    *tenant* names the campaign this runner works for on a shared
+    worker fleet.  Fleet threads interleave trials from many campaigns,
+    so the ``worker`` span attribute alone no longer answers "whose
+    trial was this?" — a tenant-stamped runner records the campaign on
+    every trial span.  ``None`` (the single-campaign default) stamps
+    nothing, keeping standalone span trees exactly as before.
     """
 
     def __init__(self, *args, cluster=None, resource_model=None,
                  wait_for_nodes=False, tracer=None, faults=None,
-                 retry=None):
+                 retry=None, tenant=None):
         merged = absorb_positional(
             "ExperimentRunner", ("cluster", "resource_model",
                                  "wait_for_nodes"),
@@ -105,6 +112,7 @@ class ExperimentRunner:
         self.cluster = cluster
         self.resource_model = resource_model
         self.wait_for_nodes = merged["wait_for_nodes"]
+        self.tenant = tenant
         self.tracer = as_tracer(tracer)
         self.faults = as_injector(faults, tracer=self.tracer)
         self.retry_policy = as_policy(retry)
@@ -129,7 +137,8 @@ class ExperimentRunner:
                                 wait_for_nodes=self.wait_for_nodes,
                                 tracer=self.tracer,
                                 faults=self.faults,
-                                retry=self.retry_policy)
+                                retry=self.retry_policy,
+                                tenant=self.tenant)
 
     def run_point(self, experiment, topology, workload, write_ratio,
                   seed=None):
@@ -215,6 +224,8 @@ class ExperimentRunner:
                     worker=worker_name()) as trial_span:
                 if attempt:
                     trial_span.annotate(attempt=attempt + 1)
+                if self.tenant is not None:
+                    trial_span.annotate(tenant=self.tenant)
                 tier_node_types = {}
                 if experiment.db_node_type is not None:
                     tier_node_types["db"] = self.cluster.platform.node_type(

@@ -29,6 +29,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro import hotpath
 from repro.deprecation import absorb_positional
 from repro.errors import ExperimentError
 from repro.obs.tracer import as_tracer
@@ -221,6 +222,7 @@ class SchedulerSession:
         self._pool = None
         self._runner = None          # inline mode's persistent runner
         self._local = None           # thread mode's per-thread runners
+        self._generations = {}       # tenant -> runner-cache generation
         self._closed = False
 
     # -- lifecycle --------------------------------------------------------
@@ -281,25 +283,92 @@ class SchedulerSession:
                 on_result(result)
         return results
 
-    def _thread_batch(self, tasks, on_result):
-        scheduler = self.scheduler
+    def _ensure_thread_pool(self):
         if self._pool is None:
             self._local = threading.local()
-            self._pool = ThreadPoolExecutor(max_workers=scheduler.jobs)
-        local = self._local
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.scheduler.jobs)
+        return self._pool
 
-        def run_one(task):
-            runner = getattr(local, "runner", None)
-            if runner is None:
-                runner = local.runner = scheduler.runner_factory()
-            scheduler.tracer.count("scheduler.tasks_running", 1)
-            try:
+    def _thread_run(self, task, tenant, runner_factory):
+        """Execute one task on the calling pool thread.
+
+        Worker threads cache one runner *per tenant* — a shared fleet
+        session multiplexes many campaigns over the same threads, and
+        each campaign's trials must run on that campaign's cluster.
+        The single-campaign path is just the ``tenant=None`` slot.
+        A runner built before its tenant was retired (see
+        :meth:`forget_tenant`) is discarded and rebuilt.
+        """
+        scheduler = self.scheduler
+        runners = getattr(self._local, "runners", None)
+        if runners is None:
+            runners = self._local.runners = {}
+        generation = self._generations.get(tenant, 0)
+        cached = runners.get(tenant)
+        runner = cached[1] if cached is not None \
+            and cached[0] == generation else None
+        if runner is None:
+            factory = runner_factory or scheduler.runner_factory
+            runner = factory()
+            runners[tenant] = (generation, runner)
+        scheduler.tracer.count("scheduler.tasks_running", 1)
+        try:
+            if tenant is None:
                 return runner.run_task(task)
-            finally:
-                scheduler.tracer.count("scheduler.tasks_running", -1)
+            with hotpath.tenant(tenant):
+                return runner.run_task(task)
+        finally:
+            scheduler.tracer.count("scheduler.tasks_running", -1)
 
-        futures = [self._pool.submit(run_one, task) for task in tasks]
-        return scheduler._drain(futures, on_result)
+    def submit(self, task, *, tenant=None, runner_factory=None,
+               on_done=None):
+        """Submit one task asynchronously; returns its Future.
+
+        The fleet plane's entry point: unlike :meth:`run_batch`, which
+        blocks until a whole batch is delivered, ``submit`` hands a
+        single task to the live pool and returns immediately, so a
+        dispatcher can interleave tasks from many campaigns on one set
+        of workers.  *tenant* keys the worker-side runner cache (and
+        scopes hot-path cache attribution to the campaign);
+        *runner_factory* builds that tenant's runner on first use.
+        Thread workers only — the fleet owns ordering, so the process
+        backend's pickling round-trip buys nothing here.
+        """
+        if self._closed:
+            raise ExperimentError(
+                "scheduler session is closed; create a new session")
+        if self._mode not in (THREAD, _INLINE):
+            raise ExperimentError(
+                f"submit() requires the thread backend, not "
+                f"{self._mode!r}")
+        self._mode = THREAD
+        self._ensure_thread_pool()
+        self.scheduler.tracer.count("scheduler.tasks_queued", 1)
+        future = self._pool.submit(self._thread_run, task, tenant,
+                                   runner_factory)
+        if on_done is not None:
+            future.add_done_callback(on_done)
+        return future
+
+    def forget_tenant(self, tenant):
+        """Retire *tenant*'s cached worker runners.
+
+        Runner caches live in each worker thread's local storage, so
+        they cannot be purged from the outside; instead the tenant's
+        generation is bumped and every thread discards its stale runner
+        (and that runner's cluster) at the next lookup.  The fleet
+        calls this when a campaign detaches, so a long-lived daemon
+        doesn't accumulate one cluster per finished campaign per
+        worker.
+        """
+        self._generations[tenant] = self._generations.get(tenant, 0) + 1
+
+    def _thread_batch(self, tasks, on_result):
+        self._ensure_thread_pool()
+        futures = [self._pool.submit(self._thread_run, task, None, None)
+                   for task in tasks]
+        return self.scheduler._drain(futures, on_result)
 
     def _process_batch(self, tasks, on_result):
         # Worker state is inherited by fork (initargs never pickle), but

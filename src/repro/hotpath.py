@@ -19,6 +19,21 @@ Use :func:`caches_disabled` to run a code block cache-free::
 Disabling clears every registered cache, so re-enabling starts cold;
 :func:`stats` exposes per-cache hit/miss counters for the benchmark's
 report (never for control flow).
+
+Since the campaign service plane landed, the caches are also
+*tenant-shared*: a ``repro serve`` daemon multiplexes many concurrent
+campaigns over one cache plane, and each campaign wants its own
+hit/miss attribution plus its own cache switch.  :func:`tenant` scopes
+the current thread to one campaign::
+
+    with hotpath.tenant("campaign-7"):
+        mulini.generate(...)              # hits/misses attributed
+
+``stats(tenant="campaign-7")`` then reports exactly that campaign's
+lookups, and :func:`caches_disabled` *inside a tenant scope* turns the
+caches off for that tenant alone — a concurrent campaign keeps its
+shared entries and its hits.  Outside any tenant scope the historical
+global behaviour is unchanged.
 """
 
 from __future__ import annotations
@@ -28,19 +43,27 @@ from contextlib import contextmanager
 
 _state_lock = threading.Lock()
 _enabled = True
-_caches = {}        # name -> MemoCache
+_caches = {}                # name -> MemoCache
+_disabled_tenants = set()   # tenants running cache-free right now
+_scope = threading.local()  # .tenant — this thread's campaign identity
 
 
 def enabled():
-    """Whether the hot-path caches are currently active."""
-    return _enabled
+    """Whether the hot-path caches are active for the calling thread
+    (the global switch, minus a tenant-scoped disable)."""
+    if not _enabled:
+        return False
+    tenant = current_tenant()
+    return tenant is None or tenant not in _disabled_tenants
 
 
 def set_enabled(flag):
     """Flip the global cache switch; disabling drops cached entries.
 
     Meant for test/benchmark setup, not for flipping mid-campaign —
-    workers observe the switch at their next cache lookup.
+    workers observe the switch at their next cache lookup.  Inside a
+    daemon use the tenant-scoped :func:`caches_disabled` instead: the
+    global switch is shared by every campaign.
     """
     global _enabled
     with _state_lock:
@@ -51,29 +74,97 @@ def set_enabled(flag):
 
 
 @contextmanager
-def caches_disabled():
-    """Run a block with every hot-path cache off (and emptied)."""
-    previous = _enabled
-    set_enabled(False)
+def tenant(name):
+    """Scope the calling thread to campaign *name* for attribution.
+
+    Every cache lookup inside the scope is counted against *name* (see
+    :func:`stats`), and a :func:`caches_disabled` inside the scope
+    disables the caches for *name* alone.  Scopes nest; the inner
+    tenant wins.  Worker threads don't inherit the scope — the fleet
+    re-enters it around every task it runs on a campaign's behalf.
+    """
+    previous = getattr(_scope, "tenant", None)
+    _scope.tenant = name
     try:
         yield
     finally:
-        set_enabled(previous)
+        _scope.tenant = previous
+
+
+def current_tenant():
+    """The campaign the calling thread is attributed to (or ``None``)."""
+    return getattr(_scope, "tenant", None)
+
+
+def set_tenant_enabled(name, flag):
+    """Turn the cache plane on/off for one tenant without touching the
+    shared tables or any other tenant's lookups."""
+    with _state_lock:
+        if flag:
+            _disabled_tenants.discard(name)
+        else:
+            _disabled_tenants.add(name)
+
+
+@contextmanager
+def caches_disabled():
+    """Run a block with the hot-path caches off.
+
+    Outside a tenant scope this is the historical global switch: every
+    cache is emptied and every thread builds fresh until the block
+    exits.  Inside a :func:`tenant` scope it disables the caches for
+    *that tenant only* — lookups on the tenant's behalf bypass the
+    shared tables (building fresh, which is always correct: values are
+    pure functions of their keys), while concurrent tenants keep their
+    entries and their hit rates.
+    """
+    scoped = current_tenant()
+    if scoped is None:
+        previous = _enabled
+        set_enabled(False)
+        try:
+            yield
+        finally:
+            set_enabled(previous)
+        return
+    with _state_lock:
+        already = scoped in _disabled_tenants
+        _disabled_tenants.add(scoped)
+    try:
+        yield
+    finally:
+        if not already:
+            set_tenant_enabled(scoped, True)
 
 
 def clear():
-    """Empty every registered cache (counters included) — the cold
-    start the benchmark's caches-on leg measures from."""
+    """Empty every registered cache (counters included, all tenants) —
+    the cold start the benchmark's caches-on leg measures from."""
     with _state_lock:
         for cache in _caches.values():
             cache.clear()
 
 
-def stats():
-    """``{cache name: {"entries": n, "hits": h, "misses": m}}``."""
+def stats(tenant=None):
+    """``{cache name: {"entries": n, "hits": h, "misses": m}}``.
+
+    Without *tenant*, the counters aggregate every lookup since the
+    last :func:`clear` (the historical shape).  With *tenant*, hits and
+    misses are that campaign's alone; ``entries`` stays the shared
+    table size, since entries belong to the plane, not to a tenant.
+    """
     with _state_lock:
-        return {name: cache.snapshot_stats()
+        return {name: cache.snapshot_stats(tenant=tenant)
                 for name, cache in sorted(_caches.items())}
+
+
+def tenants():
+    """Every tenant any cache has attributed a lookup to, sorted."""
+    with _state_lock:
+        seen = set()
+        for cache in _caches.values():
+            seen.update(cache.tenants())
+        return sorted(seen)
 
 
 class MemoCache:
@@ -84,6 +175,10 @@ class MemoCache:
     When the table reaches *capacity* it is emptied — campaign working
     sets are far below any sane capacity, so eviction is a backstop
     against unbounded growth, not a tuning knob.
+
+    Lookups made inside a :func:`tenant` scope are additionally
+    attributed to that tenant, so a shared daemon can report per-
+    campaign effectiveness from one table.
     """
 
     def __init__(self, name, capacity=4096):
@@ -93,6 +188,8 @@ class MemoCache:
         self._table = {}
         self._hits = 0
         self._misses = 0
+        self._tenant_hits = {}      # tenant -> hits
+        self._tenant_misses = {}    # tenant -> misses
         with _state_lock:
             _caches[name] = self
 
@@ -103,15 +200,22 @@ class MemoCache:
         same key both build, and the later store wins — safe because
         values are pure functions of their key.
         """
-        if not _enabled:
+        if not enabled():
             return build()
+        tenant = current_tenant()
         with self._lock:
             try:
                 value = self._table[key]
                 self._hits += 1
+                if tenant is not None:
+                    self._tenant_hits[tenant] = \
+                        self._tenant_hits.get(tenant, 0) + 1
                 return value
             except KeyError:
                 self._misses += 1
+                if tenant is not None:
+                    self._tenant_misses[tenant] = \
+                        self._tenant_misses.get(tenant, 0) + 1
         value = build()
         with self._lock:
             if len(self._table) >= self.capacity:
@@ -124,8 +228,18 @@ class MemoCache:
             self._table.clear()
             self._hits = 0
             self._misses = 0
+            self._tenant_hits.clear()
+            self._tenant_misses.clear()
 
-    def snapshot_stats(self):
+    def snapshot_stats(self, tenant=None):
         with self._lock:
+            if tenant is not None:
+                return {"entries": len(self._table),
+                        "hits": self._tenant_hits.get(tenant, 0),
+                        "misses": self._tenant_misses.get(tenant, 0)}
             return {"entries": len(self._table), "hits": self._hits,
                     "misses": self._misses}
+
+    def tenants(self):
+        with self._lock:
+            return set(self._tenant_hits) | set(self._tenant_misses)

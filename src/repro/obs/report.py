@@ -177,8 +177,14 @@ def render_planner_decisions(database, limit=40):
 
     Returns ``None`` when the database holds no planner decisions (the
     run was a fixed-grid campaign), so the section only appears for
-    adaptive explorations.
+    adaptive explorations.  A database written before the planner plane
+    existed has no ``planner_decisions`` table at all; that renders as
+    an explicit note rather than an error, so ``repro trace`` keeps
+    working on old observation files.
     """
+    if not database.has_table("planner_decisions"):
+        return ("no planner decisions recorded (database predates the "
+                "planner plane)")
     decisions = database.planner_decisions()
     if not decisions:
         return None

@@ -1,6 +1,7 @@
 """Results: observation database, analysis and report rendering."""
 
 from repro.results import analysis, export, report
-from repro.results.database import ResultsDatabase
+from repro.results.database import ResultsDatabase, merge_shards, shard_path
 
-__all__ = ["analysis", "export", "report", "ResultsDatabase"]
+__all__ = ["analysis", "export", "report", "ResultsDatabase",
+           "merge_shards", "shard_path"]

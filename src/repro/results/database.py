@@ -412,6 +412,8 @@ class ResultsDatabase:
         if table not in ("trials", "host_cpu", "state_metrics", "spans",
                          "failures", "planner_decisions"):
             raise ResultsError(f"unknown table {table!r}")
+        if not self.has_table(table):
+            return []
         with self._lock:
             return self._db.execute(
                 f"SELECT * FROM {table} ORDER BY rowid").fetchall()
@@ -421,6 +423,21 @@ class ResultsDatabase:
     _DECISION_COLUMNS = ("round", "seq", "policy", "experiment_name",
                          "action", "topology", "workload", "write_ratio",
                          "reason")
+
+    def has_table(self, name):
+        """Whether *name* exists in this database file.
+
+        Opening a database normally creates every schema table, but a
+        pre-planner-plane file opened read-only (or handed to us by an
+        older tool) may genuinely lack one — readers that want to
+        degrade gracefully check here instead of catching
+        ``OperationalError``.
+        """
+        with self._lock:
+            row = self._db.execute(
+                "SELECT 1 FROM sqlite_master WHERE type = 'table' "
+                "AND name = ?", (name,)).fetchone()
+        return row is not None
 
     def insert_decisions(self, rows):
         """Store planner-decision tuples (in :attr:`_DECISION_COLUMNS`
@@ -444,12 +461,21 @@ class ResultsDatabase:
     def clear_planner_decisions(self):
         """Drop the decision log — run_adaptive rewrites it wholesale,
         so a resumed exploration's log matches an uninterrupted one."""
+        if not self.has_table("planner_decisions"):
+            return
         with self._lock:
             self._db.execute("DELETE FROM planner_decisions")
             self._db.commit()
 
     def planner_decisions(self):
-        """Every decision as a dict, in (round, seq) order."""
+        """Every decision as a dict, in (round, seq) order.
+
+        A database that predates the planner plane simply recorded no
+        decisions, so a missing table reads as an empty log rather than
+        an error.
+        """
+        if not self.has_table("planner_decisions"):
+            return []
         with self._lock:
             rows = self._db.execute(
                 "SELECT round, seq, policy, experiment_name, action, "
@@ -458,6 +484,8 @@ class ResultsDatabase:
         return [dict(zip(self._DECISION_COLUMNS, row)) for row in rows]
 
     def decision_count(self):
+        if not self.has_table("planner_decisions"):
+            return 0
         with self._lock:
             return self._db.execute(
                 "SELECT COUNT(*) FROM planner_decisions").fetchone()[0]
@@ -570,6 +598,100 @@ class ResultsDatabase:
             traced.append((info, self.spans_for(trial_id)))
         return traced
 
+    # -- shards (the campaign service plane) --------------------------------
+
+    _TRIAL_COLUMNS = (
+        "experiment_name", "benchmark", "platform", "topology", "workload",
+        "write_ratio", "seed", "status", "completed_requests", "errors",
+        "timeouts", "rejections", "duration_s", "throughput",
+        "mean_response_s", "p50_response_s", "p90_response_s",
+        "p99_response_s", "collected_bytes", "script_lines", "config_lines",
+        "generated_files", "machine_count",
+    )
+
+    _CHILD_COLUMNS = {
+        "host_cpu": ("host", "tier", "cpu_percent"),
+        "state_metrics": ("state", "count", "errors", "mean_response_s"),
+        "spans": ("span_id", "parent_id", "name", "start_s", "duration_s",
+                  "status", "attributes"),
+        "failures": ("attempt", "phase", "cause", "error_type", "transient",
+                     "resolution", "fault_kind", "host", "backoff_s"),
+    }
+
+    def absorb_shard(self, shard, *, meta_prefix=None, round_base=0):
+        """Copy every row of *shard* into this database, in shard order.
+
+        The ingest half of :func:`merge_shards`: trials are re-inserted
+        in their shard id order (so a single shard absorbed into an
+        empty database reproduces its ids exactly), child rows follow
+        their trial in the same grouping the campaign ingest wrote
+        them, planner decisions land with their rounds offset by
+        *round_base*, and campaign meta is copied under *meta_prefix*
+        (``None`` copies keys verbatim).  The whole absorption is one
+        transaction.  Returns the number of trials absorbed.
+        """
+        src = shard._db
+        absorbed = 0
+        with self._lock, shard._lock:
+            try:
+                for key, value in src.execute(
+                        "SELECT key, value FROM campaign_meta "
+                        "ORDER BY key").fetchall():
+                    name = key if meta_prefix is None \
+                        else f"{meta_prefix}{key}"
+                    self._db.execute(
+                        "INSERT OR REPLACE INTO campaign_meta (key, value) "
+                        "VALUES (?, ?)", (name, value))
+                trial_cols = ", ".join(self._TRIAL_COLUMNS)
+                placeholders = ",".join("?" * len(self._TRIAL_COLUMNS))
+                for row in src.execute(
+                        f"SELECT id, {trial_cols} FROM trials "
+                        f"ORDER BY id").fetchall():
+                    old_id, values = row[0], row[1:]
+                    cursor = self._db.execute(
+                        f"INSERT INTO trials ({trial_cols}) "
+                        f"VALUES ({placeholders})", values)
+                    new_id = cursor.lastrowid
+                    for table in self._CHILD_TABLES:
+                        columns = self._CHILD_COLUMNS[table]
+                        child_cols = ", ".join(columns)
+                        child_marks = ",".join("?" * (len(columns) + 1))
+                        for child in src.execute(
+                                f"SELECT {child_cols} FROM {table} "
+                                f"WHERE trial_id = ? ORDER BY rowid",
+                                (old_id,)).fetchall():
+                            self._db.execute(
+                                f"INSERT INTO {table} (trial_id, "
+                                f"{child_cols}) VALUES ({child_marks})",
+                                (new_id,) + tuple(child))
+                    absorbed += 1
+                if shard.has_table("planner_decisions"):
+                    for row in src.execute(
+                            "SELECT round, seq, policy, experiment_name, "
+                            "action, topology, workload, write_ratio, "
+                            "reason FROM planner_decisions "
+                            "ORDER BY round, seq").fetchall():
+                        self._db.execute(
+                            "INSERT OR REPLACE INTO planner_decisions "
+                            "(round, seq, policy, experiment_name, action, "
+                            "topology, workload, write_ratio, reason) "
+                            "VALUES (?,?,?,?,?,?,?,?,?)",
+                            (row[0] + round_base,) + tuple(row[1:]))
+            except Exception:
+                self._db.rollback()
+                raise
+            self._db.commit()
+        return absorbed
+
+    def max_planner_round(self):
+        """The highest recorded planner round (0 when none)."""
+        if not self.has_table("planner_decisions"):
+            return 0
+        with self._lock:
+            row = self._db.execute(
+                "SELECT MAX(round) FROM planner_decisions").fetchone()
+        return row[0] or 0
+
     def _to_result(self, row):
         metrics = TrialMetrics(
             completed=row["completed_requests"],
@@ -623,3 +745,70 @@ class ResultsDatabase:
             attempts=attempts,
             failures=failures,
         )
+
+
+def shard_path(db_path):
+    """Where a campaign's write-behind shard lives while it runs.
+
+    The shard sits next to the campaign's final database so a killed
+    daemon leaves its checkpoint where a ``resume`` submit will look
+    for it — derivable from the final path alone, with no knowledge of
+    the campaign id the old daemon assigned; :func:`merge_shards`
+    turns it into the final database.
+    """
+    return f"{db_path}.shard"
+
+
+def merge_shards(shards, destination, *, namespace_meta=None):
+    """Merge per-campaign shard databases into *destination*, in order.
+
+    *shards* is a sequence of :class:`ResultsDatabase` instances or
+    paths; *destination* likewise (a path is created).  Rows are copied
+    shard by shard in the given order, trials in shard id order with
+    their child rows regrouped exactly as the campaign ingest wrote
+    them — so merging one campaign's single shard into a fresh
+    destination produces tables byte-identical to the campaign having
+    written the destination directly, and :meth:`ResultsDatabase.
+    integrity_check` holds on the merged file by construction.
+
+    Merging *several* campaigns into one combined database namespaces
+    their ``campaign_meta`` keys (``<label>:<key>``) and offsets each
+    shard's planner rounds past the previous maximum so the
+    ``(round, seq)`` primary key never collides.  *namespace_meta*
+    supplies the per-shard labels (default: ``shard1``, ``shard2``,
+    ...); a single-shard merge copies meta verbatim.
+
+    Returns the destination :class:`ResultsDatabase` (open; the caller
+    closes it).
+    """
+    shards = list(shards)
+    owned = []
+    try:
+        opened = []
+        for shard in shards:
+            if isinstance(shard, ResultsDatabase):
+                opened.append(shard)
+            else:
+                database = ResultsDatabase(shard)
+                owned.append(database)
+                opened.append(database)
+        if isinstance(destination, ResultsDatabase):
+            merged = destination
+        else:
+            merged = ResultsDatabase(destination)
+        if namespace_meta is None:
+            namespace_meta = [f"shard{i + 1}" for i in range(len(opened))]
+        elif len(namespace_meta) != len(opened):
+            raise ResultsError(
+                f"{len(opened)} shard(s) but {len(namespace_meta)} "
+                f"namespace label(s)")
+        single = len(opened) == 1
+        for label, shard in zip(namespace_meta, opened):
+            merged.absorb_shard(
+                shard,
+                meta_prefix=None if single else f"{label}:",
+                round_base=0 if single else merged.max_planner_round())
+        return merged
+    finally:
+        for database in owned:
+            database.close()

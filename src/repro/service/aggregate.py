@@ -1,0 +1,132 @@
+"""Streaming cross-campaign aggregation for the service plane.
+
+Every trial a campaign's write-behind ingest delivers to its shard also
+flows through the daemon's :class:`StreamingAggregator`, so the service
+always has an up-to-the-trial view across every tenant — counts,
+throughput envelopes, retry pressure — without ever re-reading a shard.
+This is the observation loop of the paper lifted one level: the
+controller observes its *campaigns* the way a campaign observes its
+trials.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class _CampaignWindow:
+    """Rolling per-campaign aggregates, updated one trial at a time."""
+
+    def __init__(self, campaign_id):
+        self.campaign_id = campaign_id
+        self.trials = 0
+        self.completed = 0
+        self.dnf = 0
+        self.retried = 0
+        self.failed_attempts = 0
+        self.by_experiment = {}
+        self.peak_throughput = 0.0
+        self.peak_workload = None        # workload at peak throughput
+        self.max_workload = 0
+        self.response_total_ms = 0.0     # over completed trials
+
+    def observe(self, result):
+        self.trials += 1
+        name = result.experiment_name
+        self.by_experiment[name] = self.by_experiment.get(name, 0) + 1
+        self.max_workload = max(self.max_workload, result.workload)
+        if result.completed:
+            self.completed += 1
+            throughput = result.throughput()
+            if throughput > self.peak_throughput:
+                self.peak_throughput = throughput
+                self.peak_workload = result.workload
+            self.response_total_ms += result.response_time_ms()
+        else:
+            self.dnf += 1
+        if result.retried:
+            self.retried += 1
+        self.failed_attempts += max(0, result.attempts - 1)
+
+    def snapshot(self):
+        mean_response = (self.response_total_ms / self.completed
+                         if self.completed else None)
+        return {
+            "trials": self.trials,
+            "completed": self.completed,
+            "dnf": self.dnf,
+            "retried": self.retried,
+            "failed_attempts": self.failed_attempts,
+            "by_experiment": dict(self.by_experiment),
+            "peak_throughput": round(self.peak_throughput, 3),
+            "peak_workload": self.peak_workload,
+            "max_workload": self.max_workload,
+            "mean_response_ms": round(mean_response, 3)
+            if mean_response is not None else None,
+        }
+
+
+class StreamingAggregator:
+    """Consumes every tenant's trial stream; answers for all of them.
+
+    Thread-safe: campaigns deliver results from fleet worker threads.
+    ``observe(campaign_id, result)`` is the ingest tap (the controller
+    wires it into each campaign's ``on_result``); ``snapshot()``
+    returns the JSON-friendly state the status API serves, and
+    ``render()`` the human report the CI job archives.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._windows = {}
+        self._total = 0
+
+    def observe(self, campaign_id, result):
+        with self._lock:
+            window = self._windows.get(campaign_id)
+            if window is None:
+                window = self._windows[campaign_id] = \
+                    _CampaignWindow(campaign_id)
+            window.observe(result)
+            self._total += 1
+
+    def tap(self, campaign_id):
+        """An ``on_result`` callback bound to *campaign_id*."""
+        return lambda result: self.observe(campaign_id, result)
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "trials_observed": self._total,
+                "campaigns": {cid: window.snapshot()
+                              for cid, window in self._windows.items()},
+            }
+
+    def render(self):
+        """The aggregate as a plain-text report, one campaign a block."""
+        snap = self.snapshot()
+        lines = ["campaign service aggregate",
+                 "=" * 25,
+                 f"trials observed: {snap['trials_observed']}",
+                 ""]
+        for cid in sorted(snap["campaigns"]):
+            window = snap["campaigns"][cid]
+            lines.append(f"[{cid}]")
+            lines.append(
+                f"  trials {window['trials']} "
+                f"({window['completed']} completed, {window['dnf']} DNF, "
+                f"{window['retried']} retried)")
+            if window["peak_workload"] is not None:
+                lines.append(
+                    f"  peak throughput {window['peak_throughput']:.3f}"
+                    f" ops/s at workload {window['peak_workload']}"
+                    f" (swept to {window['max_workload']})")
+            if window["mean_response_ms"] is not None:
+                lines.append(
+                    f"  mean response {window['mean_response_ms']:.3f} ms"
+                    f" over completed trials")
+            for name in sorted(window["by_experiment"]):
+                lines.append(
+                    f"  - {name}: {window['by_experiment'][name]} trial(s)")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,304 @@
+"""The shared worker fleet: one pool, many campaigns, fair shares.
+
+A :class:`WorkerFleet` owns one persistent
+:class:`~repro.experiments.scheduler.SchedulerSession` of thread
+workers and multiplexes every attached campaign's trial tasks over it.
+The dispatcher enforces the service plane's scheduling invariants:
+
+- **round-robin fair share** — each dispatch sweep admits at most one
+  task per campaign, walking campaigns in attach order, so a campaign
+  with thousands of queued trials cannot starve one with ten;
+- **per-campaign ceilings** — a campaign never holds more in-flight
+  workers than its submitted ``jobs`` ceiling;
+- **fleet backpressure** — admissions stop at the fleet's worker
+  count; queued tasks simply wait.
+
+Determinism is inherited, not scheduled-for: trials are pure functions
+of their task, and each campaign's results are delivered to its store
+in task-submission order (out-of-order completions buffer), so a
+campaign's shard rows are byte-identical no matter how its tasks
+interleave with other tenants on the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import CampaignCancelled, ServiceError
+from repro.experiments.scheduler import THREAD, TrialScheduler
+from repro.obs.tracer import as_tracer
+
+
+class _TenantQueue:
+    """One campaign's seat on the fleet: queue, ceiling, ordering."""
+
+    def __init__(self, campaign_id, runner_factory, ceiling):
+        self.campaign_id = campaign_id
+        self.runner_factory = runner_factory
+        self.ceiling = max(1, ceiling)
+        self.pending = deque()       # (seq, task) not yet admitted
+        self.in_flight = 0           # admitted, not yet completed
+        self.next_seq = 0            # submission counter
+        self.next_deliver = 0        # the seq the store gets next
+        self.buffered = {}           # seq -> result (completed early)
+        self.cancelled = False
+        self.batch = None            # the active _Batch, if any
+
+    def admissible(self):
+        return (not self.cancelled and self.pending
+                and self.in_flight < self.ceiling)
+
+
+class _Batch:
+    """One ``run_tasks`` call in flight: what's owed and to whom."""
+
+    def __init__(self, expected, on_result):
+        self.expected = expected
+        self.on_result = on_result
+        self.results = []
+        self.error = None
+
+    def settled(self):
+        return self.error is not None or len(self.results) >= self.expected
+
+
+class FleetLease:
+    """A campaign's handle on the fleet — its executor.
+
+    Satisfies the :meth:`ObservationCampaign.run` executor protocol:
+    ``run_tasks(tasks, on_result)`` blocks until every task is
+    delivered (in task order) and returns the results.  ``cancel()``
+    drops the campaign's queued tasks and makes the blocked
+    ``run_tasks`` raise :class:`CampaignCancelled` once in-flight work
+    drains; ``close()`` detaches the campaign and retires its worker
+    runners.
+    """
+
+    def __init__(self, fleet, campaign_id):
+        self.fleet = fleet
+        self.campaign_id = campaign_id
+
+    def run_tasks(self, tasks, on_result=None):
+        return self.fleet.run_tasks(self.campaign_id, tasks, on_result)
+
+    def cancel(self):
+        self.fleet.cancel(self.campaign_id)
+
+    def close(self):
+        self.fleet.detach(self.campaign_id)
+
+
+class WorkerFleet:
+    """``jobs`` persistent thread workers shared by every campaign."""
+
+    def __init__(self, *, jobs=4, tracer=None):
+        if jobs < 1:
+            raise ServiceError(f"fleet needs at least 1 worker, got {jobs}")
+        self.jobs = jobs
+        self.tracer = as_tracer(tracer)
+        self._scheduler = TrialScheduler(_no_default_runner, jobs=jobs,
+                                         backend=THREAD, tracer=tracer)
+        self._session = self._scheduler.session()
+        self._cond = threading.Condition()
+        self._queues = {}            # campaign_id -> _TenantQueue
+        self._in_flight = 0          # fleet-wide admitted tasks
+        self._dispatched = 0         # lifetime admission counter
+        self._closed = False
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            name="fleet-dispatcher",
+                                            daemon=True)
+        self._dispatcher.start()
+
+    # -- campaign lifecycle ------------------------------------------------
+
+    def attach(self, campaign_id, runner_factory, *, ceiling=1):
+        """Give *campaign_id* a seat on the fleet; returns its lease.
+
+        *runner_factory* builds the campaign's per-worker runner (each
+        worker thread keeps one per tenant); *ceiling* is the
+        campaign's ``jobs`` cap — how many fleet workers it may hold at
+        once, regardless of how idle the fleet is.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceError("worker fleet is shut down")
+            if campaign_id in self._queues:
+                raise ServiceError(
+                    f"campaign {campaign_id!r} is already attached")
+            self._queues[campaign_id] = _TenantQueue(
+                campaign_id, runner_factory, ceiling)
+        return FleetLease(self, campaign_id)
+
+    def detach(self, campaign_id):
+        """Remove the campaign's seat and retire its worker runners."""
+        with self._cond:
+            queue = self._queues.pop(campaign_id, None)
+        if queue is not None:
+            self._session.forget_tenant(campaign_id)
+
+    def cancel(self, campaign_id):
+        """Drop the campaign's queued tasks; in-flight trials finish
+        (and are delivered), then its blocked ``run_tasks`` raises
+        :class:`CampaignCancelled`."""
+        with self._cond:
+            queue = self._queues.get(campaign_id)
+            if queue is None:
+                return
+            queue.cancelled = True
+            queue.pending.clear()
+            self._cond.notify_all()
+
+    # -- execution ---------------------------------------------------------
+
+    def run_tasks(self, campaign_id, tasks, on_result=None):
+        """Execute *tasks* for *campaign_id*; blocks until delivered.
+
+        Results return (and *on_result* fires) in task-submission
+        order.  One batch per campaign at a time — campaigns drive
+        their batches sequentially (a fixed grid is one batch, an
+        adaptive exploration one batch per planner round).
+        """
+        tasks = list(tasks)
+        with self._cond:
+            queue = self._queues.get(campaign_id)
+            if queue is None:
+                raise ServiceError(
+                    f"campaign {campaign_id!r} is not attached")
+            if queue.cancelled:
+                raise CampaignCancelled(
+                    f"campaign {campaign_id!r} was cancelled")
+            if queue.batch is not None and not queue.batch.settled():
+                raise ServiceError(
+                    f"campaign {campaign_id!r} already has a batch in "
+                    f"flight")
+            batch = _Batch(len(tasks), on_result)
+            queue.batch = batch
+            for task in tasks:
+                queue.pending.append((queue.next_seq, task))
+                queue.next_seq += 1
+            self._cond.notify_all()
+            while not batch.settled():
+                if queue.cancelled and queue.in_flight == 0 \
+                        and not queue.pending:
+                    raise CampaignCancelled(
+                        f"campaign {campaign_id!r} cancelled with "
+                        f"{batch.expected - len(batch.results)} trial(s) "
+                        f"undelivered")
+                self._cond.wait()
+            queue.batch = None
+            if batch.error is not None:
+                raise batch.error
+            return batch.results
+
+    def _dispatch_loop(self):
+        """Round-robin admission: at most one task per campaign per
+        sweep, in attach order, until the fleet is saturated."""
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                admitted = self._admit_locked()
+                if not admitted:
+                    # Nothing admissible: wait for a completion, a new
+                    # batch, a cancel, or shutdown.  The timeout is a
+                    # liveness backstop, not a scheduling quantum.
+                    self._cond.wait(timeout=0.5)
+
+    def _admit_locked(self):
+        """One full round-robin sweep; returns how many were admitted."""
+        admitted = 0
+        for queue in list(self._queues.values()):
+            if self._in_flight >= self.jobs:
+                break
+            if not queue.admissible():
+                continue
+            seq, task = queue.pending.popleft()
+            queue.in_flight += 1
+            self._in_flight += 1
+            self._dispatched += 1
+            admitted += 1
+            self._session.submit(
+                task, tenant=queue.campaign_id,
+                runner_factory=queue.runner_factory,
+                on_done=lambda future, q=queue, s=seq:
+                    self._task_done(q, s, future))
+        if admitted:
+            self.tracer.count("fleet.tasks_admitted", admitted)
+        return admitted
+
+    def _task_done(self, queue, seq, future):
+        """Completion callback (worker thread): deliver in seq order.
+
+        The store callback runs under the fleet lock — it must not
+        call back into the fleet.  The campaign ingest closures only
+        touch their own shard database, which is exactly the contract.
+        """
+        with self._cond:
+            queue.in_flight -= 1
+            self._in_flight -= 1
+            batch = queue.batch
+            error = future.exception()
+            if error is not None:
+                # An undeliverable trial (no retry policy absorbing the
+                # failure) aborts the campaign's batch; its queued
+                # tasks are dropped so the fleet moves on.
+                queue.pending.clear()
+                if batch is not None and batch.error is None:
+                    batch.error = error
+                self.tracer.count("fleet.tasks_failed", 1)
+            else:
+                queue.buffered[seq] = future.result()
+                while queue.next_deliver in queue.buffered:
+                    result = queue.buffered.pop(queue.next_deliver)
+                    queue.next_deliver += 1
+                    if batch is not None:
+                        batch.results.append(result)
+                        if batch.on_result is not None:
+                            batch.on_result(result)
+                self.tracer.count("fleet.tasks_done", 1)
+            self._cond.notify_all()
+
+    # -- observability and lifecycle ---------------------------------------
+
+    def stats(self):
+        """A snapshot of the fleet's scheduling state."""
+        with self._cond:
+            return {
+                "workers": self.jobs,
+                "in_flight": self._in_flight,
+                "dispatched": self._dispatched,
+                "campaigns": {
+                    cid: {
+                        "pending": len(q.pending),
+                        "in_flight": q.in_flight,
+                        "ceiling": q.ceiling,
+                        "cancelled": q.cancelled,
+                    }
+                    for cid, q in self._queues.items()
+                },
+            }
+
+    def saturated(self):
+        """Whether every fleet worker is currently held."""
+        with self._cond:
+            return self._in_flight >= self.jobs
+
+    def close(self):
+        """Stop the dispatcher and shut the worker pool down."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            for queue in self._queues.values():
+                queue.cancelled = True
+                queue.pending.clear()
+            self._cond.notify_all()
+        self._dispatcher.join(timeout=5)
+        self._session.close()
+
+
+def _no_default_runner():
+    raise ServiceError(
+        "the fleet has no default runner; every task carries its "
+        "campaign's runner factory")

@@ -106,6 +106,70 @@ class TestMemoCache:
 
 
 # ---------------------------------------------------------------------------
+# Tenant plane: shared tables, per-campaign attribution and switches
+
+
+class TestTenantPlane:
+    def test_two_tenants_share_entries_but_not_attribution(self):
+        cache = hotpath.MemoCache("test.tenants", capacity=8)
+        with hotpath.tenant("camp-a"):
+            cache.get("k", lambda: "v")          # a: miss
+            cache.get("k", lambda: "v")          # a: hit
+        with hotpath.tenant("camp-b"):
+            cache.get("k", lambda: "v")          # b: hit on a's entry
+        a = cache.snapshot_stats(tenant="camp-a")
+        b = cache.snapshot_stats(tenant="camp-b")
+        assert (a["hits"], a["misses"]) == (1, 1)
+        assert (b["hits"], b["misses"]) == (1, 0)
+        # Entries belong to the plane: both tenants see the shared size,
+        # and the plane-wide counters aggregate both campaigns.
+        assert a["entries"] == b["entries"] == 1
+        plane = cache.snapshot_stats()
+        assert (plane["hits"], plane["misses"]) == (2, 1)
+        assert hotpath.stats(tenant="camp-b")["test.tenants"]["hits"] == 1
+        assert set(hotpath.tenants()) >= {"camp-a", "camp-b"}
+
+    def test_tenant_disable_does_not_flip_concurrent_tenant(self):
+        cache = hotpath.MemoCache("test.tenantswitch", capacity=8)
+        with hotpath.tenant("camp-a"):
+            cache.get("k", lambda: ["shared"])
+        try:
+            with hotpath.tenant("camp-a"), hotpath.caches_disabled():
+                # Campaign A is cache-free: fresh builds, no interning...
+                assert not hotpath.enabled()
+                one = cache.get("k", lambda: ["fresh"])
+                two = cache.get("k", lambda: ["fresh"])
+                assert one == two == ["fresh"] and one is not two
+                # ...while the shared table keeps its entries and a
+                # concurrent campaign keeps hitting them.  (Scopes are
+                # thread-local; entering B's scope here stands in for
+                # B's worker thread running between A's lookups.)
+                with hotpath.tenant("camp-b"):
+                    assert hotpath.enabled()
+                    assert cache.get("k", lambda: ["fresh"]) == ["shared"]
+            with hotpath.tenant("camp-a"):
+                assert hotpath.enabled()     # scope exit re-enabled A
+                assert cache.get("k", lambda: ["fresh"]) == ["shared"]
+            b = cache.snapshot_stats(tenant="camp-b")
+            assert (b["hits"], b["misses"]) == (1, 0)
+            # A's bypassed lookups were not attributed as table traffic.
+            a = cache.snapshot_stats(tenant="camp-a")
+            assert (a["hits"], a["misses"]) == (1, 1)
+        finally:
+            hotpath.set_tenant_enabled("camp-a", True)
+
+    def test_global_disable_still_clears_and_covers_all_tenants(self):
+        cache = hotpath.MemoCache("test.globalswitch", capacity=8)
+        with hotpath.tenant("camp-a"):
+            cache.get("k", lambda: "v")
+        with hotpath.caches_disabled():      # outside any tenant scope
+            assert cache.snapshot_stats()["entries"] == 0
+            with hotpath.tenant("camp-b"):
+                assert not hotpath.enabled()
+        assert hotpath.enabled()
+
+
+# ---------------------------------------------------------------------------
 # Bundle cache: identity and invalidation
 
 

@@ -252,6 +252,30 @@ class TestTraceReport:
                 trace_report(database, experiment="nope")
             assert "traced" in trace_report(database, experiment="traced")
 
+    def test_report_degrades_on_pre_planner_plane_databases(self):
+        """A database written before the planner plane existed has no
+        planner_decisions table; ``repro trace`` must render a note,
+        not crash."""
+        from repro.obs.report import render_planner_decisions
+
+        with ResultsDatabase() as database:
+            run_campaign(SMALL_TBL, database=database, node_count=10,
+                         tracer=Tracer())
+            # A fixed-grid run records no decisions: section omitted.
+            assert render_planner_decisions(database) is None
+            assert "Planner decisions" not in trace_report(database)
+            # Simulate the pre-planner-plane file by dropping the table.
+            with database._lock:
+                database._db.execute("DROP TABLE planner_decisions")
+                database._db.commit()
+            assert not database.has_table("planner_decisions")
+            note = render_planner_decisions(database)
+            assert "no planner decisions recorded" in note
+            assert "predates the planner plane" in note
+            rendered = trace_report(database)
+            assert "predates the planner plane" in rendered
+            assert database.dump_rows("planner_decisions") == []
+
 
 class TestApiFacade:
     def test_run_experiment_returns_results(self):
