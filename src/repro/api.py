@@ -15,6 +15,9 @@ its signatures are the package's compatibility surface:
 - :func:`trace_report` — render the flight-recorder report of a run.
 - :func:`serve_campaigns` / :func:`campaign_client` — the campaign
   service plane: run the ``repro serve`` daemon, or talk to one.
+- :func:`solve` — the one-call fidelity dispatcher over the simulator
+  tiers (re-exported from :mod:`repro.sim`), with the ``"des"`` /
+  ``"analytic"`` / ``"auto"`` vocabulary in :data:`FIDELITIES`.
 
 All parameters beyond the primary input are keyword-only; every entry
 point takes ``tracer=`` so one :class:`~repro.obs.Tracer` can follow a
@@ -29,17 +32,21 @@ import pathlib
 from repro.errors import ExperimentError, ResultsError
 from repro.obs import Tracer, as_tracer, render_trace_report
 from repro.results.database import ResultsDatabase
+from repro.sim import ANALYTIC, AUTO, DES, FIDELITIES, check_fidelity, solve
 
 
 def run_experiment(tbl_text, *, experiment=None, mof_text=None,
                    node_count=36, jobs=1, backend=None, tracer=None,
-                   on_result=None):
+                   on_result=None, fidelity=DES):
     """Run one experiment of a TBL spec; returns its TrialResults.
 
     *experiment* names the experiment to run (default: the spec's only
     experiment; ambiguous with several).  ``jobs=N`` parallelizes the
     sweep without changing the results; *tracer* records lifecycle
-    spans onto each result.
+    spans onto each result.  *fidelity* selects the solver tier:
+    ``"des"`` (the default per-request simulation, byte-identical to
+    before the tier existed) or ``"analytic"`` (the fluid fast path —
+    milliseconds per point at any workload).
     """
     from repro.core.campaign import ObservationCampaign
 
@@ -61,7 +68,7 @@ def run_experiment(tbl_text, *, experiment=None, mof_text=None,
             on_result(result)
 
     campaign.run([experiment], on_result=collect, jobs=jobs,
-                 backend=backend)
+                 backend=backend, fidelity=fidelity)
     return results
 
 
@@ -69,7 +76,7 @@ def run_campaign(tbl_text, *, mof_text=None, database=None, node_count=36,
                  experiments=None, jobs=1, backend=None, tracer=None,
                  replace=True, on_result=None, on_progress=None,
                  tbl_source="<campaign>", faults=None, retry=None,
-                 resume=False):
+                 resume=False, fidelity=DES):
     """Run a TBL spec's experiments into a results database.
 
     *database* may be a :class:`ResultsDatabase`, a path, or ``None``
@@ -81,6 +88,9 @@ def run_campaign(tbl_text, *, mof_text=None, database=None, node_count=36,
     transient failures are retried and recorded instead of aborting.
     ``resume=True`` skips trials already stored in *database*, so an
     interrupted campaign finishes exactly its missing trials.
+    *fidelity* selects the solver tier for every trial (``"des"``, the
+    default, or ``"analytic"``); each stored trial row records which
+    tier produced it.
     """
     from repro.core.campaign import ObservationCampaign
 
@@ -92,7 +102,8 @@ def run_campaign(tbl_text, *, mof_text=None, database=None, node_count=36,
                                    faults=faults, retry=retry)
     return campaign.run(experiments, on_result=on_result,
                         replace=replace, jobs=jobs, backend=backend,
-                        on_progress=on_progress, resume=resume)
+                        on_progress=on_progress, resume=resume,
+                        fidelity=fidelity)
 
 
 def resume_campaign(database, *, jobs=1, backend=None, tracer=None,
@@ -108,6 +119,7 @@ def resume_campaign(database, *, jobs=1, backend=None, tracer=None,
     runs only the missing trials.  Returns the :class:`CampaignReport`.
     """
     from repro.core.campaign import (
+        META_FIDELITY,
         META_PLANNER_BUDGET,
         META_PLANNER_EXPERIMENT,
         META_PLANNER_POLICY,
@@ -116,6 +128,7 @@ def resume_campaign(database, *, jobs=1, backend=None, tracer=None,
 
     database = open_results(database, create=False)
     campaign = ObservationCampaign.from_database(database, tracer=tracer)
+    fidelity = database.get_meta(META_FIDELITY, DES)
     policy = database.get_meta(META_PLANNER_POLICY)
     if policy is not None:
         budget = database.get_meta(META_PLANNER_BUDGET)
@@ -124,27 +137,32 @@ def resume_campaign(database, *, jobs=1, backend=None, tracer=None,
             experiment_name=database.get_meta(META_PLANNER_EXPERIMENT),
             budget=int(budget) if budget is not None else None,
             jobs=jobs, backend=backend, on_result=on_result,
-            on_progress=on_progress, resume=True)
+            on_progress=on_progress, resume=True, fidelity=fidelity)
     return campaign.run(on_result=on_result, jobs=jobs, backend=backend,
-                        on_progress=on_progress, resume=True)
+                        on_progress=on_progress, resume=True,
+                        fidelity=fidelity)
 
 
 def run_adaptive(tbl_text, *, policy="knee", budget=None, experiment=None,
                  mof_text=None, database=None, node_count=36, jobs=1,
                  backend=None, tracer=None, replace=True, on_result=None,
                  on_progress=None, tbl_source="<campaign>", faults=None,
-                 retry=None, resume=False):
+                 retry=None, resume=False, fidelity=DES):
     """Explore one TBL experiment with a closed-loop planner policy.
 
     Where :func:`run_campaign` executes the full sweep grid,
-    ``run_adaptive`` lets *policy* (``grid``/``knee``/``promote``, or a
-    :class:`repro.planner.Policy` instance) choose trials round by
-    round from the observations so far, optionally capped at *budget*
-    trials.  Decisions land in the database's ``planner_decisions``
-    table; the report's ``outcome`` carries the
+    ``run_adaptive`` lets *policy* (``grid``/``knee``/``promote``/
+    ``tiered``, or a :class:`repro.planner.Policy` instance) choose
+    trials round by round from the observations so far, optionally
+    capped at *budget* trials.  Decisions land in the database's
+    ``planner_decisions`` table; the report's ``outcome`` carries the
     :class:`~repro.planner.AdaptiveOutcome` (rounds, trial savings,
     knees found).  Deterministic: the same policy over the same spec
     yields the same decision log and trial rows at any ``jobs``.
+
+    *fidelity* picks the solver tier: ``"des"`` (default), a pure
+    ``"analytic"`` exploration, or ``"auto"`` — explore analytically
+    and confirm the knee with DES (the tiered policy).
     """
     from repro.core.campaign import ObservationCampaign
 
@@ -158,20 +176,24 @@ def run_adaptive(tbl_text, *, policy="knee", budget=None, experiment=None,
                                  budget=budget, jobs=jobs, backend=backend,
                                  on_result=on_result,
                                  on_progress=on_progress, replace=replace,
-                                 resume=resume)
+                                 resume=resume, fidelity=fidelity)
 
 
 def plan_campaign(tbl_text, *, policy="knee", budget=None, experiment=None,
-                  tbl_source="<campaign>"):
+                  tbl_source="<campaign>", fidelity=DES):
     """Dry-run a planner policy's first round — no cluster, no trials.
 
     Parses *tbl_text*, builds the policy, and returns a
     :class:`~repro.planner.PlanPreview` of what the first adaptive
-    round would measure (``repro explore --dry-run``).
+    round would measure (``repro explore --dry-run``).  *fidelity*
+    mirrors :func:`run_adaptive`: ``"auto"`` previews the tiered
+    policy, ``"analytic"`` previews a pure analytic exploration.
     """
+    from repro.core.campaign import _AnalyticExploration
     from repro.planner import make_policy, plan_preview
     from repro.spec.tbl import parse as parse_tbl
 
+    check_fidelity(fidelity)
     spec = parse_tbl(tbl_text, source=tbl_source)
     if experiment is not None:
         chosen = spec.experiment(experiment)
@@ -183,21 +205,38 @@ def plan_campaign(tbl_text, *, policy="knee", budget=None, experiment=None,
             f"spec defines {len(spec.experiments)} experiments "
             f"({names}); pass experiment=<name>"
         )
-    return plan_preview(chosen, make_policy(policy, budget=budget))
+    if fidelity == AUTO:
+        if not isinstance(policy, str) or policy not in ("knee", "tiered"):
+            raise ExperimentError(
+                f"fidelity 'auto' explores with the tiered knee policy; "
+                f"policy {policy!r} does not support it")
+        policy = "tiered"
+    policy_obj = make_policy(policy, budget=budget) \
+        if isinstance(policy, str) else policy
+    if fidelity == ANALYTIC:
+        policy_obj = _AnalyticExploration(policy_obj)
+    return plan_preview(chosen, policy_obj)
 
 
 def reproduce_figure(figure_id, *, scale=None, jobs=1, tracer=None,
-                     database=None, output_dir=None):
+                     database=None, output_dir=None, fidelity=DES):
     """Regenerate one paper figure/table by id (``figure1``..``table7``).
 
     Returns the :class:`FigureResult`; *database* (ResultsDatabase or
     path) additionally stores the underlying trials — with a *tracer*,
     their lifecycle spans land in its ``spans`` table; *output_dir*
-    writes ``<id>.txt``.
+    writes ``<id>.txt``.  ``fidelity="analytic"`` reproduces the
+    figure's sweep on the fluid fast path instead of DES.
     """
     from repro.experiments.papersuite import reproduce
 
-    figure = reproduce(figure_id, scale=scale, jobs=jobs, tracer=tracer)
+    check_fidelity(fidelity)
+    if fidelity == AUTO:
+        raise ExperimentError(
+            "fidelity 'auto' is an adaptive-exploration mode; a figure "
+            "reproduction takes 'des' or 'analytic'")
+    figure = reproduce(figure_id, scale=scale, jobs=jobs, tracer=tracer,
+                       fidelity=fidelity)
     if database is not None and figure.results:
         figure.store(_as_database(database, create=True))
     if output_dir is not None:
@@ -274,9 +313,14 @@ def _as_database(database, create=True):
 
 
 __all__ = [
+    "ANALYTIC",
+    "AUTO",
+    "DES",
+    "FIDELITIES",
     "Tracer",
     "as_tracer",
     "campaign_client",
+    "check_fidelity",
     "open_results",
     "plan_campaign",
     "reproduce_figure",
@@ -285,5 +329,6 @@ __all__ = [
     "run_campaign",
     "run_experiment",
     "serve_campaigns",
+    "solve",
     "trace_report",
 ]

@@ -12,24 +12,28 @@ Commands::
               [--topology W-A-D] [--workload N] [--write-ratio F]
               [--backend shell|smartfrog] --out DIR
     run       --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--jobs N]
-              [--faults FILE] [--retries N] [--resume] [--trace] [--quiet]
+              [--faults FILE] [--retries N] [--fidelity des|analytic]
+              [--resume] [--trace] [--quiet]
     explore   --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--jobs N]
               [--faults FILE] [--retries N]
-              [--policy grid|knee|promote] [--budget N]
+              [--policy grid|knee|promote|tiered] [--budget N]
+              [--fidelity des|analytic|auto]
               [--experiment NAME] [--dry-run] [--resume] [--trace]
               [--quiet]
     resume    DB [--jobs N] [--trace] [--quiet] [--url URL]
     serve     [--host H] [--port N] [--jobs N] [--max-active N]
     submit    --tbl FILE [--mof FILE] --db FILE [--nodes N] [--jobs N]
               [--faults FILE] [--retries N] [--policy P] [--budget N]
-              [--experiment NAME] [--resume] [--wait] [--url URL]
+              [--fidelity F] [--experiment NAME] [--resume] [--wait]
+              [--url URL]
     status    [ID] [--url URL]
     cancel    ID [--url URL]
     shutdown  [--abort] [--url URL]
     report    --db FILE [--experiment NAME] [--topology W-A-D]
               [--format text|csv|json] [--out FILE]
     figure    --id ID [--scale F] [--jobs N] [--trace] [--db FILE]
-              [--out DIR]                        (figure1..8, table1..7)
+              [--fidelity des|analytic] [--out DIR]
+                                                 (figure1..8, table1..7)
     trace     DB [--experiment NAME] [--limit N]
     catalog   [--platforms] [--software]
 
@@ -84,6 +88,7 @@ def build_parser():
     jobs = _jobs_parent()
     faults = _faults_parent()
     output = _output_parent()
+    fidelity = _fidelity_parent()
 
     validate = commands.add_parser(
         "validate", parents=[spec],
@@ -105,7 +110,7 @@ def build_parser():
     generate.set_defaults(handler=cmd_generate)
 
     run = commands.add_parser(
-        "run", parents=[spec, db, jobs, faults, output],
+        "run", parents=[spec, db, jobs, faults, output, fidelity],
         help="run every experiment of a TBL spec into a database")
     run.add_argument("--nodes", type=int, default=36,
                      help="virtual cluster size (default 36)")
@@ -114,7 +119,7 @@ def build_parser():
     run.set_defaults(handler=cmd_run)
 
     explore = commands.add_parser(
-        "explore", parents=[spec, db, jobs, faults, output],
+        "explore", parents=[spec, db, jobs, faults, output, fidelity],
         help="adaptive exploration: a planner policy picks "
              "trials from the observations so far")
     _planner_arguments(explore)
@@ -152,7 +157,7 @@ def build_parser():
     submit = commands.add_parser(
         "submit",
         parents=[_spec_parent(required=False), db, jobs, faults,
-                 _url_parent()],
+                 _url_parent(), _fidelity_parent()],
         help="submit a campaign to a running daemon")
     _planner_arguments(submit, optional=True)
     submit.add_argument("--nodes", type=int, default=36,
@@ -217,6 +222,11 @@ def build_parser():
                         help="store the figure's trials (and spans) in "
                              "this SQLite file (default with --trace: "
                              "trace.sqlite)")
+    figure.add_argument("--fidelity", choices=("des", "analytic"),
+                        default="des",
+                        help="solver tier for the figure's trials "
+                             "(default des; analytic solves each point "
+                             "in milliseconds)")
     figure.add_argument("--out", default=None,
                         help="directory for the rendering")
     figure.set_defaults(handler=cmd_figure)
@@ -304,8 +314,21 @@ def _url_parent():
     return parent
 
 
+def _fidelity_parent():
+    parent = _parent()
+    parent.add_argument("--fidelity",
+                        choices=("des", "analytic", "auto"),
+                        default="des",
+                        help="solver tier: des (default, per-request "
+                             "simulation), analytic (fluid fast path), "
+                             "or auto (explore analytically, confirm "
+                             "the knee with DES — explore/submit only)")
+    return parent
+
+
 def _planner_arguments(subparser, optional=False):
-    subparser.add_argument("--policy", choices=("grid", "knee", "promote"),
+    subparser.add_argument("--policy",
+                          choices=("grid", "knee", "promote", "tiered"),
                           default=None if optional else "knee",
                           help="experiment-selection policy"
                                + (" (submits an adaptive exploration "
@@ -426,7 +449,8 @@ def cmd_run(args):
                               on_result=_trial_progress(args),
                               tbl_source=args.tbl,
                               faults=faults, retry=args.retries,
-                              resume=args.resume)
+                              resume=args.resume,
+                              fidelity=args.fidelity)
         _print_report(report)
     print(f"observations stored in {args.db}")
     if args.trace:
@@ -453,7 +477,8 @@ def cmd_explore(args):
         preview = plan_campaign(tbl_text, policy=args.policy,
                                 budget=args.budget,
                                 experiment=args.experiment,
-                                tbl_source=args.tbl)
+                                tbl_source=args.tbl,
+                                fidelity=args.fidelity)
         print(preview.describe())
         return 0
     with open_results(args.db) as database:
@@ -466,7 +491,8 @@ def cmd_explore(args):
                               on_result=_trial_progress(args),
                               tbl_source=args.tbl,
                               faults=_load_fault_plan(args),
-                              retry=args.retries, resume=args.resume)
+                              retry=args.retries, resume=args.resume,
+                              fidelity=args.fidelity)
         _print_report(report)
         outcome = report.outcome
         if outcome is not None:
@@ -532,7 +558,7 @@ def cmd_submit(args):
         node_count=args.nodes, policy=args.policy, budget=args.budget,
         experiment=args.experiment,
         faults=_load_fault_plan(args), retry=args.retries,
-        resume=args.resume)
+        resume=args.resume, fidelity=args.fidelity)
     print(f"submitted campaign {campaign_id} on {args.url} "
           f"(db: {args.db})")
     if not args.wait:
@@ -676,7 +702,8 @@ def cmd_figure(args):
         with _maybe_database(db_path) as database:
             results = reproduce_all(output_dir=args.out, scale=args.scale,
                                     database=database, on_progress=print,
-                                    jobs=args.jobs, tracer=tracer)
+                                    jobs=args.jobs, tracer=tracer,
+                                    fidelity=args.fidelity)
         print(f"reproduced {len(results)} figures/tables"
               + (f" into {args.out}" if args.out else ""))
         if db_path:
@@ -687,7 +714,8 @@ def cmd_figure(args):
             result = reproduce_figure(args.figure_id, scale=args.scale,
                                       jobs=args.jobs, tracer=tracer,
                                       database=database,
-                                      output_dir=args.out)
+                                      output_dir=args.out,
+                                      fidelity=args.fidelity)
     except KeyError:
         print(f"error: unknown figure id {args.figure_id!r}; known: "
               f"all, {', '.join(FIGURE_IDS)}", file=sys.stderr)

@@ -29,6 +29,7 @@ halves:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import threading
 from dataclasses import dataclass, field
@@ -43,6 +44,7 @@ from repro.obs.tracer import as_tracer
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scheduler import TrialScheduler, enumerate_tasks
 from repro.results.database import ResultsDatabase
+from repro.sim import ANALYTIC, AUTO, DES, check_fidelity
 from repro.spec.mof import load_resource_model, render_resource_mof
 from repro.spec.tbl import parse as parse_tbl
 from repro.spec.validation import validate
@@ -69,6 +71,9 @@ META_PLANNER_POLICY = "planner_policy"
 META_PLANNER_BUDGET = "planner_budget"
 META_PLANNER_EXPERIMENT = "planner_experiment"
 META_CACHE_STATS = "hotpath_stats"
+#: ... and the fidelity tier the campaign ran at, so `repro resume`
+#: re-runs an analytic or tiered campaign at the tier it started with.
+META_FIDELITY = "fidelity"
 
 
 @dataclass
@@ -135,6 +140,27 @@ class CampaignReport:
         return text
 
 
+class _AnalyticExploration:
+    """Policy adapter pinning every proposal to the analytic tier.
+
+    ``run_adaptive(fidelity="analytic")`` explores with whatever policy
+    the caller chose, but every trial (and every logged decision) runs
+    on the fluid fast path — the no-confirmation mode for when the
+    caller wants the millisecond sweep and will validate elsewhere.
+    """
+
+    def __init__(self, policy):
+        self._policy = policy
+
+    @property
+    def name(self):
+        return self._policy.name
+
+    def propose(self, frontier):
+        return [dataclasses.replace(decision, fidelity=ANALYTIC)
+                for decision in self._policy.propose(frontier)]
+
+
 class CampaignState:
     """The separable state of one campaign — no cluster, no workers.
 
@@ -192,12 +218,13 @@ class CampaignState:
             f"experiment_name"
         )
 
-    def enumerate_plan(self, experiments):
+    def enumerate_plan(self, experiments, fidelity=DES):
         """Every trial of *experiments* as TrialTasks, in sweep order."""
         tasks = []
         for experiment in experiments:
             tasks.extend(enumerate_tasks(experiment,
-                                         start_index=len(tasks)))
+                                         start_index=len(tasks),
+                                         fidelity=fidelity))
         return tasks
 
     def pending(self, tasks, database):
@@ -327,7 +354,7 @@ class ObservationCampaign:
 
     def run(self, experiment_names=None, *, on_result=None, replace=True,
             jobs=1, backend=None, on_progress=None, resume=False,
-            executor=None):
+            executor=None, fidelity=DES):
         """Run the spec's experiments, storing every trial.
 
         *experiment_names* restricts to a subset; *on_result* is a
@@ -351,16 +378,23 @@ class ObservationCampaign:
         count lands in the report.)  With resume the stored rows keep
         their original positions; only the remainder is executed.
         """
+        check_fidelity(fidelity)
+        if fidelity == AUTO:
+            raise ExperimentError(
+                "fidelity 'auto' is an adaptive-exploration mode; a "
+                "fixed-grid run takes 'des' or 'analytic' — use "
+                "run_adaptive (repro explore) for tiered exploration")
         report = CampaignReport(warnings=list(self.validation_warnings),
                                 database=self.database)
         experiments = self.state.select_experiments(experiment_names)
         report.experiments.extend(e.name for e in experiments)
-        tasks = self.state.enumerate_plan(experiments)
+        tasks = self.state.enumerate_plan(experiments, fidelity=fidelity)
         if resume:
             tasks, report.skipped = self.state.pending(tasks,
                                                        self.database)
             self.tracer.count("campaign.trials_skipped", report.skipped)
         self.state.record_meta(self.database)
+        self.database.set_meta(META_FIDELITY, fidelity)
         store, flush_tail = self._ingest(report, replace=replace,
                                          on_result=on_result,
                                          on_progress=on_progress,
@@ -457,7 +491,7 @@ class ObservationCampaign:
     def run_adaptive(self, policy="knee", *, experiment_name=None,
                      budget=None, jobs=1, backend=None, on_result=None,
                      on_progress=None, replace=True, resume=False,
-                     executor=None):
+                     executor=None, fidelity=DES):
         """Run one experiment family as a closed exploration loop.
 
         Instead of the fixed grid :meth:`run` executes, a planner
@@ -481,19 +515,36 @@ class ObservationCampaign:
         from repro.planner import AdaptivePlanner, BudgetedExplorer, \
             make_policy
 
+        check_fidelity(fidelity)
         report = CampaignReport(warnings=list(self.validation_warnings),
                                 database=self.database)
         experiment = self.state.select_experiment(experiment_name)
         report.experiments.append(experiment.name)
+        if fidelity == AUTO and isinstance(policy, str):
+            # "auto" is the tiered composition: explore analytically,
+            # confirm at the knee with DES.
+            if policy not in ("knee", "tiered"):
+                raise ExperimentError(
+                    f"fidelity 'auto' explores with the tiered knee "
+                    f"policy; policy {policy!r} does not support it — "
+                    f"pass fidelity 'des' or 'analytic'")
+            policy = "tiered"
         if isinstance(policy, str):
             policy_obj = make_policy(policy, budget=budget)
         else:
             policy_obj = policy if budget is None \
                 else BudgetedExplorer(policy, budget)
+        if fidelity == AUTO and policy_obj.name != "tiered":
+            raise ExperimentError(
+                f"fidelity 'auto' needs a tiered policy; "
+                f"{policy_obj.name!r} proposes a single tier")
+        if fidelity == ANALYTIC:
+            policy_obj = _AnalyticExploration(policy_obj)
         self.state.record_meta(self.database)
         db = self.database
         db.set_meta(META_PLANNER_POLICY, policy_obj.name)
         db.set_meta(META_PLANNER_EXPERIMENT, experiment.name)
+        db.set_meta(META_FIDELITY, fidelity)
         if budget is not None:
             db.set_meta(META_PLANNER_BUDGET, budget)
         # The loop replays from scratch on resume (decisions are pure
@@ -505,7 +556,7 @@ class ObservationCampaign:
             for result in db.query(experiment_name=experiment.name):
                 done[(experiment.name, result.topology_label,
                       result.workload, result.write_ratio,
-                      result.seed)] = result
+                      result.seed, result.fidelity)] = result
         store, flush_tail = self._ingest(report, replace=replace,
                                          on_result=on_result,
                                          on_progress=on_progress,
@@ -547,7 +598,8 @@ class ObservationCampaign:
             db.insert_decisions(
                 (round_no, seq, policy_obj.name, experiment.name,
                  decision.action, decision.topology, decision.workload,
-                 decision.write_ratio, decision.reason)
+                 decision.write_ratio, decision.reason,
+                 decision.fidelity)
                 for seq, decision in enumerate(decisions))
             if on_progress is not None:
                 measures = sum(1 for d in decisions

@@ -35,6 +35,20 @@ def _caller_stacklevel():
     return level
 
 
+def warn_deprecated(owner, what, instead):
+    """Emit one DeprecationWarning for a superseded knob or form.
+
+    *owner* names the API surface (``"mva_vs_observation"``), *what*
+    the deprecated thing (``"db_node_speed="``), *instead* the
+    replacement.  The ``stacklevel`` is computed dynamically so the
+    warning lands on the user's call site, never on repro's internals.
+    """
+    warnings.warn(
+        f"{what} on {owner} is deprecated; {instead}",
+        DeprecationWarning, stacklevel=_caller_stacklevel(),
+    )
+
+
 def absorb_positional(owner, names, args, current):
     """Map deprecated positional *args* onto the keyword slots *names*.
 

@@ -15,10 +15,11 @@ Three questions the reproduction's shape depends on:
 from __future__ import annotations
 
 from repro.deploy import DeploymentEngine
+from repro.deprecation import warn_deprecated
 from repro.experiments.sweep import build_experiment
 from repro.generator import HostPlan, Mulini
 from repro.monitoring import attach_monitors, summarize_records
-from repro.sim import NTierSimulation, mva
+from repro.sim import NTierSimulation, mva, solve
 from repro.spec.mof import load_resource_model, render_resource_mof
 from repro.spec.tbl import TrialPhases
 from repro.spec.topology import Topology
@@ -98,14 +99,27 @@ def raidb_scaling(system_factory, workload, replica_counts=(1, 2, 3),
 
 
 def mva_vs_observation(system_factory, workloads, write_ratio=0.15,
-                       db_node_speed=1.0):
-    """Exact MVA against simulated observation across *workloads*.
+                       db_node_speed=None):
+    """Model tiers against simulated observation across *workloads*.
 
-    The MVA model uses the same calibrated demands the simulator draws
-    from; rows carry both predictions so the bench can show where the
-    product-form model tracks the observations (below the knee) and
-    where the real system's timeouts/retries break its assumptions.
+    Both analytical tiers — exact MVA and the Schweitzer AMVA fluid
+    solver — run through the :func:`repro.sim.solve` dispatcher over
+    the same calibrated demands the simulator draws from.  Rows carry
+    all three predictions plus per-tier (web/app/db) residence deltas
+    between the fluid approximation and the exact recursion, so the
+    bench shows both where the product-form models track the
+    observations (below the knee) and how far the fast tier strays
+    from the exact one at each station.
+
+    ``db_node_speed`` is deprecated: scale the db station's demand in
+    the calibration (or pass a pre-scaled station sequence to
+    :func:`repro.sim.solve`) instead of bending it here.
     """
+    if db_node_speed is not None:
+        warn_deprecated("mva_vs_observation", "db_node_speed=",
+                        "scale the calibrated db demand instead")
+    else:
+        db_node_speed = 1.0
     stations = [
         mva.MvaStation("web", RUBIS.web_s),
         mva.MvaStation("app", RUBIS.app_mean(write_ratio)),
@@ -116,15 +130,25 @@ def mva_vs_observation(system_factory, workloads, write_ratio=0.15,
     for users in workloads:
         system = system_factory(users)
         metrics, _harness = _simulate(system)
-        predicted = mva.solve(stations, RUBIS.think_time_s, users)
-        rows.append({
+        exact = solve(stations, fidelity="mva", users=users,
+                      think_time=RUBIS.think_time_s)
+        fluid = solve(stations, fidelity="analytic", users=users,
+                      think_time=RUBIS.think_time_s)
+        row = {
             "users": users,
             "observed_rt_ms": metrics.mean_response_s * 1000,
-            "mva_rt_ms": predicted.response_time * 1000,
+            "mva_rt_ms": exact.response_time * 1000,
+            "analytic_rt_ms": fluid.response_time * 1000,
             "observed_x": metrics.throughput,
-            "mva_x": predicted.throughput,
+            "mva_x": exact.throughput,
+            "analytic_x": fluid.throughput,
             "observed_errors": metrics.error_ratio,
-        })
+        }
+        for station in stations:
+            delta = (fluid.station_residence[station.name]
+                     - exact.station_residence[station.name])
+            row[f"{station.name}_delta_ms"] = delta * 1000
+        rows.append(row)
     return rows
 
 

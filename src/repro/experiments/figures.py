@@ -17,6 +17,7 @@ from repro.experiments.runner import ExperimentRunner
 from repro.experiments.sweep import build_experiment
 from repro.generator import Mulini
 from repro.results import analysis, report
+from repro.sim import DES
 from repro.spec.mof import load_resource_model, render_resource_mof
 from repro.spec.tbl import expand_range
 from repro.spec.topology import Topology, topology_grid
@@ -70,7 +71,7 @@ def _run(figure_id, title, runner, experiment, tbl):
 
 def run_rubis_jonas_baseline(scale=BENCH_SCALE, workload_step=50,
                              ratio_step=0.1, cluster=None, seed=42,
-                             jobs=1, tracer=None):
+                             jobs=1, tracer=None, fidelity=DES):
     """The Figure 1/2 sweep: 50..250 users x 0..90% writes (IV.A)."""
     experiment, tbl = build_experiment(
         name="rubis-jonas-baseline", benchmark="rubis", platform="emulab",
@@ -82,16 +83,18 @@ def run_rubis_jonas_baseline(scale=BENCH_SCALE, workload_step=50,
     )
     runner = make_runner("emulab", "rubis", db_node_type="emulab-low",
                          cluster=cluster, node_count=12, tracer=tracer)
-    return runner.run_experiment(experiment, jobs=jobs), tbl
+    return runner.run_experiment(experiment, jobs=jobs,
+                                 fidelity=fidelity), tbl
 
 
 def figure1(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
-            results=None, tbl="", jobs=1, tracer=None):
+            results=None, tbl="", jobs=1, tracer=None, fidelity=DES):
     """Figure 1: RUBiS on JOnAS response-time surface."""
     if results is None:
         results, tbl = run_rubis_jonas_baseline(scale, workload_step,
                                                 ratio_step, jobs=jobs,
-                                                tracer=tracer)
+                                                tracer=tracer,
+                                                fidelity=fidelity)
     surface = analysis.response_surface(results, "1-1-1", value="response")
     rendered = report.render_surface(
         "Figure 1. RUBiS on JOnAS response time (ms), 1-1-1 on Emulab",
@@ -102,12 +105,13 @@ def figure1(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
 
 
 def figure2(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
-            results=None, tbl="", jobs=1, tracer=None):
+            results=None, tbl="", jobs=1, tracer=None, fidelity=DES):
     """Figure 2: RUBiS on JOnAS application-server CPU utilization."""
     if results is None:
         results, tbl = run_rubis_jonas_baseline(scale, workload_step,
                                                 ratio_step, jobs=jobs,
-                                                tracer=tracer)
+                                                tracer=tracer,
+                                                fidelity=fidelity)
     surface = analysis.response_surface(results, "1-1-1", value="app_cpu")
     rendered = report.render_surface(
         "Figure 2. RUBiS on JOnAS app-server CPU utilization (%), 1-1-1",
@@ -122,7 +126,7 @@ def figure2(scale=BENCH_SCALE, workload_step=50, ratio_step=0.1,
 # ---------------------------------------------------------------------------
 
 def figure3(scale=BENCH_SCALE, workload_step=100, ratio_step=0.1,
-            cluster=None, seed=42, jobs=1, tracer=None):
+            cluster=None, seed=42, jobs=1, tracer=None, fidelity=DES):
     """Figure 3: Weblogic replaces JOnAS; 100..600 users (IV.B)."""
     experiment, tbl = build_experiment(
         name="rubis-weblogic-baseline", benchmark="rubis", platform="warp",
@@ -133,7 +137,8 @@ def figure3(scale=BENCH_SCALE, workload_step=100, ratio_step=0.1,
     )
     runner = make_runner("warp", "rubis", app_server="weblogic",
                          cluster=cluster, node_count=12, tracer=tracer)
-    results = runner.run_experiment(experiment, jobs=jobs)
+    results = runner.run_experiment(experiment, jobs=jobs,
+                                    fidelity=fidelity)
     surface = analysis.response_surface(results, "1-1-1", value="response")
     rendered = report.render_surface(
         "Figure 3. RUBiS on Weblogic response time (ms), 1-1-1 on Warp",
@@ -148,7 +153,7 @@ def figure3(scale=BENCH_SCALE, workload_step=100, ratio_step=0.1,
 # ---------------------------------------------------------------------------
 
 def figure4(scale=BENCH_SCALE, workload_step=500, cluster=None, seed=42,
-            jobs=1, tracer=None):
+            jobs=1, tracer=None, fidelity=DES):
     """Figure 4: RUBBoS 100% read vs 85/15, 500..5000 users (IV.C)."""
     experiment, tbl = build_experiment(
         name="rubbos-baseline", benchmark="rubbos", platform="emulab",
@@ -159,7 +164,8 @@ def figure4(scale=BENCH_SCALE, workload_step=500, cluster=None, seed=42,
     )
     runner = make_runner("emulab", "rubbos", cluster=cluster,
                          node_count=12, tracer=tracer)
-    results = runner.run_experiment(experiment, jobs=jobs)
+    results = runner.run_experiment(experiment, jobs=jobs,
+                                    fidelity=fidelity)
     readonly = analysis.response_time_series(results, "1-1-1",
                                              write_ratio=0.0)
     mixed = analysis.response_time_series(results, "1-1-1",
@@ -178,7 +184,7 @@ def figure4(scale=BENCH_SCALE, workload_step=500, cluster=None, seed=42,
 # ---------------------------------------------------------------------------
 
 def _scaleout(name, app_range, db_range, workloads, scale, cluster, seed,
-              jobs=1, tracer=None):
+              jobs=1, tracer=None, fidelity=DES):
     experiment, tbl = build_experiment(
         name=name, benchmark="rubis", platform="emulab",
         topologies=list(topology_grid(1, app_range, db_range)),
@@ -187,16 +193,17 @@ def _scaleout(name, app_range, db_range, workloads, scale, cluster, seed,
     )
     runner = make_runner("emulab", "rubis", cluster=cluster, node_count=36,
                          tracer=tracer)
-    return runner.run_experiment(experiment, jobs=jobs), tbl
+    return runner.run_experiment(experiment, jobs=jobs,
+                                 fidelity=fidelity), tbl
 
 
 def figure5(scale=BENCH_SCALE, workload_step=300, max_workload=2100,
-            cluster=None, seed=42, jobs=1, tracer=None):
+            cluster=None, seed=42, jobs=1, tracer=None, fidelity=DES):
     """Figure 5: scale-out response time, 2-8 app x 1-3 db servers."""
     results, tbl = _scaleout(
         "rubis-scaleout-2to8", range(2, 9), range(1, 4),
         expand_range(300, max_workload, workload_step), scale, cluster,
-        seed, jobs=jobs, tracer=tracer,
+        seed, jobs=jobs, tracer=tracer, fidelity=fidelity,
     )
     data = {
         topology: analysis.response_time_series(results, topology)
@@ -212,12 +219,12 @@ def figure5(scale=BENCH_SCALE, workload_step=300, max_workload=2100,
 
 
 def figure6(scale=BENCH_SCALE, workload_step=400, cluster=None, seed=42,
-            jobs=1, tracer=None):
+            jobs=1, tracer=None, fidelity=DES):
     """Figure 6: scale-out response time, 8-12 app x 1-3 db servers."""
     results, tbl = _scaleout(
         "rubis-scaleout-8to12", range(8, 13), range(1, 4),
         expand_range(1700, 2900, workload_step), scale, cluster, seed,
-        jobs=jobs, tracer=tracer,
+        jobs=jobs, tracer=tracer, fidelity=fidelity,
     )
     data = {
         topology: analysis.response_time_series(results, topology)
@@ -237,7 +244,7 @@ def figure6(scale=BENCH_SCALE, workload_step=400, cluster=None, seed=42,
 # ---------------------------------------------------------------------------
 
 def run_db_scaleout(scale=BENCH_SCALE, workload_step=300, cluster=None,
-                    seed=42, jobs=1, tracer=None):
+                    seed=42, jobs=1, tracer=None, fidelity=DES):
     """The Figure 7/8 sweep: the five configurations the paper plots."""
     topologies = [Topology(1, 8, 1), Topology(1, 8, 2), Topology(1, 8, 3),
                   Topology(1, 12, 2), Topology(1, 12, 3)]
@@ -249,15 +256,17 @@ def run_db_scaleout(scale=BENCH_SCALE, workload_step=300, cluster=None,
     )
     runner = make_runner("emulab", "rubis", cluster=cluster, node_count=36,
                          tracer=tracer)
-    return runner.run_experiment(experiment, jobs=jobs), tbl
+    return runner.run_experiment(experiment, jobs=jobs,
+                                 fidelity=fidelity), tbl
 
 
 def figure7(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
-            cluster=None, seed=42, jobs=1, tracer=None):
+            cluster=None, seed=42, jobs=1, tracer=None, fidelity=DES):
     """Figure 7: response-time differences between DB configurations."""
     if results is None:
         results, tbl = run_db_scaleout(scale, workload_step, cluster, seed,
-                                       jobs=jobs, tracer=tracer)
+                                       jobs=jobs, tracer=tracer,
+                                       fidelity=fidelity)
     data = {
         "1DB-2DB (8 app)": analysis.response_time_difference(
             results, "1-8-1", "1-8-2"),
@@ -275,7 +284,7 @@ def figure7(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
 
 
 def figure8(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
-            cluster=None, seed=42, jobs=1, tracer=None):
+            cluster=None, seed=42, jobs=1, tracer=None, fidelity=DES):
     """Figure 8: DB-tier CPU utilization, the three critical cases.
 
     The paper's three curves show "gradual saturation of the database
@@ -286,7 +295,8 @@ def figure8(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
     """
     if results is None:
         results, tbl = run_db_scaleout(scale, workload_step, cluster, seed,
-                                       jobs=jobs, tracer=tracer)
+                                       jobs=jobs, tracer=tracer,
+                                       fidelity=fidelity)
     data = {
         topology: analysis.db_cpu_series(results, topology)
         for topology in ("1-8-1", "1-12-2", "1-12-3")
@@ -304,7 +314,7 @@ def figure8(scale=BENCH_SCALE, workload_step=300, results=None, tbl="",
 # ---------------------------------------------------------------------------
 
 def table6(scale=BENCH_SCALE, cluster=None, seed=42, workload=500,
-           jobs=1, tracer=None):
+           jobs=1, tracer=None, fidelity=DES):
     """Table 6: % RT improvement from 1-1-1 at 500 users (V.B)."""
     topologies = [Topology(1, 1, 1), Topology(1, 2, 1), Topology(1, 3, 1),
                   Topology(1, 4, 1), Topology(1, 1, 2), Topology(1, 1, 3)]
@@ -315,7 +325,8 @@ def table6(scale=BENCH_SCALE, cluster=None, seed=42, workload=500,
     )
     runner = make_runner("emulab", "rubis", cluster=cluster, node_count=12,
                          tracer=tracer)
-    results = runner.run_experiment(experiment, jobs=jobs)
+    results = runner.run_experiment(experiment, jobs=jobs,
+                                    fidelity=fidelity)
     table = analysis.improvement_table(
         results, "1-1-1", workload, 0.15,
         app_range=range(2, 5), db_range=range(2, 4),
@@ -333,7 +344,7 @@ def table6(scale=BENCH_SCALE, cluster=None, seed=42, workload=500,
 # ---------------------------------------------------------------------------
 
 def table7(scale=BENCH_SCALE, workload_step=100, cluster=None, seed=42,
-           jobs=1, tracer=None):
+           jobs=1, tracer=None, fidelity=DES):
     """Table 7: throughput for 1-2-1..1-4-3, loads 300..1000 (V.B)."""
     topologies = list(topology_grid(1, range(2, 5), range(1, 4)))
     workloads = expand_range(300, 1000, workload_step)
@@ -344,7 +355,8 @@ def table7(scale=BENCH_SCALE, workload_step=100, cluster=None, seed=42,
     )
     runner = make_runner("emulab", "rubis", cluster=cluster, node_count=12,
                          tracer=tracer)
-    results = runner.run_experiment(experiment, jobs=jobs)
+    results = runner.run_experiment(experiment, jobs=jobs,
+                                    fidelity=fidelity)
     table = analysis.throughput_table(
         results, [t.label() for t in topologies], workloads,
     )
@@ -362,7 +374,7 @@ def table7(scale=BENCH_SCALE, workload_step=100, cluster=None, seed=42,
 
 def supplemental_rubbos_scaleout(scale=BENCH_SCALE, workload_step=500,
                                  cluster=None, seed=42, jobs=1,
-                                 tracer=None):
+                                 tracer=None, fidelity=DES):
     """RUBBoS scale-out on its bottleneck, the database tier.
 
     The conclusion mentions "the scale-out experiments ... for RUBBoS
@@ -380,7 +392,8 @@ def supplemental_rubbos_scaleout(scale=BENCH_SCALE, workload_step=500,
     )
     runner = make_runner("emulab", "rubbos", cluster=cluster,
                          node_count=14, tracer=tracer)
-    results = runner.run_experiment(experiment, jobs=jobs)
+    results = runner.run_experiment(experiment, jobs=jobs,
+                                    fidelity=fidelity)
     data = {
         topology: analysis.response_time_series(results, topology)
         for topology in ("1-1-1", "1-1-2", "1-1-3")
@@ -396,7 +409,7 @@ def supplemental_rubbos_scaleout(scale=BENCH_SCALE, workload_step=500,
 
 def supplemental_weblogic_scaleout(scale=BENCH_SCALE, workload_step=300,
                                    cluster=None, seed=42, jobs=1,
-                                   tracer=None):
+                                   tracer=None, fidelity=DES):
     """Scale-out RUBiS on Weblogic (Table 3's fourth experiment set).
 
     The paper ran 1-2-1 .. 1-6-2 on Warp; with two CPUs per node each
@@ -413,7 +426,8 @@ def supplemental_weblogic_scaleout(scale=BENCH_SCALE, workload_step=300,
     )
     runner = make_runner("warp", "rubis", app_server="weblogic",
                          cluster=cluster, node_count=14, tracer=tracer)
-    results = runner.run_experiment(experiment, jobs=jobs)
+    results = runner.run_experiment(experiment, jobs=jobs,
+                                    fidelity=fidelity)
     data = {
         topology: analysis.response_time_series(results, topology)
         for topology in sorted({r.topology_label for r in results})

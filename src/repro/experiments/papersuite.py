@@ -11,6 +11,7 @@ from __future__ import annotations
 import pathlib
 
 from repro.experiments import figures
+from repro.sim import DES
 
 #: Execution order: cheap catalog/generation tables first, then the
 #: baselines, then the big scale-out sweeps.
@@ -39,9 +40,9 @@ SUITE = (
 FIGURE_IDS = tuple(name for name, _fn, _scaled in SUITE)
 
 
-def _suite_kwargs(scaled, scale, jobs, tracer=None):
+def _suite_kwargs(scaled, scale, jobs, tracer=None, fidelity=DES):
     """Arguments for one suite entry: only trial-running (scaled)
-    reproductions take the scale/jobs/tracer knobs."""
+    reproductions take the scale/jobs/tracer/fidelity knobs."""
     kwargs = {}
     if scaled:
         if scale is not None:
@@ -50,26 +51,32 @@ def _suite_kwargs(scaled, scale, jobs, tracer=None):
             kwargs["jobs"] = jobs
         if tracer is not None:
             kwargs["tracer"] = tracer
+        if fidelity != DES:
+            kwargs["fidelity"] = fidelity
     return kwargs
 
 
-def reproduce(figure_id, scale=None, jobs=1, tracer=None):
+def reproduce(figure_id, scale=None, jobs=1, tracer=None, fidelity=DES):
     """Run one reproduction by id; returns its FigureResult.
 
     ``jobs=N`` runs the figure's sweep on N scheduler workers; the
     derived data is identical to a sequential run.  A *tracer* records
     every trial's lifecycle spans (trial-running reproductions only).
+    *fidelity* selects the solver tier for the figure's trials
+    (``"des"`` or ``"analytic"``; catalog tables ignore it).
     """
     for name, fn, scaled in SUITE:
         if name == figure_id:
-            return fn(**_suite_kwargs(scaled, scale, jobs, tracer))
+            return fn(**_suite_kwargs(scaled, scale, jobs, tracer,
+                                      fidelity))
     raise KeyError(
         f"unknown figure id {figure_id!r}; known: {', '.join(FIGURE_IDS)}"
     )
 
 
 def reproduce_all(output_dir=None, scale=None, database=None,
-                  on_progress=None, only=None, jobs=1, tracer=None):
+                  on_progress=None, only=None, jobs=1, tracer=None,
+                  fidelity=DES):
     """Run the full suite; returns {figure_id: FigureResult}.
 
     *output_dir* receives one ``<id>.txt`` per reproduction; *database*
@@ -83,7 +90,8 @@ def reproduce_all(output_dir=None, scale=None, database=None,
     for name, fn, scaled in selected:
         if on_progress is not None:
             on_progress(f"running {name} ...")
-        figure = fn(**_suite_kwargs(scaled, scale, jobs, tracer))
+        figure = fn(**_suite_kwargs(scaled, scale, jobs, tracer,
+                                    fidelity))
         results[name] = figure
         if output_dir is not None:
             out = pathlib.Path(output_dir)

@@ -40,6 +40,7 @@ observations are byte-identical to a fault-free run's.
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 
 from repro.deploy import DeploymentEngine
@@ -65,9 +66,45 @@ from repro.monitoring import (
     summarize_log,
     summarize_log_by_state,
 )
-from repro.monitoring.metrics import summarize_records
+from repro.monitoring.metrics import TrialMetrics, summarize_records
 from repro.obs.tracer import as_tracer, merge_span_exports, worker_name
-from repro.sim import NTierSimulation
+from repro.sim import ANALYTIC, DES, NTierSimulation, analytic
+
+
+def analytic_metrics(solved, experiment):
+    """Project an :class:`AnalyticResult` into :class:`TrialMetrics`.
+
+    The fluid solution is rates; the DES measurement window reports
+    counts.  Counts are the rates integrated over the trial's run
+    period (rounded — the drivers log whole requests), and percentiles
+    use the solver's exponential response-time approximation capped at
+    the client timeout, since no completed request outlives it.
+    """
+    duration = experiment.trial.run
+    offered = solved.throughput
+    completed = int(round(solved.goodput * duration))
+    timeouts = int(round(offered * solved.timeout_ratio * duration))
+    rejections = int(round(offered * solved.rejection_ratio * duration))
+    response = solved.response_time
+    cap = experiment.timeout
+
+    def quantile(fraction):
+        if response <= 0:
+            return 0.0
+        return min(response * math.log(1.0 / (1.0 - fraction)), cap)
+
+    return TrialMetrics(
+        completed=completed,
+        errors=timeouts + rejections,
+        timeouts=timeouts,
+        rejections=rejections,
+        duration_s=duration,
+        throughput=completed / duration if duration > 0 else 0.0,
+        mean_response_s=solved.completed_response_time,
+        p50_response_s=quantile(0.50),
+        p90_response_s=quantile(0.90),
+        p99_response_s=quantile(0.99),
+    )
 
 
 class ExperimentRunner:
@@ -141,12 +178,17 @@ class ExperimentRunner:
                                 tenant=self.tenant)
 
     def run_point(self, experiment, topology, workload, write_ratio,
-                  seed=None):
+                  seed=None, fidelity=DES):
         """Execute one trial; returns a :class:`TrialResult`.
 
         *seed* overrides the experiment's seed (used for repetitions);
         it flows into the generated driver.properties, so the whole
         trial replays under the replacement seed.
+
+        *fidelity* selects the solver tier: ``"des"`` runs the full
+        eight-phase discrete-event lifecycle; ``"analytic"`` solves the
+        point on the fluid fast path (:mod:`repro.sim.analytic`) —
+        no allocation, no generation, no retries — in microseconds.
 
         With a retry policy, a transiently-failed attempt is re-run
         (after deterministic virtual backoff) up to the policy's
@@ -157,6 +199,14 @@ class ExperimentRunner:
         """
         if seed is not None and seed != experiment.seed:
             experiment = replace(experiment, seed=seed)
+        if fidelity == ANALYTIC:
+            return self._run_analytic_point(experiment, topology,
+                                            workload, write_ratio)
+        if fidelity != DES:
+            raise ExperimentError(
+                f"run_point executes fidelity 'des' or 'analytic', "
+                f"not {fidelity!r} (resolve 'auto' upstream)"
+            )
         policy = self.retry_policy
         trial_key = (experiment.name, topology.label(), workload,
                      write_ratio, experiment.seed)
@@ -331,10 +381,93 @@ class ExperimentRunner:
         """Execute one enumerated :class:`TrialTask`."""
         return self.run_point(task.experiment, task.topology,
                               task.workload, task.write_ratio,
-                              seed=task.seed)
+                              seed=task.seed,
+                              fidelity=getattr(task, "fidelity", DES))
+
+    # -- the analytic fast path --------------------------------------------
+
+    def _run_analytic_point(self, experiment, topology, workload,
+                            write_ratio):
+        """One trial on the fluid tier: preview hosts, solve, summarize.
+
+        The trial span carries a ``fidelity`` attribute (DES spans do
+        not, keeping their trees byte-identical to pre-tier runs) and
+        only the ``simulate``/``analyze`` phases — there is nothing to
+        allocate, generate, or tear down.
+        """
+        tracer = self.tracer
+        exports = []
+        trial_span = None
+        try:
+            with tracer.span(
+                    "trial",
+                    experiment=experiment.name,
+                    topology=topology.label(),
+                    workload=workload,
+                    write_ratio=write_ratio,
+                    seed=experiment.seed,
+                    worker=worker_name(),
+                    fidelity=ANALYTIC) as trial_span:
+                if self.tenant is not None:
+                    trial_span.annotate(tenant=self.tenant)
+                tier_node_types = {}
+                if experiment.db_node_type is not None:
+                    tier_node_types["db"] = self.cluster.platform.node_type(
+                        experiment.db_node_type).name
+                with tracer.span("simulate"):
+                    preview = self.cluster.preview_allocation(
+                        topology, tier_node_types=tier_node_types)
+                    model = analytic.ntier_model(
+                        experiment.benchmark, preview, write_ratio,
+                        think_time=experiment.think_time,
+                        timeout=experiment.timeout,
+                        app_server=experiment.app_server)
+                    solved = analytic.solve_model(model, workload)
+                    tracer.annotate(iterations=solved.iterations,
+                                    converged=solved.converged)
+                with tracer.span("analyze"):
+                    metrics = analytic_metrics(solved, experiment)
+                    host_cpu = {
+                        name: utilization * 100.0
+                        for name, utilization
+                        in solved.station_utilization.items()
+                        if not name.endswith(":disk")
+                    }
+                    tier_of_host = {name: tier
+                                    for tier, hosts in preview.items()
+                                    for name, _node in hosts}
+                    tier_of_host[self.cluster.client.name] = "client"
+                status = COMPLETED
+                if metrics.error_ratio > experiment.slo.error_ratio:
+                    status = DNF
+                    tracer.annotate(dnf_cause=f"error ratio "
+                                    f"{metrics.error_ratio:.3f} exceeds "
+                                    f"budget "
+                                    f"{experiment.slo.error_ratio:.3f}")
+                trial_span.annotate(status=status)
+        finally:
+            if trial_span is not None:
+                exports.append(tracer.export(trial_span))
+        result = TrialResult(
+            experiment_name=experiment.name,
+            benchmark=experiment.benchmark,
+            platform=experiment.platform,
+            topology_label=topology.label(),
+            workload=workload,
+            write_ratio=write_ratio,
+            seed=experiment.seed,
+            status=status,
+            metrics=metrics,
+            host_cpu=host_cpu,
+            tier_of_host=tier_of_host,
+            machine_count=topology.machine_count(),
+            fidelity=ANALYTIC,
+        )
+        result.spans = merge_span_exports(exports)
+        return result
 
     def run_experiment(self, experiment, *, on_result=None, jobs=1,
-                       backend=None):
+                       backend=None, fidelity=DES):
         """Run every sweep point of *experiment*, with repetitions.
 
         Each repetition replays the point under seed, seed+1, ... so
@@ -347,9 +480,10 @@ class ExperimentRunner:
         runner.  Results arrive in enumeration order either way, and
         trial metrics are identical across ``jobs`` settings because
         every trial's random streams derive from ``(seed + repetition)``
-        alone — tracing on or off.
+        alone — tracing on or off.  *fidelity* selects the solver tier
+        for every task of the sweep (``"des"`` or ``"analytic"``).
         """
-        tasks = enumerate_tasks(experiment)
+        tasks = enumerate_tasks(experiment, fidelity=fidelity)
         if jobs == 1:
             results = []
             for task in tasks:

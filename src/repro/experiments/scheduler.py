@@ -49,6 +49,7 @@ class TrialTask:
     workload: int
     write_ratio: float
     repetition: int = 0
+    fidelity: str = "des"      # solver tier this trial runs under
 
     @property
     def seed(self):
@@ -58,10 +59,10 @@ class TrialTask:
     def key(self):
         """The trial's identity — the results database's UNIQUE key."""
         return (self.experiment.name, self.topology.label(), self.workload,
-                self.write_ratio, self.seed)
+                self.write_ratio, self.seed, self.fidelity)
 
 
-def enumerate_tasks(experiment, start_index=0):
+def enumerate_tasks(experiment, start_index=0, fidelity="des"):
     """Every trial of *experiment* as :class:`TrialTask`\\ s, in the
     canonical sweep order (points outer, repetitions inner) that a
     sequential :meth:`ExperimentRunner.run_experiment` executes."""
@@ -70,7 +71,8 @@ def enumerate_tasks(experiment, start_index=0):
     for topology, workload, write_ratio in experiment.points():
         for repetition in range(experiment.repetitions):
             tasks.append(TrialTask(index, experiment, topology, workload,
-                                   write_ratio, repetition))
+                                   write_ratio, repetition,
+                                   fidelity=fidelity))
             index += 1
     return tasks
 

@@ -79,6 +79,10 @@ class TrialResult:
     #: this result; ride along like spans and land in the database's
     #: ``failures`` table.
     failures: list = field(default_factory=list)
+    #: which solver tier produced this observation ("des" per-request
+    #: simulation or the "analytic" fluid fast path); part of the
+    #: trial's identity so a tiered exploration can hold both.
+    fidelity: str = "des"
 
     @property
     def completed(self):

@@ -33,11 +33,12 @@ def trial_label(info):
 
 
 def render_phase_breakdown(traced, limit=None):
-    """Per-trial table: one row per trial, one column per phase (ms)."""
+    """Per-trial table: one row per trial, one column per phase (ms),
+    plus the fidelity tier each trial ran at (``des``/``analytic``)."""
     rows = []
     label_width = max([len(trial_label(info)) for info, _ in traced]
                       + [len("trial")])
-    header = f"{'trial':<{label_width}}"
+    header = f"{'trial':<{label_width}} {'tier':<8}"
     for phase in TRIAL_PHASES:
         header += f" {phase[:8]:>9}"
     header += f" {'total':>9}"
@@ -48,7 +49,8 @@ def render_phase_breakdown(traced, limit=None):
         durations = phase_durations(spans)
         total = next((s.duration_s for s in spans
                       if s.name == TRIAL_SPAN), 0.0)
-        line = f"{trial_label(info):<{label_width}}"
+        tier = info.get("fidelity") or "des"
+        line = f"{trial_label(info):<{label_width}} {tier:<8}"
         for phase in TRIAL_PHASES:
             line += f" {_ms(durations.get(phase, 0.0)):>9.2f}"
         line += f" {_ms(total):>9.2f}"
@@ -192,8 +194,8 @@ def render_planner_decisions(database, limit=40):
     rounds = decisions[-1]["round"]
     out = [f"policy {policy!r}: {len(decisions)} decision(s) across "
            f"{rounds} round(s)",
-           f"{'round':>5} {'action':<17} {'point':<22} reason",
-           "-" * 72]
+           f"{'round':>5} {'action':<17} {'tier':<8} {'point':<22} reason",
+           "-" * 81]
     for decision in decisions[:limit]:
         if decision["topology"] is None:
             point = "-"
@@ -201,8 +203,9 @@ def render_planner_decisions(database, limit=40):
             point = decision["topology"]
         else:
             point = f"{decision['topology']} u={decision['workload']}"
+        tier = decision.get("fidelity") or "des"
         out.append(f"{decision['round']:>5} {decision['action']:<17} "
-                   f"{point:<22} {decision['reason']}")
+                   f"{tier:<8} {point:<22} {decision['reason']}")
     if len(decisions) > limit:
         out.append(f"... and {len(decisions) - limit} more decisions")
     return "\n".join(out)

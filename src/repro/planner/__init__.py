@@ -19,6 +19,7 @@ from repro.planner.policy import (
     KneeBisectionPolicy,
     POLICY_NAMES,
     Policy,
+    TieredFidelityPolicy,
     TopologyPromotionPolicy,
     make_policy,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "PlanPreview",
     "Policy",
     "SweepPoint",
+    "TieredFidelityPolicy",
     "TopologyPromotionPolicy",
     "make_policy",
     "plan_preview",

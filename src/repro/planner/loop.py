@@ -145,6 +145,7 @@ class AdaptivePlanner:
                         workload=point.workload,
                         write_ratio=point.write_ratio,
                         repetition=repetition,
+                        fidelity=decision.fidelity,
                     ))
                     next_index += 1
             outcome.rounds = round_no

@@ -26,6 +26,7 @@ from repro.core.bottleneck import (
     slo_violated,
 )
 from repro.errors import ExperimentError
+from repro.sim import ANALYTIC, DES
 
 #: Decision actions the planner records (the ``planner_decisions``
 #: table's vocabulary).
@@ -39,7 +40,7 @@ CONVERGED = "converged"
 BUDGET_EXHAUSTED = "budget-exhausted"
 
 #: The policy names the CLI/meta round-trip accepts.
-POLICY_NAMES = ("grid", "knee", "promote")
+POLICY_NAMES = ("grid", "knee", "promote", "tiered")
 
 
 @dataclass(frozen=True)
@@ -57,27 +58,34 @@ class Decision:
     topology: str = None
     workload: int = None
     write_ratio: float = None
+    #: which solver tier carries out (or concluded) this decision; part
+    #: of the persisted log, so resumed tiered explorations replay the
+    #: same analytic/DES split byte for byte.
+    fidelity: str = DES
     point: object = field(default=None, compare=False, repr=False)
 
     @classmethod
-    def measure(cls, point, reason):
+    def measure(cls, point, reason, fidelity=DES):
         return cls(action=MEASURE, reason=reason,
                    topology=point.topology.label(),
                    workload=point.workload,
-                   write_ratio=point.write_ratio, point=point)
+                   write_ratio=point.write_ratio, fidelity=fidelity,
+                   point=point)
 
     @classmethod
-    def prune(cls, point, reason):
+    def prune(cls, point, reason, fidelity=DES):
         return cls(action=PRUNE, reason=reason,
                    topology=point.topology.label(),
                    workload=point.workload,
-                   write_ratio=point.write_ratio, point=point)
+                   write_ratio=point.write_ratio, fidelity=fidelity,
+                   point=point)
 
     @classmethod
     def note(cls, action, reason, topology=None, workload=None,
-             write_ratio=None):
+             write_ratio=None, fidelity=DES):
         return cls(action=action, reason=reason, topology=topology,
-                   workload=workload, write_ratio=write_ratio)
+                   workload=workload, write_ratio=write_ratio,
+                   fidelity=fidelity)
 
     def describe(self):
         where = ""
@@ -85,7 +93,8 @@ class Decision:
             where = f" {self.topology}"
             if self.workload is not None:
                 where += f" u={self.workload}"
-        return f"{self.action}{where}: {self.reason}"
+        tier = f" [{self.fidelity}]" if self.fidelity != DES else ""
+        return f"{self.action}{where}{tier}: {self.reason}"
 
 
 class Policy:
@@ -213,6 +222,141 @@ class KneeBisectionPolicy(Policy):
                 topology=label, workload=None, write_ratio=write_ratio))
         self._concluded.add(group_id)
         return decisions
+
+
+class TieredFidelityPolicy(Policy):
+    """Explore analytically, confirm the knee with DES.
+
+    The fidelity-tier composition the analytic fast path exists for:
+    an inner :class:`KneeBisectionPolicy` walks each workload ladder on
+    millisecond-cheap analytic solves, and only the knee it lands on is
+    re-measured with the DES simulator — the knee (expected to violate
+    the SLO) and the largest in-SLO workload (expected to pass).  When
+    DES contradicts the analytic verdict the hypothesis walks one
+    ladder step in the indicated direction and re-confirms, so the
+    concluding ``knee``/``no-knee`` decision is always DES-grounded.
+    Confirmation state derives purely from the frontier's observations
+    (distinguished by :attr:`TrialResult.fidelity`), so a resumed
+    tiered exploration replays the same decision log byte for byte.
+    """
+
+    name = "tiered"
+
+    def __init__(self, slo=None):
+        self.slo = slo
+        self._inner = KneeBisectionPolicy(slo=slo)
+        self._confirming = {}        # group_id -> hypothesis dict
+        self._concluded = set()
+
+    def propose(self, frontier):
+        slo = self.slo if self.slo is not None \
+            else frontier.experiment.slo
+        decisions = []
+        for decision in self._inner.propose(frontier):
+            if decision.action == MEASURE:
+                decisions.append(Decision.measure(
+                    decision.point, decision.reason, fidelity=ANALYTIC))
+            elif decision.action == PRUNE:
+                decisions.append(Decision.prune(
+                    decision.point, decision.reason, fidelity=ANALYTIC))
+            elif decision.action in (KNEE, NO_KNEE):
+                # The inner policy concluded a group on analytic
+                # evidence alone; swallow its verdict and open the DES
+                # confirmation for that group instead.
+                group_id = (decision.topology,
+                            round(decision.write_ratio, 6))
+                self._confirming[group_id] = self._hypothesis(
+                    frontier, decision)
+            else:
+                decisions.append(decision)
+        for group_id in sorted(self._confirming):
+            if group_id in self._concluded:
+                continue
+            decisions.extend(self._confirm(
+                frontier, group_id, self._confirming[group_id], slo))
+        return decisions
+
+    def _hypothesis(self, frontier, decision):
+        """The analytic conclusion as (knee index, pass index) over the
+        workload ladder; either side may be None at the ladder's edge."""
+        workloads = frontier.workloads()
+        topology = next(t for t in frontier.topologies()
+                        if t.label() == decision.topology)
+        if decision.action == NO_KNEE:
+            return {"topology": topology,
+                    "write_ratio": decision.write_ratio,
+                    "knee": None, "pass": len(workloads) - 1}
+        knee = workloads.index(decision.workload)
+        return {"topology": topology,
+                "write_ratio": decision.write_ratio,
+                "knee": knee, "pass": knee - 1 if knee > 0 else None}
+
+    def _confirm(self, frontier, group_id, state, slo):
+        workloads = frontier.workloads()
+        last = len(workloads) - 1
+        while True:
+            targets = []
+            if state["knee"] is not None:
+                targets.append(("knee", state["knee"], True))
+            if state["pass"] is not None:
+                targets.append(("pass", state["pass"], False))
+            proposals = []
+            verdicts = {}
+            for role, index, expect in targets:
+                point = frontier.point(state["topology"],
+                                       workloads[index],
+                                       state["write_ratio"])
+                result = frontier.result_at(point)
+                if result is None or \
+                        getattr(result, "fidelity", DES) != DES:
+                    if not frontier.is_pending(point):
+                        proposals.append(Decision.measure(
+                            point,
+                            f"DES confirmation of analytic {role} "
+                            f"(expect {'violation' if expect else 'pass'})"))
+                else:
+                    verdicts[role] = slo_violated(result, slo)
+            if proposals:
+                return proposals
+            if len(verdicts) < len(targets):
+                return []            # DES measurements still in flight
+            # Walk the hypothesis when DES contradicts it; the pass
+            # side is checked first so a non-monotonic pair resolves
+            # conservatively (toward lighter workloads).
+            if state["pass"] is not None and verdicts["pass"]:
+                state["knee"] = state["pass"]
+                state["pass"] = state["pass"] - 1 \
+                    if state["pass"] > 0 else None
+                continue
+            if state["knee"] is not None and not verdicts["knee"]:
+                if state["knee"] == last:
+                    state["pass"] = last
+                    state["knee"] = None
+                else:
+                    state["pass"] = state["knee"]
+                    state["knee"] = state["knee"] + 1
+                continue
+            return self._conclude(frontier, group_id, state, workloads)
+
+    def _conclude(self, frontier, group_id, state, workloads):
+        self._concluded.add(group_id)
+        label = state["topology"].label()
+        write_ratio = state["write_ratio"]
+        if state["knee"] is None:
+            return [Decision.note(
+                NO_KNEE,
+                f"DES confirms no SLO violation up to "
+                f"u={workloads[-1]} on {label} (analytic exploration)",
+                topology=label, workload=None, write_ratio=write_ratio)]
+        knee = workloads[state["knee"]]
+        largest = workloads[state["pass"]] \
+            if state["pass"] is not None else "none"
+        return [Decision.note(
+            KNEE,
+            f"DES-confirmed SLO knee at u={knee} on {label} "
+            f"(largest in-SLO workload: {largest}; "
+            f"explored analytically)",
+            topology=label, workload=knee, write_ratio=write_ratio)]
 
 
 class TopologyPromotionPolicy(Policy):
@@ -401,6 +545,8 @@ def make_policy(name, *, slo=None, budget=None):
         policy = KneeBisectionPolicy(slo=slo)
     elif name == "promote":
         policy = TopologyPromotionPolicy(slo=slo)
+    elif name == "tiered":
+        policy = TieredFidelityPolicy(slo=slo)
     else:
         raise ExperimentError(
             f"unknown planner policy {name!r}; "

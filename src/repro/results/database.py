@@ -19,7 +19,12 @@ from repro.faults.retry import GAVE_UP, QUARANTINED
 from repro.monitoring.metrics import TrialMetrics
 from repro.obs.tracer import SpanRecord
 
-_SCHEMA = """
+# The trials table's own DDL is split out because the fidelity-tier
+# migration must recreate it verbatim (SQLite cannot ALTER a UNIQUE
+# constraint in place).  ``fidelity`` is deliberately the LAST column so
+# a migrated pre-tier database and a freshly created one share the same
+# column order — dump_rows comparisons stay meaningful across both.
+_TRIALS_TABLE = """
 CREATE TABLE IF NOT EXISTS trials (
     id INTEGER PRIMARY KEY AUTOINCREMENT,
     experiment_name TEXT NOT NULL,
@@ -45,8 +50,13 @@ CREATE TABLE IF NOT EXISTS trials (
     config_lines INTEGER NOT NULL,
     generated_files INTEGER NOT NULL,
     machine_count INTEGER NOT NULL,
-    UNIQUE (experiment_name, topology, workload, write_ratio, seed)
-);
+    fidelity TEXT NOT NULL DEFAULT 'des',
+    UNIQUE (experiment_name, topology, workload, write_ratio, seed,
+            fidelity)
+)
+"""
+
+_SCHEMA = _TRIALS_TABLE + """;
 CREATE TABLE IF NOT EXISTS host_cpu (
     trial_id INTEGER NOT NULL REFERENCES trials(id) ON DELETE CASCADE,
     host TEXT NOT NULL,
@@ -109,6 +119,7 @@ CREATE TABLE IF NOT EXISTS planner_decisions (
     workload INTEGER,
     write_ratio REAL,
     reason TEXT NOT NULL,
+    fidelity TEXT NOT NULL DEFAULT 'des',
     PRIMARY KEY (round, seq)
 );
 CREATE INDEX IF NOT EXISTS idx_state_metrics_trial
@@ -139,6 +150,48 @@ class ResultsDatabase:
         if path != ":memory:":
             self._conn.execute("PRAGMA journal_mode = WAL")
         self._conn.executescript(_SCHEMA)
+        self._migrate()
+
+    def _column_names(self, table):
+        return [row[1] for row in
+                self._conn.execute(f"PRAGMA table_info({table})")]
+
+    def _migrate(self):
+        """Bring a pre-fidelity-tier database file up to this schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` is a no-op on an existing file,
+        so an old database reaches here with its old shape.  The
+        decision log just grows a defaulted column; ``trials`` must be
+        rebuilt because its UNIQUE key changes — the rename/copy dance
+        preserves every row id, so child-table references stay valid.
+        Every pre-existing trial was a DES observation by construction.
+        """
+        if "fidelity" not in self._column_names("planner_decisions"):
+            self._conn.execute(
+                "ALTER TABLE planner_decisions ADD COLUMN fidelity "
+                "TEXT NOT NULL DEFAULT 'des'")
+            self._conn.commit()
+        if "fidelity" not in self._column_names("trials"):
+            # legacy_alter_table keeps the child tables' REFERENCES
+            # pointing at "trials" through the rename, so they bind to
+            # the rebuilt table rather than following trials_legacy.
+            self._conn.execute("PRAGMA foreign_keys = OFF")
+            self._conn.execute("PRAGMA legacy_alter_table = ON")
+            try:
+                self._conn.execute(
+                    "ALTER TABLE trials RENAME TO trials_legacy")
+                self._conn.execute(_TRIALS_TABLE)
+                self._conn.execute(
+                    "INSERT INTO trials SELECT *, 'des' "
+                    "FROM trials_legacy")
+                self._conn.execute("DROP TABLE trials_legacy")
+                # The rename carried the trials indexes off to the
+                # legacy table and the drop took them with it.
+                self._conn.executescript(_SCHEMA)
+            finally:
+                self._conn.execute("PRAGMA legacy_alter_table = OFF")
+                self._conn.execute("PRAGMA foreign_keys = ON")
+            self._conn.commit()
 
     @property
     def _db(self):
@@ -197,9 +250,10 @@ class ResultsDatabase:
             row = self._db.execute(
                 "SELECT id FROM trials WHERE experiment_name = ? AND "
                 "topology = ? AND workload = ? AND write_ratio = ? AND "
-                "seed = ?",
+                "seed = ? AND fidelity = ?",
                 (result.experiment_name, result.topology_label,
-                 result.workload, result.write_ratio, result.seed),
+                 result.workload, result.write_ratio, result.seed,
+                 getattr(result, "fidelity", "des")),
             ).fetchone()
             if row is not None:
                 old_id = row[0]
@@ -218,8 +272,8 @@ class ResultsDatabase:
                     duration_s, throughput, mean_response_s,
                     p50_response_s, p90_response_s, p99_response_s,
                     collected_bytes, script_lines, config_lines,
-                    generated_files, machine_count
-                ) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)""",
+                    generated_files, machine_count, fidelity
+                ) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)""",
                 (
                     result.experiment_name, result.benchmark,
                     result.platform, result.topology_label,
@@ -232,6 +286,7 @@ class ResultsDatabase:
                     result.collected_bytes, result.script_lines,
                     result.config_lines, result.generated_files,
                     result.machine_count,
+                    getattr(result, "fidelity", "des"),
                 ),
             )
         except sqlite3.IntegrityError as error:
@@ -330,7 +385,8 @@ class ResultsDatabase:
     # -- reads -------------------------------------------------------------
 
     def query(self, experiment_name=None, benchmark=None, topology=None,
-              workload=None, write_ratio=None, status=None):
+              workload=None, write_ratio=None, status=None,
+              fidelity=None):
         """Fetch trials matching all given filters, as TrialResults."""
         clauses = []
         params = []
@@ -339,7 +395,8 @@ class ResultsDatabase:
                 ("benchmark", benchmark),
                 ("topology", topology),
                 ("workload", workload),
-                ("status", status)):
+                ("status", status),
+                ("fidelity", fidelity)):
             if value is not None:
                 clauses.append(f"{column} = ?")
                 params.append(value)
@@ -402,7 +459,7 @@ class ResultsDatabase:
         with self._lock:
             rows = self._db.execute(
                 "SELECT experiment_name, topology, workload, write_ratio, "
-                "seed FROM trials ORDER BY id").fetchall()
+                "seed, fidelity FROM trials ORDER BY id").fetchall()
         return [tuple(row) for row in rows]
 
     def dump_rows(self, table):
@@ -422,7 +479,7 @@ class ResultsDatabase:
 
     _DECISION_COLUMNS = ("round", "seq", "policy", "experiment_name",
                          "action", "topology", "workload", "write_ratio",
-                         "reason")
+                         "reason", "fidelity")
 
     def has_table(self, name):
         """Whether *name* exists in this database file.
@@ -451,8 +508,8 @@ class ResultsDatabase:
                 self._db.executemany(
                     "INSERT OR REPLACE INTO planner_decisions "
                     "(round, seq, policy, experiment_name, action, "
-                    "topology, workload, write_ratio, reason) "
-                    "VALUES (?,?,?,?,?,?,?,?,?)", rows)
+                    "topology, workload, write_ratio, reason, fidelity) "
+                    "VALUES (?,?,?,?,?,?,?,?,?,?)", rows)
             except Exception:
                 self._db.rollback()
                 raise
@@ -479,7 +536,7 @@ class ResultsDatabase:
         with self._lock:
             rows = self._db.execute(
                 "SELECT round, seq, policy, experiment_name, action, "
-                "topology, workload, write_ratio, reason "
+                "topology, workload, write_ratio, reason, fidelity "
                 "FROM planner_decisions ORDER BY round, seq").fetchall()
         return [dict(zip(self._DECISION_COLUMNS, row)) for row in rows]
 
@@ -582,18 +639,20 @@ class ResultsDatabase:
         with self._lock:
             rows = self._db.execute(
                 f"""SELECT t.id, t.experiment_name, t.topology,
-                           t.workload, t.write_ratio, t.seed, t.status
+                           t.workload, t.write_ratio, t.seed, t.status,
+                           t.fidelity
                     FROM trials t
                     WHERE EXISTS (SELECT 1 FROM spans s
                                   WHERE s.trial_id = t.id) {clause}
                     ORDER BY t.id""", params).fetchall()
         traced = []
         for (trial_id, experiment, topology, workload, write_ratio, seed,
-                status) in rows:
+                status, fidelity) in rows:
             info = {
                 "trial_id": trial_id, "experiment_name": experiment,
                 "topology": topology, "workload": workload,
                 "write_ratio": write_ratio, "seed": seed, "status": status,
+                "fidelity": fidelity,
             }
             traced.append((info, self.spans_for(trial_id)))
         return traced
@@ -606,7 +665,7 @@ class ResultsDatabase:
         "timeouts", "rejections", "duration_s", "throughput",
         "mean_response_s", "p50_response_s", "p90_response_s",
         "p99_response_s", "collected_bytes", "script_lines", "config_lines",
-        "generated_files", "machine_count",
+        "generated_files", "machine_count", "fidelity",
     )
 
     _CHILD_COLUMNS = {
@@ -669,13 +728,13 @@ class ResultsDatabase:
                     for row in src.execute(
                             "SELECT round, seq, policy, experiment_name, "
                             "action, topology, workload, write_ratio, "
-                            "reason FROM planner_decisions "
+                            "reason, fidelity FROM planner_decisions "
                             "ORDER BY round, seq").fetchall():
                         self._db.execute(
                             "INSERT OR REPLACE INTO planner_decisions "
                             "(round, seq, policy, experiment_name, action, "
-                            "topology, workload, write_ratio, reason) "
-                            "VALUES (?,?,?,?,?,?,?,?,?)",
+                            "topology, workload, write_ratio, reason, "
+                            "fidelity) VALUES (?,?,?,?,?,?,?,?,?,?)",
                             (row[0] + round_base,) + tuple(row[1:]))
             except Exception:
                 self._db.rollback()
@@ -744,6 +803,7 @@ class ResultsDatabase:
             machine_count=row["machine_count"],
             attempts=attempts,
             failures=failures,
+            fidelity=row["fidelity"],
         )
 
 

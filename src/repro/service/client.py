@@ -64,12 +64,14 @@ class CampaignClient:
     def submit(self, tbl_text=None, *, db_path, jobs=1, policy=None,
                budget=None, experiment=None, experiments=None,
                mof_text=None, node_count=None, faults=None, retry=None,
-               replace=None, resume=False):
+               replace=None, resume=False, fidelity=None):
         """Submit a campaign; returns its campaign id.
 
         Mirrors :meth:`CampaignController.submit` — *faults* is a
         :class:`~repro.faults.FaultPlan` (or its JSON), *retry* an
         attempt count or policy dict; both cross the wire as JSON.
+        *fidelity* picks the campaign's solver tier (``"des"``,
+        ``"analytic"``, or ``"auto"`` for tiered explorations).
         """
         body = {"db_path": str(db_path), "jobs": jobs, "resume": resume}
         if tbl_text is not None:
@@ -79,7 +81,8 @@ class CampaignClient:
                            ("experiments", experiments),
                            ("mof_text", mof_text),
                            ("node_count", node_count),
-                           ("replace", replace), ("retry", retry)):
+                           ("replace", replace), ("retry", retry),
+                           ("fidelity", fidelity)):
             if value is not None:
                 body[key] = value
         if faults is not None:

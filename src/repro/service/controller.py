@@ -29,6 +29,7 @@ import os
 import threading
 
 from repro.core.campaign import (
+    META_FIDELITY,
     META_PLANNER_BUDGET,
     META_PLANNER_EXPERIMENT,
     META_PLANNER_POLICY,
@@ -45,6 +46,7 @@ from repro.obs.tracer import as_tracer
 from repro.results.database import ResultsDatabase, merge_shards, shard_path
 from repro.service.aggregate import StreamingAggregator
 from repro.service.fleet import WorkerFleet
+from repro.sim import DES
 
 #: The states a campaign record moves through.
 RUNNING = "running"
@@ -85,6 +87,7 @@ class CampaignRecord:
             "jobs": sub["jobs"],
             "policy": sub.get("policy"),
             "resume": sub.get("resume", False),
+            "fidelity": sub.get("fidelity"),
             "trials": self.trials,
             "skipped": self.skipped,
             "summary": self.summary,
@@ -113,7 +116,7 @@ class CampaignController:
     def submit(self, tbl_text=None, *, db_path, mof_text=None,
                node_count=36, jobs=1, experiments=None, policy=None,
                budget=None, experiment=None, faults=None, retry=None,
-               replace=True, resume=False, tracer=None):
+               replace=True, resume=False, tracer=None, fidelity=None):
         """Accept a campaign; returns its campaign id immediately.
 
         *db_path* is where the final database lands (required — a
@@ -122,6 +125,11 @@ class CampaignController:
         *policy* switches the campaign to an adaptive exploration
         (with optional *budget* and target *experiment*); without it
         the fixed grid (optionally restricted to *experiments*) runs.
+        *fidelity* picks the campaign's solver tier (``"des"``,
+        ``"analytic"``, or ``"auto"`` for tiered explorations); a
+        resume with ``fidelity=None`` recovers the tier from the
+        checkpoint's ``campaign_meta``.  Analytic trials run on the
+        fleet's fast lane, so they never queue behind DES work.
 
         ``resume=True`` continues from whatever checkpoint exists: a
         leftover shard from a killed daemon, or the trials already
@@ -138,6 +146,7 @@ class CampaignController:
             "experiments": experiments, "policy": policy, "budget": budget,
             "experiment": experiment, "faults": faults, "retry": retry,
             "replace": replace, "resume": resume, "tracer": tracer,
+            "fidelity": fidelity,
         }
         if tbl_text is None and not resume:
             raise ServiceError(
@@ -335,6 +344,11 @@ class CampaignController:
         policy = sub["policy"]
         budget = sub["budget"]
         experiment = sub["experiment"]
+        fidelity = sub.get("fidelity")
+        if fidelity is None and sub["resume"]:
+            fidelity = campaign.database.get_meta(META_FIDELITY)
+        if fidelity is None:
+            fidelity = DES
         if policy is None and sub["resume"]:
             policy = campaign.database.get_meta(META_PLANNER_POLICY)
             if policy is not None:
@@ -346,10 +360,11 @@ class CampaignController:
             return campaign.run_adaptive(
                 policy, experiment_name=experiment, budget=budget,
                 executor=lease, on_result=tap, replace=sub["replace"],
-                resume=sub["resume"])
+                resume=sub["resume"], fidelity=fidelity)
         return campaign.run(
             sub["experiments"], executor=lease, on_result=tap,
-            replace=sub["replace"], resume=sub["resume"])
+            replace=sub["replace"], resume=sub["resume"],
+            fidelity=fidelity)
 
     def _finalize(self, record, shard, report):
         """Shard -> final database: merge, verify, drop the shard."""

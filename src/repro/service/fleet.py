@@ -11,7 +11,11 @@ The dispatcher enforces the service plane's scheduling invariants:
 - **per-campaign ceilings** — a campaign never holds more in-flight
   workers than its submitted ``jobs`` ceiling;
 - **fleet backpressure** — admissions stop at the fleet's worker
-  count; queued tasks simply wait.
+  count; queued tasks simply wait;
+- **analytic fast lane** — trials carrying ``fidelity="analytic"``
+  dispatch onto a small dedicated worker pool, so millisecond-scale
+  analytic sweeps never queue behind seconds-scale DES simulations
+  from other tenants (or their own campaign's confirmation trials).
 
 Determinism is inherited, not scheduled-for: trials are pure functions
 of their task, and each campaign's results are delivered to its store
@@ -28,6 +32,7 @@ from collections import deque
 from repro.errors import CampaignCancelled, ServiceError
 from repro.experiments.scheduler import THREAD, TrialScheduler
 from repro.obs.tracer import as_tracer
+from repro.sim import ANALYTIC, DES
 
 
 class _TenantQueue:
@@ -96,13 +101,22 @@ class WorkerFleet:
         if jobs < 1:
             raise ServiceError(f"fleet needs at least 1 worker, got {jobs}")
         self.jobs = jobs
+        # The analytic fast lane: a small second pool sized off the
+        # main one.  Analytic trials take ~1ms each, so a handful of
+        # workers absorbs any tenant's exploration round.
+        self.fast_jobs = max(2, min(4, jobs))
         self.tracer = as_tracer(tracer)
         self._scheduler = TrialScheduler(_no_default_runner, jobs=jobs,
                                          backend=THREAD, tracer=tracer)
         self._session = self._scheduler.session()
+        self._fast_scheduler = TrialScheduler(
+            _no_default_runner, jobs=self.fast_jobs, backend=THREAD,
+            tracer=tracer)
+        self._fast_session = self._fast_scheduler.session()
         self._cond = threading.Condition()
         self._queues = {}            # campaign_id -> _TenantQueue
-        self._in_flight = 0          # fleet-wide admitted tasks
+        self._in_flight = 0          # main-lane admitted tasks
+        self._fast_in_flight = 0     # fast-lane admitted tasks
         self._dispatched = 0         # lifetime admission counter
         self._closed = False
         self._dispatcher = threading.Thread(target=self._dispatch_loop,
@@ -136,6 +150,7 @@ class WorkerFleet:
             queue = self._queues.pop(campaign_id, None)
         if queue is not None:
             self._session.forget_tenant(campaign_id)
+            self._fast_session.forget_tenant(campaign_id)
 
     def cancel(self, campaign_id):
         """Drop the campaign's queued tasks; in-flight trials finish
@@ -206,28 +221,46 @@ class WorkerFleet:
                     self._cond.wait(timeout=0.5)
 
     def _admit_locked(self):
-        """One full round-robin sweep; returns how many were admitted."""
+        """One full round-robin sweep; returns how many were admitted.
+
+        Each queue's *head* task picks its lane: analytic trials go to
+        the fast pool, everything else to the main pool.  A lane at
+        capacity skips the queue for this sweep (the task waits for its
+        own lane rather than crossing over and queueing behind the
+        other tier's work)."""
         admitted = 0
         for queue in list(self._queues.values()):
-            if self._in_flight >= self.jobs:
+            if self._in_flight >= self.jobs \
+                    and self._fast_in_flight >= self.fast_jobs:
                 break
             if not queue.admissible():
                 continue
-            seq, task = queue.pending.popleft()
+            seq, task = queue.pending[0]
+            fast = getattr(task, "fidelity", DES) == ANALYTIC
+            if fast:
+                if self._fast_in_flight >= self.fast_jobs:
+                    continue
+            elif self._in_flight >= self.jobs:
+                continue
+            queue.pending.popleft()
             queue.in_flight += 1
-            self._in_flight += 1
+            if fast:
+                self._fast_in_flight += 1
+            else:
+                self._in_flight += 1
             self._dispatched += 1
             admitted += 1
-            self._session.submit(
+            session = self._fast_session if fast else self._session
+            session.submit(
                 task, tenant=queue.campaign_id,
                 runner_factory=queue.runner_factory,
-                on_done=lambda future, q=queue, s=seq:
-                    self._task_done(q, s, future))
+                on_done=lambda future, q=queue, s=seq, f=fast:
+                    self._task_done(q, s, future, fast=f))
         if admitted:
             self.tracer.count("fleet.tasks_admitted", admitted)
         return admitted
 
-    def _task_done(self, queue, seq, future):
+    def _task_done(self, queue, seq, future, fast=False):
         """Completion callback (worker thread): deliver in seq order.
 
         The store callback runs under the fleet lock — it must not
@@ -236,7 +269,10 @@ class WorkerFleet:
         """
         with self._cond:
             queue.in_flight -= 1
-            self._in_flight -= 1
+            if fast:
+                self._fast_in_flight -= 1
+            else:
+                self._in_flight -= 1
             batch = queue.batch
             error = future.exception()
             if error is not None:
@@ -267,6 +303,8 @@ class WorkerFleet:
             return {
                 "workers": self.jobs,
                 "in_flight": self._in_flight,
+                "fast_workers": self.fast_jobs,
+                "fast_in_flight": self._fast_in_flight,
                 "dispatched": self._dispatched,
                 "campaigns": {
                     cid: {
@@ -296,6 +334,7 @@ class WorkerFleet:
             self._cond.notify_all()
         self._dispatcher.join(timeout=5)
         self._session.close()
+        self._fast_session.close()
 
 
 def _no_default_runner():

@@ -233,6 +233,48 @@ class VirtualCluster:
         return Allocation(control=self.control, client=self.client,
                           tier_hosts=tier_hosts)
 
+    def preview_allocation(self, topology, tier_node_types=None):
+        """Which hosts an allocation *would* pick, without taking them.
+
+        Simulates :meth:`allocate` against a fresh (fully free) pool and
+        returns ``{tier: [(host_name, NodeType), ...]}``.  Because
+        `_take` always hands out the lowest-numbered matching node, the
+        preview is a pure function of the request — it matches what a
+        sequential run's allocator does, which is what lets the analytic
+        fidelity tier report the same host names as a DES trial without
+        holding any nodes.  Raises :class:`AllocationError` when the
+        pool could never satisfy the request.
+        """
+        tier_node_types = tier_node_types or {}
+        with self._nodes_available:
+            self._require_satisfiable(topology, tier_node_types)
+            default_name = self.platform.node_type().name
+            free = sorted(
+                (host for host in self.hosts.values()
+                 if host.name not in (CONTROL_HOST, CLIENT_HOST)
+                 and host.name not in self._quarantined),
+                key=lambda host: self._host_order[host.name],
+            )
+            preview = {}
+            for tier, count in topology.tiers():
+                wanted = tier_node_types.get(tier) or default_name
+                picked = []
+                for host in free:
+                    if len(picked) == count:
+                        break
+                    if host.node_type.name == wanted:
+                        picked.append(host)
+                if len(picked) < count:
+                    raise AllocationError(
+                        f"cluster {self.name!r} has no free {wanted!r} "
+                        f"node for tier {tier!r} in preview"
+                    )
+                for host in picked:
+                    free.remove(host)
+                preview[tier] = [(host.name, host.node_type)
+                                 for host in picked]
+            return preview
+
     def _require_satisfiable(self, topology, tier_node_types):
         """Raise unless the whole pool (free + held) could fit the
         request — the blocking-wait guard against waiting forever."""
