@@ -28,6 +28,7 @@ scenarios.
 """
 
 from repro.api import (
+    heal_campaign,
     open_results,
     plan_campaign,
     reproduce_figure,
@@ -59,6 +60,7 @@ from repro.vcluster import VirtualCluster
 __version__ = "1.2.0"
 
 __all__ = [
+    "heal_campaign",
     "open_results",
     "plan_campaign",
     "reproduce_figure",

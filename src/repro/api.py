@@ -10,6 +10,8 @@ its signatures are the package's compatibility surface:
 - :func:`plan_campaign` — dry-run a planner policy's first round.
 - :func:`resume_campaign` — finish an interrupted campaign (fixed-grid
   or adaptive) from its database checkpoint.
+- :func:`heal_campaign` — closed-loop auto-remediation of a diagnosed
+  campaign (detect -> propose -> verify -> apply, ``repro heal``).
 - :func:`reproduce_figure` — regenerate one paper figure/table.
 - :func:`open_results` — open (or create) an observation database.
 - :func:`trace_report` — render the flight-recorder report of a run.
@@ -141,6 +143,33 @@ def resume_campaign(database, *, jobs=1, backend=None, tracer=None,
     return campaign.run(on_result=on_result, jobs=jobs, backend=backend,
                         on_progress=on_progress, resume=True,
                         fidelity=fidelity)
+
+
+def heal_campaign(database, *, jobs=1, budget=None, rounds=None,
+                  target=None, experiment=None, tracer=None,
+                  on_progress=None):
+    """Diagnose and auto-remediate a campaign database (``repro heal``).
+
+    Runs the closed remediation loop of :mod:`repro.remedy` over a
+    finished (possibly faulted) campaign: fold the stored observations
+    into diagnoses, propose candidate patches, verify the best ones
+    with shadow trials on cloned clusters, apply the winner, re-measure
+    and repeat until the ladder is healthy or the *budget* of DES
+    shadow trials (default 32) / *rounds* of patching (default 3) runs
+    out.  *target* is the workload to aim for (default: the ladder's
+    top rung); *experiment* picks one of a multi-experiment spec.
+
+    Everything lands in the database's ``remediations`` table, and a
+    killed heal re-run on the same database resumes byte-identically —
+    the same contract ``repro resume`` gives explorations.  Returns the
+    :class:`~repro.remedy.HealReport`.
+    """
+    from repro.remedy import heal_campaign as heal
+
+    database = open_results(database, create=False)
+    return heal(database, jobs=jobs, budget=budget, rounds=rounds,
+                target=target, experiment=experiment, tracer=tracer,
+                on_progress=on_progress)
 
 
 def run_adaptive(tbl_text, *, policy="knee", budget=None, experiment=None,
@@ -321,6 +350,7 @@ __all__ = [
     "as_tracer",
     "campaign_client",
     "check_fidelity",
+    "heal_campaign",
     "open_results",
     "plan_campaign",
     "reproduce_figure",

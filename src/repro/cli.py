@@ -21,6 +21,8 @@ Commands::
               [--experiment NAME] [--dry-run] [--resume] [--trace]
               [--quiet]
     resume    DB [--jobs N] [--trace] [--quiet] [--url URL]
+    heal      DB [--jobs N] [--budget N] [--rounds N] [--target N]
+              [--experiment NAME] [--trace] [--quiet] [--url URL]
     serve     [--host H] [--port N] [--jobs N] [--max-active N]
     submit    --tbl FILE [--mof FILE] --db FILE [--nodes N] [--jobs N]
               [--faults FILE] [--retries N] [--policy P] [--budget N]
@@ -143,6 +145,26 @@ def build_parser():
                         help="resume on a running campaign daemon "
                              "instead of in-process")
     resume.set_defaults(handler=cmd_resume)
+
+    heal = commands.add_parser(
+        "heal", parents=[jobs, output],
+        help="auto-remediate a campaign from its own observations")
+    heal.add_argument("db", help="results database to diagnose and heal")
+    heal.add_argument("--budget", type=int, default=None, metavar="N",
+                      help="shadow-trial budget for verification "
+                           "(default 32; persisted for resume)")
+    heal.add_argument("--rounds", type=int, default=None, metavar="N",
+                      help="max detect/verify/apply rounds (default 3)")
+    heal.add_argument("--target", type=int, default=None, metavar="N",
+                      help="workload the healed system must support "
+                           "(default: the ladder's top rung)")
+    heal.add_argument("--experiment", default=None,
+                      help="experiment to heal (default: the "
+                           "campaign's only one)")
+    heal.add_argument("--url", default=None, metavar="URL",
+                      help="heal on a running campaign daemon "
+                           "instead of in-process")
+    heal.set_defaults(handler=cmd_heal)
 
     serve = commands.add_parser(
         "serve", parents=[_jobs_parent(default=4)],
@@ -526,6 +548,33 @@ def cmd_resume(args):
         _print_report(report)
     print(f"observations stored in {args.db}")
     return 0
+
+
+def cmd_heal(args):
+    from repro.api import heal_campaign, open_results
+    from repro.obs import Tracer
+
+    if args.url is not None:
+        from repro.api import campaign_client
+
+        client = campaign_client(args.url)
+        heal_id = client.heal(db_path=args.db, jobs=args.jobs,
+                              budget=args.budget, rounds=args.rounds,
+                              target=args.target,
+                              experiment=args.experiment)
+        print(f"healing as {heal_id} on {args.url}")
+        return _wait_and_report(client, heal_id, quiet=args.quiet)
+    with open_results(args.db, create=False) as database:
+        report = heal_campaign(
+            database, jobs=args.jobs, budget=args.budget,
+            rounds=args.rounds, target=args.target,
+            experiment=args.experiment,
+            tracer=Tracer() if args.trace else None,
+            on_progress=None if args.quiet else lambda line:
+                print(f"  {line}"))
+        print(report.describe())
+    print(f"remediation log stored in {args.db}")
+    return 0 if report.healthy else 1
 
 
 # -- the campaign-service surface -----------------------------------------

@@ -127,6 +127,11 @@ class FaultPlanError(ReproError):
     """A declarative fault plan is malformed (unknown kind, bad rate)."""
 
 
+class RemedyError(ReproError):
+    """The remediation pipeline could not run (no observations to
+    diagnose, unknown experiment, malformed heal parameters)."""
+
+
 class ServiceError(ReproError):
     """The campaign service rejected a request (unknown campaign, bad
     submission, daemon unreachable)."""

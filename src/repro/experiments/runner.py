@@ -159,6 +159,7 @@ class ExperimentRunner:
         # The cluster fires allocation-side fault points itself.
         self.cluster.faults = self.faults
         self._host_failures = {}     # host name -> blamed failure count
+        self._probation = {}         # quarantined host -> trials to release
         self._phase = "allocate"
 
     def clone(self):
@@ -245,8 +246,14 @@ class ExperimentRunner:
                 partial=partial,
                 machine_count=topology.machine_count())
             self.tracer.count("runner.trials_dnf_failed", 1)
-        elif failures:
-            self.tracer.count("runner.trials_recovered", 1)
+        else:
+            if failures:
+                self.tracer.count("runner.trials_recovered", 1)
+            if self._probation:
+                # Only a trial whose attempt actually completed counts
+                # toward probation — a gave-up DNF proves nothing about
+                # the cluster's health.
+                self._probation_tick(policy, exports)
         result.attempts = attempts_made
         result.failures = failures
         result.spans = merge_span_exports(exports)
@@ -359,6 +366,8 @@ class ExperimentRunner:
                   f"(last: {fault_kind or 'unattributed'})")
         if not self.cluster.quarantine(host_name, reason=reason):
             return
+        if policy.probation_trials:
+            self._probation[host_name] = policy.probation_trials
         with self.tracer.span("quarantine", host=host_name,
                               failures=count, reason=reason) as span:
             pass
@@ -376,6 +385,34 @@ class ExperimentRunner:
             fault_kind=fault_kind,
             host=host_name,
         ))
+
+    def _probation_tick(self, policy, exports):
+        """Count one completed trial toward every probation sentence.
+
+        A quarantined host under probation is released back into the
+        cluster pool once *probation_trials* trials complete without it
+        — evidence the fleet is healthy enough to risk the host again.
+        The released host's blame count restarts one below the
+        quarantine threshold, so a single fresh blame re-quarantines
+        it immediately (parole, not a pardon).
+        """
+        for host_name in sorted(self._probation):
+            remaining = self._probation[host_name] - 1
+            if remaining > 0:
+                self._probation[host_name] = remaining
+                continue
+            del self._probation[host_name]
+            if not self.cluster.release_quarantine(host_name):
+                continue
+            self._host_failures[host_name] = policy.quarantine_after - 1
+            with self.tracer.span(
+                    "probation-release", host=host_name,
+                    served=policy.probation_trials) as span:
+                pass
+            records = self.tracer.export(span)
+            if records:
+                exports.append(records)
+            self.tracer.count("runner.hosts_released", 1)
 
     def run_task(self, task):
         """Execute one enumerated :class:`TrialTask`."""

@@ -44,6 +44,13 @@ class RetryPolicy:
     failures may be blamed on one host before the runner quarantines it
     on its cluster; *record_dnf* stores an enriched DNF row when the
     budget is exhausted instead of re-raising.
+
+    *probation_trials* turns quarantine from a life sentence into
+    probation: after that many *successful* trials elsewhere, the
+    runner releases the quarantined host back into the pool with its
+    blame count reset to one-below-threshold, so a single fresh blame
+    re-quarantines it immediately.  0 (the default) keeps the
+    historical permanent-quarantine behaviour.
     """
 
     max_attempts: int = 3
@@ -51,6 +58,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     quarantine_after: int = 2
     record_dnf: bool = True
+    probation_trials: int = 0
     transient: tuple = TRANSIENT_ERRORS
 
     def __post_init__(self):
@@ -62,6 +70,11 @@ class RetryPolicy:
             raise ExperimentError(
                 f"quarantine_after must be at least 1, "
                 f"got {self.quarantine_after}"
+            )
+        if self.probation_trials < 0:
+            raise ExperimentError(
+                f"probation_trials must be non-negative, "
+                f"got {self.probation_trials}"
             )
 
     def is_transient(self, error):
@@ -95,6 +108,7 @@ class RetryPolicy:
             "backoff_factor": self.backoff_factor,
             "quarantine_after": self.quarantine_after,
             "record_dnf": self.record_dnf,
+            "probation_trials": self.probation_trials,
         }
 
     @classmethod

@@ -1,0 +1,72 @@
+"""Closed-loop auto-remediation: detect -> propose -> verify -> apply.
+
+The paper diagnoses bottlenecks from observations; this package acts
+on the diagnosis.  See :func:`heal_campaign` (the ``repro heal``
+engine) and DESIGN.md §3h for the pipeline architecture.
+"""
+
+from repro.remedy.diagnosis import (
+    INJECTED_FAULT,
+    QUARANTINE,
+    SATURATION,
+    SLO_VIOLATION,
+    Detector,
+    Diagnosis,
+)
+from repro.remedy.pipeline import (
+    BUDGET_EXHAUSTED,
+    DEFAULT_BUDGET,
+    DEFAULT_ROUNDS,
+    HEALED,
+    HEALTHY,
+    NO_CANDIDATE,
+    ROUNDS_EXHAUSTED,
+    UNVERIFIED,
+    HealReport,
+    heal_campaign,
+)
+from repro.remedy.propose import (
+    PROMOTE_TIER,
+    RELEASE_HOST,
+    REPLACE_HOST,
+    CandidatePatch,
+    Proposer,
+    Rejection,
+    apply_patch,
+)
+from repro.remedy.verify import (
+    Verdict,
+    improves,
+    progression_supported,
+    score_candidates,
+)
+
+__all__ = [
+    "BUDGET_EXHAUSTED",
+    "CandidatePatch",
+    "DEFAULT_BUDGET",
+    "DEFAULT_ROUNDS",
+    "Detector",
+    "Diagnosis",
+    "HEALED",
+    "HEALTHY",
+    "HealReport",
+    "INJECTED_FAULT",
+    "NO_CANDIDATE",
+    "PROMOTE_TIER",
+    "Proposer",
+    "QUARANTINE",
+    "RELEASE_HOST",
+    "REPLACE_HOST",
+    "ROUNDS_EXHAUSTED",
+    "Rejection",
+    "SATURATION",
+    "SLO_VIOLATION",
+    "UNVERIFIED",
+    "Verdict",
+    "apply_patch",
+    "heal_campaign",
+    "improves",
+    "progression_supported",
+    "score_candidates",
+]

@@ -1,0 +1,257 @@
+"""Proposer: turn diagnoses into candidate configuration patches.
+
+Sage's observation-driven configuration argument, applied: instead of
+a static rulebook mapping symptoms to fixed remedies, each rule here
+produces a *candidate* patch that must still earn its application by
+surviving the verifier's shadow trials.  The rules themselves are
+deliberately small:
+
+- a saturated tier gets more replicas (the paper's elementary
+  scale-out move, ``Topology.scaled``), one and two steps out;
+- a trial-killing injected fault gets its matching
+  :class:`~repro.faults.FaultSpec` stripped from the plan — the model
+  of "replace the faulty host" in a world where the fault plan *is*
+  the hardware's failure behaviour;
+- a quarantined host gets released on probation (the retry policy's
+  ``probation_trials``), with any fault spec targeting it stripped.
+
+Every rule either yields candidates or an explicit rejection reason —
+``repro heal`` reports *why nothing could be done*, never a silent
+no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from fnmatch import fnmatchcase
+
+from repro.faults.plan import FaultPlan
+from repro.remedy.diagnosis import (
+    INJECTED_FAULT,
+    QUARANTINE,
+    SATURATION,
+)
+from repro.spec.topology import Topology
+
+#: Add replicas to the diagnosed tier (new_topology carries the shape).
+PROMOTE_TIER = "promote-tier"
+#: Strip the fault spec(s) blamed for killing trials on a host.
+REPLACE_HOST = "replace-host"
+#: Release a quarantined host on probation (and strip its faults).
+RELEASE_HOST = "release-host"
+
+#: How many replica-count steps a saturation diagnosis explores.
+PROMOTE_DELTAS = (1, 2)
+#: Probation sentence a released host serves (successful trials before
+#: the runner trusts it again) — see ``RetryPolicy.probation_trials``.
+DEFAULT_PROBATION = 2
+
+
+def _freeze(value):
+    return tuple(value) if not isinstance(value, tuple) else value
+
+
+class CandidatePatch:
+    """One candidate configuration change, ready to verify.
+
+    *kind* is one of :data:`PROMOTE_TIER`, :data:`REPLACE_HOST`,
+    :data:`RELEASE_HOST`; *target* the tier or host it acts on;
+    *topology* the topology label the diagnosis came from;
+    *new_topology* the promoted shape (promote only); *drop_faults*
+    the fault-plan spec indices the patch strips; *probation* the
+    release sentence; *workload* the diagnosed rung the verifier
+    should confirm at (None means "confirm at the heal target");
+    *added_servers* feeds the scorer's cost side.
+    """
+
+    def __init__(self, kind, target, topology, *, write_ratio,
+                 new_topology=None, drop_faults=(), probation=0,
+                 workload=None, reason="", added_servers=0):
+        self.kind = kind
+        self.target = target
+        self.topology = topology
+        self.write_ratio = write_ratio
+        self.new_topology = new_topology
+        self.drop_faults = _freeze(drop_faults)
+        self.probation = probation
+        self.workload = workload
+        self.reason = reason
+        self.added_servers = added_servers
+
+    def identity(self):
+        """What makes two candidates the same patch (dedupe key)."""
+        return (self.kind, self.target, self.topology,
+                self.new_topology, self.drop_faults, self.probation)
+
+    def to_dict(self):
+        data = {
+            "kind": self.kind,
+            "target": self.target,
+            "topology": self.topology,
+            "write_ratio": self.write_ratio,
+            "workload": self.workload,
+            "reason": self.reason,
+        }
+        if self.new_topology is not None:
+            data["new_topology"] = self.new_topology
+            data["added_servers"] = self.added_servers
+        if self.drop_faults:
+            data["drop_faults"] = list(self.drop_faults)
+        if self.probation:
+            data["probation"] = self.probation
+        return data
+
+    def describe(self):
+        if self.kind == PROMOTE_TIER:
+            return (f"promote {self.target} tier: {self.topology} -> "
+                    f"{self.new_topology}")
+        if self.kind == REPLACE_HOST:
+            return (f"replace host {self.target} (strip "
+                    f"{len(self.drop_faults)} fault spec(s))")
+        return (f"release host {self.target} on probation "
+                f"({self.probation} trial(s))")
+
+
+class Rejection:
+    """Why a diagnosis produced no (or fewer) candidates."""
+
+    def __init__(self, kind, target, reason):
+        self.kind = kind
+        self.target = target
+        self.reason = reason
+
+    def to_dict(self):
+        return {"kind": self.kind, "target": self.target,
+                "reason": self.reason}
+
+
+class Proposer:
+    """Rule-based candidate generation for one experiment.
+
+    *experiment* supplies the ladder context, *fault_plan* the specs a
+    host-level patch may strip (may be None), *node_count* the cluster
+    size promotions must fit inside.  *allocatable*, when given, is a
+    ``topology -> None | reason`` probe against the actual typed node
+    pool (machine count alone cannot see that a platform has, say,
+    only three high-end nodes for the db tier).
+    """
+
+    def __init__(self, experiment, fault_plan, node_count,
+                 allocatable=None):
+        self.experiment = experiment
+        self.fault_plan = fault_plan
+        self.node_count = node_count
+        self.allocatable = allocatable
+
+    def propose(self, diagnoses):
+        """``(candidates, rejections)`` for *diagnoses*, in rule order."""
+        candidates = []
+        rejections = []
+        for diagnosis in diagnoses:
+            if diagnosis.kind == SATURATION:
+                self._promote(diagnosis, candidates, rejections)
+            elif diagnosis.kind == INJECTED_FAULT:
+                self._replace(diagnosis, candidates, rejections)
+            elif diagnosis.kind == QUARANTINE:
+                self._release(diagnosis, candidates, rejections)
+            else:
+                rejections.append(Rejection(
+                    diagnosis.kind, diagnosis.topology,
+                    f"no remediation rule applies to "
+                    f"{diagnosis.kind}: {diagnosis.evidence}"))
+        unique = []
+        seen = set()
+        for candidate in candidates:
+            key = candidate.identity()
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(candidate)
+        return unique, rejections
+
+    def _promote(self, diagnosis, candidates, rejections):
+        base = Topology.parse(diagnosis.topology)
+        for delta in PROMOTE_DELTAS:
+            promoted = base.scaled(diagnosis.tier, delta)
+            if promoted.machine_count() > self.node_count:
+                rejections.append(Rejection(
+                    PROMOTE_TIER, diagnosis.tier,
+                    f"{promoted.label()} needs "
+                    f"{promoted.machine_count()} machines but the "
+                    f"cluster has {self.node_count} nodes"))
+                continue
+            if self.allocatable is not None:
+                reason = self.allocatable(promoted)
+                if reason is not None:
+                    rejections.append(Rejection(
+                        PROMOTE_TIER, diagnosis.tier, reason))
+                    continue
+            candidates.append(CandidatePatch(
+                PROMOTE_TIER, diagnosis.tier, diagnosis.topology,
+                write_ratio=diagnosis.write_ratio,
+                new_topology=promoted.label(),
+                workload=diagnosis.workload,
+                added_servers=delta,
+                reason=diagnosis.evidence))
+
+    def _matching_specs(self, host, fault_kind=None):
+        """Fault-plan spec indices a host-level patch should strip."""
+        if self.fault_plan is None or host is None:
+            return ()
+        return tuple(
+            index for index, spec in enumerate(self.fault_plan.specs)
+            if fnmatchcase(host, spec.target)
+            and (fault_kind is None or spec.kind == fault_kind))
+
+    def _replace(self, diagnosis, candidates, rejections):
+        indices = self._matching_specs(diagnosis.host,
+                                       diagnosis.fault_kind)
+        if not indices:
+            rejections.append(Rejection(
+                REPLACE_HOST, diagnosis.host,
+                f"{diagnosis.fault_kind or 'failure'} on "
+                f"{diagnosis.host or 'unknown host'} is untraceable to "
+                f"the fault plan; nothing to strip"))
+            return
+        candidates.append(CandidatePatch(
+            REPLACE_HOST, diagnosis.host, diagnosis.topology,
+            write_ratio=diagnosis.write_ratio,
+            drop_faults=indices,
+            workload=diagnosis.workload,
+            reason=diagnosis.evidence))
+
+    def _release(self, diagnosis, candidates, rejections):
+        indices = self._matching_specs(diagnosis.host)
+        candidates.append(CandidatePatch(
+            RELEASE_HOST, diagnosis.host, diagnosis.topology,
+            write_ratio=diagnosis.write_ratio,
+            drop_faults=indices,
+            probation=DEFAULT_PROBATION,
+            workload=diagnosis.workload,
+            reason=diagnosis.evidence))
+
+
+def apply_patch(patch, topologies, fault_plan, retry_policy):
+    """Apply *patch*: ``(topologies', fault_plan', retry_policy')``.
+
+    Pure — the inputs are never mutated, so a verifier can build a
+    shadow configuration and throw it away, and the scheduler can
+    apply the winner to the campaign's real configuration with the
+    same call.
+    """
+    if patch.kind == PROMOTE_TIER:
+        topologies = tuple(
+            Topology.parse(patch.new_topology)
+            if topology.label() == patch.topology else topology
+            for topology in topologies)
+        return topologies, fault_plan, retry_policy
+    if patch.drop_faults and fault_plan is not None:
+        kept = tuple(spec for index, spec in enumerate(fault_plan.specs)
+                     if index not in set(patch.drop_faults))
+        fault_plan = FaultPlan(kept, seed=fault_plan.seed) if kept \
+            else None
+    if patch.kind == RELEASE_HOST and retry_policy is not None \
+            and patch.probation:
+        retry_policy = replace(retry_policy,
+                               probation_trials=patch.probation)
+    return topologies, fault_plan, retry_policy

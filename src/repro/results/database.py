@@ -122,6 +122,26 @@ CREATE TABLE IF NOT EXISTS planner_decisions (
     fidelity TEXT NOT NULL DEFAULT 'des',
     PRIMARY KEY (round, seq)
 );
+-- The remedy plane's log: one row per remediation-pipeline event
+-- (diagnosis, candidate, verdict, apply, outcome) in (round, seq)
+-- order.  Like planner_decisions, the rows are pure functions of
+-- recorded observations: `repro heal` clears and rewrites the log
+-- wholesale on every run, so a killed-and-resumed heal reproduces
+-- exactly the rows an uninterrupted one writes.  ``detail`` is the
+-- event's canonical JSON (sorted keys) and ``accepted`` marks the
+-- winning candidate / applied patch rows.
+CREATE TABLE IF NOT EXISTS remediations (
+    round INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    stage TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    target TEXT,
+    experiment_name TEXT NOT NULL,
+    detail TEXT NOT NULL,
+    score REAL,
+    accepted INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (round, seq)
+);
 CREATE INDEX IF NOT EXISTS idx_state_metrics_trial
     ON state_metrics (trial_id);
 CREATE INDEX IF NOT EXISTS idx_trials_sweep
@@ -467,7 +487,7 @@ class ResultsDatabase:
         surface the determinism tests diff (tracing must never change
         what lands in the observation tables)."""
         if table not in ("trials", "host_cpu", "state_metrics", "spans",
-                         "failures", "planner_decisions"):
+                         "failures", "planner_decisions", "remediations"):
             raise ResultsError(f"unknown table {table!r}")
         if not self.has_table(table):
             return []
@@ -546,6 +566,61 @@ class ResultsDatabase:
         with self._lock:
             return self._db.execute(
                 "SELECT COUNT(*) FROM planner_decisions").fetchone()[0]
+
+    # -- remediations (the remedy plane's log) ------------------------------
+
+    _REMEDIATION_COLUMNS = ("round", "seq", "stage", "kind", "target",
+                            "experiment_name", "detail", "score",
+                            "accepted")
+
+    def insert_remediations(self, rows):
+        """Store remediation tuples (in :attr:`_REMEDIATION_COLUMNS`
+        order) in one transaction.  ``INSERT OR REPLACE`` keyed on
+        ``(round, seq)`` makes re-logging a replayed round idempotent —
+        the same property :meth:`insert_decisions` gives the planner."""
+        rows = list(rows)
+        if not rows:
+            return
+        with self._lock:
+            try:
+                self._db.executemany(
+                    "INSERT OR REPLACE INTO remediations "
+                    "(round, seq, stage, kind, target, experiment_name, "
+                    "detail, score, accepted) VALUES (?,?,?,?,?,?,?,?,?)",
+                    rows)
+            except Exception:
+                self._db.rollback()
+                raise
+            self._db.commit()
+
+    def clear_remediations(self):
+        """Drop the remediation log — ``repro heal`` rewrites it
+        wholesale, so a resumed heal's log matches an uninterrupted
+        one."""
+        if not self.has_table("remediations"):
+            return
+        with self._lock:
+            self._db.execute("DELETE FROM remediations")
+            self._db.commit()
+
+    def remediations(self):
+        """Every remediation event as a dict, in (round, seq) order.
+        A pre-remedy-plane database reads as an empty log."""
+        if not self.has_table("remediations"):
+            return []
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT round, seq, stage, kind, target, experiment_name, "
+                "detail, score, accepted FROM remediations "
+                "ORDER BY round, seq").fetchall()
+        return [dict(zip(self._REMEDIATION_COLUMNS, row)) for row in rows]
+
+    def remediation_count(self):
+        if not self.has_table("remediations"):
+            return 0
+        with self._lock:
+            return self._db.execute(
+                "SELECT COUNT(*) FROM remediations").fetchone()[0]
 
     # -- failures (the fault plane's record) -------------------------------
 
@@ -735,6 +810,18 @@ class ResultsDatabase:
                             "(round, seq, policy, experiment_name, action, "
                             "topology, workload, write_ratio, reason, "
                             "fidelity) VALUES (?,?,?,?,?,?,?,?,?,?)",
+                            (row[0] + round_base,) + tuple(row[1:]))
+                if shard.has_table("remediations"):
+                    for row in src.execute(
+                            "SELECT round, seq, stage, kind, target, "
+                            "experiment_name, detail, score, accepted "
+                            "FROM remediations "
+                            "ORDER BY round, seq").fetchall():
+                        self._db.execute(
+                            "INSERT OR REPLACE INTO remediations "
+                            "(round, seq, stage, kind, target, "
+                            "experiment_name, detail, score, accepted) "
+                            "VALUES (?,?,?,?,?,?,?,?,?)",
                             (row[0] + round_base,) + tuple(row[1:]))
             except Exception:
                 self._db.rollback()

@@ -18,6 +18,12 @@ import urllib.request
 
 from repro.errors import ServiceBusy, ServiceError
 
+#: Longest single server-side block one /wait request asks for.  A
+#: wait with no deadline polls in slices of this length, each with a
+#: bounded HTTP timeout — so a daemon that dies mid-wait surfaces as
+#: a :class:`ServiceError` instead of a request that hangs forever.
+WAIT_SLICE_S = 30
+
 
 class CampaignClient:
     """Submit/status/cancel/resume against a ``repro serve`` daemon."""
@@ -111,14 +117,52 @@ class CampaignClient:
             body["jobs"] = jobs
         return self._call("POST", "/resume", body)["id"]
 
-    def wait(self, campaign_id, *, timeout=None):
+    def wait(self, campaign_id, *, timeout=None, poll=None):
         """Block until the campaign settles; its record dict, or
-        ``None`` on timeout."""
-        request_timeout = (timeout + 10) if timeout is not None else None
-        record = self._call("POST", "/wait",
-                            {"id": campaign_id, "timeout": timeout},
-                            timeout=request_timeout)
-        return None if record.get("timed_out") else record
+        ``None`` on timeout.
+
+        The wait is a poll in bounded slices of *poll* seconds
+        (default :data:`WAIT_SLICE_S`): each slice is one ``/wait``
+        request with a finite HTTP timeout, so ``timeout=None`` means
+        "wait for the campaign forever", never "hang forever on a
+        dead socket" — a daemon that stops answering raises
+        :class:`~repro.errors.ServiceError` within one slice.
+        """
+        slice_s = poll if poll is not None else WAIT_SLICE_S
+        remaining = timeout
+        while True:
+            ask = slice_s if remaining is None \
+                else max(0, min(slice_s, remaining))
+            record = self._call("POST", "/wait",
+                                {"id": campaign_id, "timeout": ask},
+                                timeout=ask + 10)
+            if not record.get("timed_out"):
+                return record
+            if remaining is not None:
+                remaining -= ask
+                if remaining <= 0:
+                    return None
+
+    def heal(self, campaign_id=None, *, db_path=None, jobs=1,
+             budget=None, rounds=None, target=None, experiment=None):
+        """Auto-remediate a campaign database; returns the heal id.
+
+        Mirrors :meth:`CampaignController.heal`: pass a *campaign_id*
+        the daemon ran (the heal waits for it to finish) or a
+        *db_path* on disk.  :meth:`wait` on the returned id for the
+        heal report summary.
+        """
+        body = {"jobs": jobs}
+        if campaign_id is not None:
+            body["id"] = campaign_id
+        if db_path is not None:
+            body["db_path"] = str(db_path)
+        for key, value in (("budget", budget), ("rounds", rounds),
+                           ("target", target),
+                           ("experiment", experiment)):
+            if value is not None:
+                body[key] = value
+        return self._call("POST", "/heal", body)["id"]
 
     def aggregate(self):
         """The streaming aggregator's ``{"report", "snapshot"}``."""

@@ -82,6 +82,7 @@ class CampaignRecord:
         sub = self.submission
         return {
             "id": self.campaign_id,
+            "kind": sub.get("kind", "campaign"),
             "state": self.state,
             "db_path": sub["db_path"],
             "jobs": sub["jobs"],
@@ -232,6 +233,53 @@ class CampaignController:
             raise ServiceError("resume needs a campaign_id or a db_path")
         return self.submit(db_path=db_path, resume=True,
                            jobs=jobs if jobs is not None else 1)
+
+    def heal(self, campaign_id=None, *, db_path=None, jobs=1,
+             budget=None, rounds=None, target=None, experiment=None,
+             tracer=None):
+        """Diagnose and auto-remediate a campaign database in place.
+
+        Two forms mirror :meth:`resume`: *campaign_id* heals a campaign
+        this controller ran (waiting for it to reach ``done`` first, so
+        a running campaign that trips a diagnosis can queue its own
+        heal); *db_path* heals any campaign database on disk.  Returns
+        the heal's record id immediately — :meth:`wait` on it like any
+        campaign.  *budget*/*rounds*/*target*/*experiment* pass through
+        to :func:`repro.remedy.heal_campaign`.
+        """
+        after = None
+        if campaign_id is not None:
+            with self._lock:
+                db_path = self._record(campaign_id).db_path
+            after = campaign_id
+        if db_path is None:
+            raise ServiceError("heal needs a campaign_id or a db_path")
+        submission = {
+            "kind": "heal", "after": after,
+            "db_path": os.fspath(db_path), "jobs": jobs,
+            "budget": budget, "rounds": rounds, "target": target,
+            "experiment": experiment, "tracer": tracer,
+        }
+        with self._lock:
+            if self._closed:
+                raise ServiceError("controller is shut down")
+            active = sum(1 for r in self._records.values()
+                         if r.state == RUNNING)
+            if active >= self.max_active:
+                raise ServiceBusy(
+                    f"{active} campaign(s) already in flight "
+                    f"(max_active={self.max_active}); retry when one "
+                    f"finishes")
+            heal_id = f"h{self._next_id:03d}"
+            self._next_id += 1
+            record = CampaignRecord(heal_id, submission)
+            self._records[heal_id] = record
+            record.thread = threading.Thread(
+                target=self._run_heal, args=(record,),
+                name=f"heal-{heal_id}", daemon=True)
+            record.thread.start()
+        self.tracer.count("service.heals_submitted", 1)
+        return heal_id
 
     def wait(self, campaign_id, timeout=None):
         """Block until the campaign reaches a terminal state; returns
@@ -390,6 +438,54 @@ class CampaignController:
             record.cache_stats = report.cache_stats
             self._lock.notify_all()
         self.tracer.count("service.campaigns_done", 1)
+
+    def _run_heal(self, record):
+        """One heal's controller thread.
+
+        Heals are not fleet tenants: the remediation loop runs directly
+        against the final database with its own bounded worker pool,
+        exactly like a CLI ``repro heal`` — so the fleet's fair-share
+        plane never sees shadow trials, and the heal's byte-identity
+        contract is the pipeline's own.
+        """
+        from repro.remedy import heal_campaign
+
+        sub = record.submission
+        database = None
+        try:
+            if sub["after"] is not None:
+                finished = self.wait(sub["after"])
+                if finished["state"] != DONE:
+                    raise ServiceError(
+                        f"campaign {sub['after']!r} finished "
+                        f"{finished['state']}; heal needs a completed "
+                        f"database (resume it first)")
+            if not os.path.exists(sub["db_path"]):
+                raise ServiceError(
+                    f"no campaign database at {sub['db_path']}")
+            database = ResultsDatabase(sub["db_path"])
+            report = heal_campaign(
+                database, jobs=sub["jobs"], budget=sub["budget"],
+                rounds=sub["rounds"], target=sub["target"],
+                experiment=sub["experiment"], tracer=sub.get("tracer"))
+            problems = database.integrity_check()
+            if problems:
+                raise ResultsError(
+                    f"healed database failed integrity check: "
+                    f"{'; '.join(problems)}")
+            with self._lock:
+                record.state = DONE
+                record.summary = report.describe()
+                record.trials = report.trials
+                record.skipped = report.reused
+                self._lock.notify_all()
+            self.tracer.count("service.heals_done", 1)
+        except Exception as error:       # noqa: BLE001 — the record is
+            # the daemon's error channel; nothing above this frame.
+            self._settle(record, FAILED, f"{type(error).__name__}: {error}")
+        finally:
+            if database is not None:
+                database.close()
 
     def _settle(self, record, state, error):
         with self._lock:

@@ -15,6 +15,7 @@ POST   /submit      accept a campaign; returns ``{"id": ...}``
 GET    /status      service state (``?id=`` for one campaign)
 POST   /cancel      stop a campaign, keep its shard checkpoint
 POST   /resume      restart a cancelled/failed/killed campaign
+POST   /heal        auto-remediate a campaign's database in place
 POST   /wait        block until a campaign settles
 GET    /aggregate   the streaming aggregator's report + snapshot
 POST   /shutdown    stop the daemon (``{"abort": true}`` = kill)
@@ -131,6 +132,15 @@ class _Handler(BaseHTTPRequestHandler):
                     body.get("id"), db_path=body.get("db_path"),
                     jobs=body.get("jobs"))
                 self._reply({"id": campaign_id})
+            elif self.path == "/heal":
+                heal_id = self.controller.heal(
+                    body.get("id"), db_path=body.get("db_path"),
+                    jobs=body.get("jobs", 1),
+                    budget=body.get("budget"),
+                    rounds=body.get("rounds"),
+                    target=body.get("target"),
+                    experiment=body.get("experiment"))
+                self._reply({"id": heal_id})
             elif self.path == "/wait":
                 record = self.controller.wait(
                     body["id"], timeout=body.get("timeout"))

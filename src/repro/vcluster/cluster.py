@@ -373,6 +373,30 @@ class VirtualCluster:
             self._nodes_available.notify_all()
             return True
 
+    def release_quarantine(self, host_name):
+        """Return a quarantined host to the pool; True if it was held.
+
+        The probation release: the host comes back as a fresh
+        :class:`VirtualHost` (the "reimage"), the pool's capacity
+        accounting grows back, and blocked ``allocate(wait=True)``
+        callers wake — the exact inverse of :meth:`quarantine`.  The
+        caller (the runner's probation countdown, or a remediation
+        patch) decides *when* release is safe; the cluster only does
+        the bookkeeping.
+        """
+        with self._nodes_available:
+            if host_name not in self._quarantined:
+                return False
+            del self._quarantined[host_name]
+            stale = self.hosts[host_name]
+            fresh = VirtualHost(host_name, stale.node_type)
+            self.hosts[host_name] = fresh
+            self.network._hosts[host_name] = fresh
+            self._pool_capacity[fresh.node_type.name] += 1
+            self._free.append(fresh)
+            self._nodes_available.notify_all()
+            return True
+
     def quarantined(self):
         """``{host name: reason}`` for every quarantined host."""
         with self._nodes_available:

@@ -316,6 +316,75 @@ class TestQuarantine:
         assert cluster.is_quarantined("node-1")
         assert cluster.quarantined() == {"node-1": "test"}
 
+    def test_release_restores_a_fresh_host_to_the_pool(self):
+        cluster = VirtualCluster("emulab", node_count=14)
+        cluster.host("node-1").fs.write("/tmp/scar", "leftover state")
+        assert cluster.quarantine("node-1", reason="test")
+        assert cluster.release_quarantine("node-1")
+        assert not cluster.release_quarantine("node-1")  # idempotent
+        assert not cluster.release_quarantine("node-9")  # never sentenced
+        assert not cluster.is_quarantined("node-1")
+        assert cluster.quarantined() == {}
+        # The released host is re-allocatable and comes back clean —
+        # a replacement machine, not the scarred one.
+        allocation = cluster.allocate(Topology(1, 1, 1))
+        held = {h.name for h in allocation.all_server_hosts()}
+        assert "node-1" in held
+        assert not cluster.host("node-1").fs.exists("/tmp/scar")
+
+
+# ---------------------------------------------------------------------------
+# Probation: quarantine sentences expire after good behaviour
+
+
+class TestProbation:
+    def test_policy_round_trip_and_validation(self):
+        policy = RetryPolicy(max_attempts=3, quarantine_after=2,
+                             probation_trials=4)
+        assert policy.to_dict()["probation_trials"] == 4
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+        with pytest.raises(Exception, match="probation_trials"):
+            RetryPolicy(probation_trials=-1)
+
+    def test_released_host_serves_again_and_can_be_resentenced(self):
+        # A crash pinned to node-1 that never heals: the host is
+        # quarantined, paroled after two clean trials elsewhere, bitten
+        # again on its first trial back, and re-quarantined on a single
+        # repeat offence (blame restarts one below the threshold).
+        plan = FaultPlan([FaultSpec(kind="host-crash", target="node-1",
+                                    rate=1.0, attempts=EVERY_ATTEMPT)],
+                         seed=3)
+        tracer = Tracer()
+        report = run_campaign(
+            CAMPAIGN_TBL, faults=plan, tracer=tracer,
+            retry=RetryPolicy(max_attempts=4, quarantine_after=2,
+                              probation_trials=2))
+        db = report.database
+        assert report.trials == 4 and report.dnf == 0
+        names = [span.name for _info, spans in db.traced_trials()
+                 for span in spans]
+        assert names.count("probation-release") == 2
+        assert names.count("quarantine") == 2
+        resolutions = [
+            (f.host, f.resolution)
+            for result in db.query() for f in result.failures]
+        assert resolutions.count(("node-1", "quarantined")) == 2
+
+    def test_without_probation_the_sentence_is_permanent(self):
+        plan = FaultPlan([FaultSpec(kind="host-crash", target="node-1",
+                                    rate=1.0, attempts=EVERY_ATTEMPT)],
+                         seed=3)
+        tracer = Tracer()
+        report = run_campaign(
+            CAMPAIGN_TBL, faults=plan, tracer=tracer,
+            retry=RetryPolicy(max_attempts=4, quarantine_after=2))
+        db = report.database
+        assert report.trials == 4 and report.dnf == 0
+        names = [span.name for _info, spans in db.traced_trials()
+                 for span in spans]
+        assert names.count("quarantine") == 1
+        assert "probation-release" not in names
+
 
 # ---------------------------------------------------------------------------
 # Enriched DNF records and export round-trip (satellite d)

@@ -501,6 +501,137 @@ class TestHttpService:
 
 
 # ---------------------------------------------------------------------------
+# Bounded waiting: a dead daemon must never hang a client forever
+
+
+class TestBoundedWait:
+    def _scripted_client(self, responses):
+        client = CampaignClient("http://test.invalid")
+        calls = []
+
+        def fake_call(method, path, body=None, timeout=None):
+            calls.append((path, body["timeout"], timeout))
+            return responses[min(len(calls), len(responses)) - 1]
+
+        client._call = fake_call
+        return client, calls
+
+    def test_unbounded_wait_polls_in_bounded_slices(self):
+        client, calls = self._scripted_client(
+            [{"timed_out": True}, {"timed_out": True},
+             {"state": "done"}])
+        record = client.wait("c001", poll=5)     # no deadline at all
+        assert record == {"state": "done"}
+        # Three requests, each with a finite server-side slice and a
+        # finite HTTP timeout — never an unbounded socket read.
+        assert calls == [("/wait", 5, 15)] * 3
+
+    def test_deadline_expires_across_slices(self):
+        client, calls = self._scripted_client([{"timed_out": True}])
+        assert client.wait("c001", timeout=7, poll=5) is None
+        assert [ask for _path, ask, _t in calls] == [5, 2]
+
+    def test_wait_on_a_dead_daemon_raises_within_a_slice(self):
+        client = CampaignClient("http://127.0.0.1:9", timeout=2)
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.wait("c001", poll=1)
+
+
+# ---------------------------------------------------------------------------
+# The heal endpoint: auto-remediation as a service
+
+
+HEAL_TBL = """
+benchmark rubis; platform emulab;
+experiment "healme" {
+    topology 1-1-1;
+    workload 50, 100;
+    write_ratio 15%;
+    trial { warmup 3s; run 15s; cooldown 3s; }
+}
+"""
+
+
+def _faulted_heal_db(path):
+    from repro import FaultPlan, FaultSpec, RetryPolicy
+    from repro.faults import EVERY_ATTEMPT
+
+    plan = FaultPlan([FaultSpec(kind="host-crash", target="node-1",
+                                rate=1.0, attempts=EVERY_ATTEMPT,
+                                transient=False)], seed=3)
+    api.run_campaign(HEAL_TBL, database=path, faults=plan,
+                     retry=RetryPolicy(max_attempts=2,
+                                       quarantine_after=2)
+                     ).database.close()
+
+
+class TestHealService:
+    def test_heal_a_database_round_trip(self, tmp_path):
+        db = str(tmp_path / "faulted.db")
+        _faulted_heal_db(db)
+        daemon = ServiceDaemon(port=0, jobs=2)
+        url = daemon.start()
+        client = CampaignClient(url)
+        try:
+            heal_id = client.heal(db_path=db, jobs=2)
+            assert heal_id.startswith("h")
+            record = client.wait(heal_id, timeout=120)
+            assert record is not None and record["state"] == "done"
+            assert record["kind"] == "heal"
+            assert "heal healed" in record["summary"]
+            assert "replace host node-1" in record["summary"]
+        finally:
+            client.shutdown()
+            daemon.stop()
+        database = ResultsDatabase(db)
+        assert database.remediation_count() > 0
+        assert database.get_meta("heal_outcome") == "healed"
+        assert database.integrity_check() == []
+        database.close()
+
+    def test_heal_by_id_waits_for_the_campaign(self, tmp_path):
+        db = str(tmp_path / "healthy.db")
+        daemon = ServiceDaemon(port=0, jobs=2)
+        url = daemon.start()
+        client = CampaignClient(url)
+        try:
+            campaign_id = client.submit(HEAL_TBL, db_path=db, jobs=2)
+            heal_id = client.heal(campaign_id)
+            record = client.wait(heal_id, timeout=120)
+            assert record is not None and record["state"] == "done"
+            assert "heal healthy" in record["summary"]
+        finally:
+            client.shutdown()
+            daemon.stop()
+
+    def test_heal_needs_a_target(self):
+        daemon = ServiceDaemon(port=0, jobs=1)
+        url = daemon.start()
+        client = CampaignClient(url)
+        try:
+            with pytest.raises(ServiceError,
+                               match="campaign_id or a db_path"):
+                client.heal()
+        finally:
+            daemon.stop()
+
+    def test_heal_cli_against_a_daemon(self, tmp_path, capsys):
+        from repro.cli import main
+
+        db = str(tmp_path / "faulted.db")
+        _faulted_heal_db(db)
+        daemon = ServiceDaemon(port=0, jobs=2)
+        url = daemon.start()
+        try:
+            assert main(["heal", db, "--url", url, "--jobs", "2"]) == 0
+            out = capsys.readouterr().out
+            assert "healing as h" in out
+            assert "heal healed" in out
+        finally:
+            daemon.stop()
+
+
+# ---------------------------------------------------------------------------
 # The CLI front of the service surface
 
 
