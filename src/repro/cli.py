@@ -11,10 +11,11 @@ Commands::
     generate  --tbl FILE [--mof FILE] --experiment NAME
               [--topology W-A-D] [--workload N] [--write-ratio F]
               [--backend shell|smartfrog] --out DIR
-    run       --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--jobs N]
-              [--faults FILE] [--retries N] [--fidelity des|analytic]
-              [--resume] [--trace] [--quiet]
-    explore   --tbl FILE [--mof FILE] [--db FILE] [--nodes N] [--jobs N]
+    run       --tbl FILE [--mof FILE] [--db FILE] [--nodes N]
+              [--jobs N|auto] [--faults FILE] [--retries N]
+              [--fidelity des|analytic] [--resume] [--trace] [--quiet]
+    explore   --tbl FILE [--mof FILE] [--db FILE] [--nodes N]
+              [--jobs N|auto]
               [--faults FILE] [--retries N]
               [--policy grid|knee|promote|tiered] [--budget N]
               [--fidelity des|analytic|auto]
@@ -37,6 +38,7 @@ Commands::
               [--fidelity des|analytic] [--out DIR]
                                                  (figure1..8, table1..7)
     trace     DB [--experiment NAME] [--limit N]
+    card      DB [--verify]
     catalog   [--platforms] [--software]
 
 The run/figure/report/trace handlers are thin wrappers over the
@@ -72,6 +74,11 @@ def main(argv=None):
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; the POSIX
+        # convention is a silent exit, not a traceback.
+        sys.stderr.close()
+        return 0
 
 
 def build_parser():
@@ -262,6 +269,14 @@ def build_parser():
                        help="trials shown in the breakdown (default 20)")
     trace.set_defaults(handler=cmd_trace)
 
+    card = commands.add_parser(
+        "card", help="print a campaign database's run card (provenance)")
+    card.add_argument("db", help="results database of a campaign run")
+    card.add_argument("--verify", action="store_true",
+                      help="recompute the table digests and fail if the "
+                           "database no longer matches the card")
+    card.set_defaults(handler=cmd_card)
+
     catalog = commands.add_parser(
         "catalog", help="print the hardware/software catalogs")
     catalog.add_argument("--platforms", action="store_true")
@@ -299,12 +314,42 @@ def _db_parent():
     return parent
 
 
+def _jobs_value(text):
+    """``--jobs`` accepts a worker count or ``auto`` (CPU-topology
+    sizing via :func:`repro.experiments.scheduler.calc_parallel_jobs`)."""
+    if text == "auto":
+        return text
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a worker count or 'auto', got {text!r}")
+
+
 def _jobs_parent(default=1):
     parent = _parent()
-    parent.add_argument("--jobs", type=int, default=default,
+    parent.add_argument("--jobs", type=_jobs_value, default=default,
+                        metavar="N|auto",
                         help=f"parallel trial workers (default {default}; "
-                             f"results are identical for any value)")
+                             f"'auto' sizes from the CPU count; results "
+                             f"are identical for any value)")
     return parent
+
+
+def _resolve_jobs(args, node_count=None):
+    """Resolve ``--jobs auto`` to a concrete worker count in place.
+
+    Resolution happens at the CLI boundary so every downstream consumer
+    (the remedy pipeline, the service fleet, wait math) sees an int;
+    *node_count* makes the sizing topology-aware where ``--nodes`` is
+    known.
+    """
+    if args.jobs == "auto":
+        from repro.experiments.scheduler import calc_parallel_jobs
+
+        args.jobs = calc_parallel_jobs(node_count=node_count)
+        print(f"--jobs auto: sized to {args.jobs} worker(s)")
+    return args.jobs
 
 
 def _faults_parent():
@@ -463,6 +508,7 @@ def cmd_run(args):
 
     _spec, _model, tbl_text, mof_text = _load_specs(args)
     faults = _load_fault_plan(args)
+    _resolve_jobs(args, node_count=args.nodes)
     with open_results(args.db) as database:
         report = run_campaign(tbl_text, mof_text=mof_text,
                               database=database, node_count=args.nodes,
@@ -503,6 +549,7 @@ def cmd_explore(args):
                                 fidelity=args.fidelity)
         print(preview.describe())
         return 0
+    _resolve_jobs(args, node_count=args.nodes)
     with open_results(args.db) as database:
         report = run_adaptive(tbl_text, policy=args.policy,
                               budget=args.budget,
@@ -534,6 +581,7 @@ def cmd_resume(args):
     from repro.api import open_results, resume_campaign
     from repro.obs import Tracer
 
+    _resolve_jobs(args)
     if args.url is not None:
         from repro.api import campaign_client
 
@@ -554,6 +602,7 @@ def cmd_heal(args):
     from repro.api import heal_campaign, open_results
     from repro.obs import Tracer
 
+    _resolve_jobs(args)
     if args.url is not None:
         from repro.api import campaign_client
 
@@ -582,6 +631,7 @@ def cmd_heal(args):
 def cmd_serve(args):
     from repro.service import serve
 
+    _resolve_jobs(args)
     print(f"campaign daemon: fleet of {args.jobs} worker(s), up to "
           f"{args.max_active} campaign(s) in flight")
     serve(host=args.host, port=args.port, jobs=args.jobs,
@@ -601,6 +651,7 @@ def cmd_submit(args):
         print("error: submit needs --tbl (or --resume with a "
               "checkpointed --db)", file=sys.stderr)
         return 2
+    _resolve_jobs(args, node_count=args.nodes)
     client = campaign_client(args.url)
     campaign_id = client.submit(
         tbl_text, db_path=args.db, jobs=args.jobs, mof_text=mof_text,
@@ -743,6 +794,7 @@ def cmd_figure(args):
     from repro.experiments.papersuite import FIGURE_IDS, reproduce_all
     from repro.obs import Tracer
 
+    _resolve_jobs(args)
     db_path = args.db
     if args.trace and db_path is None:
         db_path = "trace.sqlite"
@@ -801,6 +853,33 @@ def cmd_trace(args):
 
     print(trace_report(args.db, experiment=args.experiment,
                        limit=args.limit))
+    return 0
+
+
+def cmd_card(args):
+    from repro.api import open_results
+    from repro.provenance import canonical_json, verify_run_card
+
+    with open_results(args.db, create=False) as database:
+        cards = database.run_cards()
+        if not cards:
+            print(f"no run cards in {args.db} (produced before the "
+                  f"provenance plane, or not by run_campaign)",
+                  file=sys.stderr)
+            return 1
+        latest = cards[-1]
+        print(canonical_json(latest))
+        if len(cards) > 1:
+            print(f"({len(cards)} run cards recorded; showing the "
+                  f"latest)", file=sys.stderr)
+        if args.verify:
+            problems = verify_run_card(latest, database)
+            if problems:
+                for problem in problems:
+                    print(f"mismatch: {problem}", file=sys.stderr)
+                return 1
+            print("table digests verified: database matches the card",
+                  file=sys.stderr)
     return 0
 
 

@@ -34,7 +34,9 @@ import json
 import threading
 from dataclasses import dataclass, field
 
-from repro import hotpath
+import time
+
+from repro import hotpath, provenance
 from repro.core.characterization import PerformanceMap
 from repro.deprecation import absorb_positional
 from repro.errors import ExperimentError
@@ -42,7 +44,11 @@ from repro.faults.plan import FaultPlan
 from repro.faults.retry import QUARANTINED, RetryPolicy, as_policy
 from repro.obs.tracer import as_tracer
 from repro.experiments.runner import ExperimentRunner
-from repro.experiments.scheduler import TrialScheduler, enumerate_tasks
+from repro.experiments.scheduler import (
+    TrialScheduler,
+    calc_parallel_jobs,
+    enumerate_tasks,
+)
 from repro.results.database import ResultsDatabase
 from repro.sim import ANALYTIC, AUTO, DES, check_fidelity
 from repro.spec.mof import load_resource_model, render_resource_mof
@@ -384,11 +390,14 @@ class ObservationCampaign:
                 "fidelity 'auto' is an adaptive-exploration mode; a "
                 "fixed-grid run takes 'des' or 'analytic' — use "
                 "run_adaptive (repro explore) for tiered exploration")
+        started = time.perf_counter()
         report = CampaignReport(warnings=list(self.validation_warnings),
                                 database=self.database)
         experiments = self.state.select_experiments(experiment_names)
         report.experiments.extend(e.name for e in experiments)
         tasks = self.state.enumerate_plan(experiments, fidelity=fidelity)
+        jobs = self._resolve_jobs(jobs, trial_count=len(tasks))
+        self._preflight(jobs)
         if resume:
             tasks, report.skipped = self.state.pending(tasks,
                                                        self.database)
@@ -415,6 +424,8 @@ class ObservationCampaign:
             # delivered so far, so resume finds every stored trial.
             flush_tail()
         self._record_cache_stats(report)
+        self._record_run_card(report, jobs=jobs, fidelity=fidelity,
+                              wall_s=time.perf_counter() - started)
         return report
 
     def _ingest(self, report, *, replace, on_result, on_progress, total):
@@ -477,6 +488,44 @@ class ObservationCampaign:
 
         return store, flush_tail
 
+    def _resolve_jobs(self, jobs, trial_count=None):
+        """``"auto"`` -> a topology-aware worker count; ints pass
+        through.  Resolution happens here (not in the CLI) so every
+        entry point — api, daemon, service submits — gets the same
+        sizing."""
+        if jobs == "auto":
+            return calc_parallel_jobs(node_count=self.node_count,
+                                      trial_count=trial_count)
+        return jobs
+
+    def _preflight(self, jobs):
+        """Fail fast on misconfigurations no trial should pay for —
+        most notably a mistyped ``REPRO_SHELLVM``, which the engine
+        selector would otherwise silently resolve to the compiled
+        default."""
+        problems = provenance.preflight(
+            self.state, jobs=jobs, database_path=self.database.path)
+        if problems:
+            raise ExperimentError(
+                "campaign preflight failed: " + "; ".join(problems))
+
+    def _record_run_card(self, report, *, jobs, fidelity, wall_s):
+        """Persist this run's provenance record.
+
+        The card lands in the database's ``run_cards`` table and — for
+        file-backed databases — beside the file as
+        ``<db>.run_card.json``, making every campaign database a
+        self-describing reproducibility bundle: campaign_meta holds the
+        inputs to re-run, the card certifies what one run produced.
+        """
+        from repro.shellvm.interpreter import engine_mode
+
+        card = provenance.build_run_card(
+            report=report, state=self.state, engine=engine_mode(),
+            jobs=jobs, fidelity=fidelity, wall_s=wall_s)
+        self.database.insert_run_card(card)
+        provenance.export_run_card(card, self.database.path)
+
     def _record_cache_stats(self, report):
         """Capture hot-path cache counters into the report and the
         database meta, so cache effectiveness is observable per run.
@@ -516,6 +565,9 @@ class ObservationCampaign:
             make_policy
 
         check_fidelity(fidelity)
+        started = time.perf_counter()
+        jobs = self._resolve_jobs(jobs)
+        self._preflight(jobs)
         report = CampaignReport(warnings=list(self.validation_warnings),
                                 database=self.database)
         experiment = self.state.select_experiment(experiment_name)
@@ -622,6 +674,8 @@ class ObservationCampaign:
         report.pruned = outcome.pruned_points
         report.outcome = outcome
         self._record_cache_stats(report)
+        self._record_run_card(report, jobs=jobs, fidelity=fidelity,
+                              wall_s=time.perf_counter() - started)
         return report
 
     def _select_experiment(self, name):

@@ -23,6 +23,7 @@ default picks ``"process"`` where ``fork`` is available.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import threading
 import warnings
@@ -75,6 +76,31 @@ def enumerate_tasks(experiment, start_index=0, fidelity="des"):
                                    fidelity=fidelity))
             index += 1
     return tasks
+
+
+#: Total virtual hosts the auto-sized pool may hold live at once; each
+#: worker owns a full cluster, so huge topologies shrink the pool.
+_HOST_BUDGET = 512
+
+
+def calc_parallel_jobs(node_count=None, trial_count=None):
+    """Auto-size the worker pool (the ``--jobs auto`` resolution).
+
+    One core is reserved for the campaign's main/ingest thread — the
+    write-behind store and progress callbacks run there, and starving
+    it stalls every worker at the results barrier.  *node_count* makes
+    the sizing topology-aware: each worker clones the campaign's whole
+    virtual cluster, so large topologies cap the pool to keep the
+    total live host count bounded.  *trial_count* caps the pool at the
+    work available.  Always at least 1.
+    """
+    cpus = os.cpu_count() or 1
+    jobs = max(1, cpus - 1)
+    if node_count:
+        jobs = min(jobs, max(1, _HOST_BUDGET // node_count))
+    if trial_count is not None:
+        jobs = min(jobs, max(1, trial_count))
+    return jobs
 
 
 def default_backend():

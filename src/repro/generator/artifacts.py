@@ -98,6 +98,9 @@ class Bundle:
         self.experiment_id = experiment_id
         self.root = posixpath.join(root, experiment_id)
         self.files = {}
+        self._manifest_cache = None
+        self._install_plan = None
+        self._line_totals = None
 
     # -- construction ------------------------------------------------------
 
@@ -109,6 +112,9 @@ class Bundle:
         if not content.endswith("\n"):
             content += "\n"
         self.files[relative_path] = content
+        self._manifest_cache = None
+        self._install_plan = None
+        self._line_totals = None
         return relative_path
 
     def add_script(self, name, content):
@@ -144,24 +150,49 @@ class Bundle:
     def line_count(self, relative_path):
         return self.content(relative_path).count("\n")
 
+    def _count_lines(self):
+        """Memoized (script, config) line totals.
+
+        Every trial records both totals in its database row, and the
+        generation cache shares one bundle across a sweep point's
+        repetitions — recounting per trial made Table 3 accounting a
+        measurable slice of campaign runtime.
+        """
+        if self._line_totals is None:
+            scripts = self.line_count("run.sh") \
+                if "run.sh" in self.files else 0
+            script_prefix = self.SCRIPT_DIR + "/"
+            config_prefix = self.CONFIG_DIR + "/"
+            configs = 0
+            for path in self.files:
+                if path.startswith(script_prefix):
+                    scripts += self.line_count(path)
+                elif path.startswith(config_prefix):
+                    configs += self.line_count(path)
+            self._line_totals = (scripts, configs)
+        return self._line_totals
+
     def script_line_total(self):
         """Total generated script lines (Table 3's 'generated scripts')."""
-        total = self.line_count("run.sh") if "run.sh" in self.files else 0
-        prefix = self.SCRIPT_DIR + "/"
-        return total + sum(self.line_count(p) for p in self.files
-                           if p.startswith(prefix))
+        return self._count_lines()[0]
 
     def config_line_total(self):
         """Total configuration-file lines (Table 3's 'config changes')."""
-        prefix = self.CONFIG_DIR + "/"
-        return sum(self.line_count(p) for p in self.files
-                   if p.startswith(prefix))
+        return self._count_lines()[1]
 
     def file_count(self):
         return len(self.files)
 
     def manifest(self):
-        """Human-readable inventory of the bundle."""
+        """Human-readable inventory of the bundle.
+
+        Memoized: bundles are shared across every trial of a sweep
+        point through the generation cache, and each trial installs the
+        manifest — recounting every file's lines per install would make
+        the inventory the most expensive artifact in the bundle.
+        """
+        if self._manifest_cache is not None:
+            return self._manifest_cache
         lines = [f"# Mulini bundle {self.experiment_id}",
                  f"# root: {self.root}",
                  f"# files: {self.file_count()}"]
@@ -169,13 +200,23 @@ class Bundle:
             lines.append(f"{self.line_count(path):6d}  {path}")
         lines.append(f"{self.script_line_total():6d}  TOTAL script lines")
         lines.append(f"{self.config_line_total():6d}  TOTAL config lines")
-        return "\n".join(lines) + "\n"
+        self._manifest_cache = "\n".join(lines) + "\n"
+        return self._manifest_cache
 
     # -- installation ------------------------------------------------------
 
     def install_to(self, control_host):
-        """Write every artifact into the control host's filesystem."""
-        for relative_path, content in self.files.items():
-            control_host.fs.write(self.path_of(relative_path), content)
-        control_host.fs.write(self.path_of("manifest.txt"), self.manifest())
+        """Write every artifact into the control host's filesystem.
+
+        The install plan (absolute path, content pairs) is memoized for
+        the same reason as the manifest: the generation cache shares one
+        bundle across every repetition of a sweep point, and each trial
+        re-installs it onto a fresh control host.
+        """
+        if self._install_plan is None:
+            items = [(self.path_of(path), content)
+                     for path, content in self.files.items()]
+            items.append((self.path_of("manifest.txt"), self.manifest()))
+            self._install_plan = tuple(items)
+        control_host.fs.write_many(self._install_plan)
         return self.path_of("run.sh")

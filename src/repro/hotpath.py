@@ -120,7 +120,8 @@ def caches_disabled():
     """
     scoped = current_tenant()
     if scoped is None:
-        previous = _enabled
+        with _state_lock:
+            previous = _enabled
         set_enabled(False)
         try:
             yield
@@ -172,9 +173,10 @@ class MemoCache:
 
     Values must be immutable (or treated as such by every consumer):
     a hit returns the stored object itself, shared across threads.
-    When the table reaches *capacity* it is emptied — campaign working
-    sets are far below any sane capacity, so eviction is a backstop
-    against unbounded growth, not a tuning knob.
+    When the table reaches *capacity* the oldest entry is evicted
+    (FIFO, by insertion order) — campaign working sets are far below
+    any sane capacity, so eviction is a backstop against unbounded
+    growth, not a tuning knob.
 
     Lookups made inside a :func:`tenant` scope are additionally
     attributed to that tenant, so a shared daemon can report per-
@@ -200,9 +202,15 @@ class MemoCache:
         same key both build, and the later store wins — safe because
         values are pure functions of their key.
         """
-        if not enabled():
+        # Inlined enabled() + current_tenant(): one threading.local
+        # read instead of two function calls — get() is the hottest
+        # call in a warm campaign (every script compile, archive plan
+        # and bundle lookup lands here).
+        if not _enabled:
             return build()
-        tenant = current_tenant()
+        tenant = getattr(_scope, "tenant", None)
+        if tenant is not None and tenant in _disabled_tenants:
+            return build()
         with self._lock:
             try:
                 value = self._table[key]
@@ -218,8 +226,12 @@ class MemoCache:
                         self._tenant_misses.get(tenant, 0) + 1
         value = build()
         with self._lock:
-            if len(self._table) >= self.capacity:
-                self._table.clear()
+            while len(self._table) >= self.capacity:
+                # Evict the oldest entry (dict preserves insertion
+                # order) rather than flushing: a flush would wipe every
+                # concurrent tenant's hot entries the moment one
+                # campaign overflows the table.
+                del self._table[next(iter(self._table))]
             self._table[key] = value
         return value
 

@@ -32,10 +32,17 @@ on "is tracing on".
 from __future__ import annotations
 
 import json
+import math
 import os
+import re
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import NamedTuple
+
+#: Printable ASCII minus ``"`` and ``\`` — strings that JSON-encode as
+#: themselves, needing no escape pass.
+_PLAIN_JSON_STR = re.compile(r'^[ !#-\[\]-~]*$')
 
 #: The eight lifecycle phases of one trial, in execution order.
 TRIAL_PHASES = ("allocate", "generate", "deploy", "verify", "simulate",
@@ -48,7 +55,7 @@ OK = "ok"
 ERROR = "error"
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed operation, possibly with children."""
 
@@ -68,14 +75,15 @@ class Span:
         self.attributes.update(attributes)
 
 
-@dataclass(frozen=True)
-class SpanRecord:
+class SpanRecord(NamedTuple):
     """A flattened span, ready for the results database.
 
     ``span_id``/``parent_id`` number the trial's span tree in DFS
     preorder (the root is 1, its parent 0); ``start_s`` is an absolute
     monotonic-clock reading so spans from concurrent workers share one
-    timeline.
+    timeline.  A named tuple because every script execution of every
+    trial flattens into one — frozen-dataclass construction was
+    measurable across a campaign.
     """
 
     span_id: int
@@ -87,6 +95,34 @@ class SpanRecord:
     attributes: dict
 
     def attributes_json(self):
+        """The attribute dict as canonical sorted-key JSON.
+
+        Hand-assembled for the flat str/int/float/bool dicts every span
+        carries (``json.dumps`` per span was a measurable slice of
+        storing a campaign); anything fancier — nested values, strings
+        needing escapes — falls back to the real encoder, whose output
+        the fast path matches byte for byte.
+        """
+        parts = []
+        for key in sorted(self.attributes):
+            value = self.attributes[key]
+            kind = type(value)
+            if kind is str:
+                if not _PLAIN_JSON_STR.match(value) \
+                        or not _PLAIN_JSON_STR.match(key):
+                    break
+                parts.append(f'"{key}": "{value}"')
+            elif kind is bool:
+                parts.append(f'"{key}": {"true" if value else "false"}')
+            elif kind is int or kind is float:
+                if not _PLAIN_JSON_STR.match(key) \
+                        or (kind is float and not math.isfinite(value)):
+                    break
+                parts.append(f'"{key}": {value!r}')
+            else:
+                break
+        else:
+            return "{" + ", ".join(parts) + "}"
         return json.dumps(self.attributes, sort_keys=True, default=str)
 
 
@@ -96,10 +132,13 @@ def flatten_span(root):
 
     def visit(span, parent_id):
         span_id = len(records) + 1
+        # The record adopts the span's attribute dict rather than
+        # copying it: flattening marks the end of the span's life, and
+        # a campaign flattens one record per script execution.
         records.append(SpanRecord(
             span_id=span_id, parent_id=parent_id, name=span.name,
             start_s=span.start, duration_s=span.duration,
-            status=span.status, attributes=dict(span.attributes),
+            status=span.status, attributes=span.attributes,
         ))
         for child in span.children:
             visit(child, span_id)

@@ -142,6 +142,17 @@ CREATE TABLE IF NOT EXISTS remediations (
     accepted INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (round, seq)
 );
+-- The provenance plane: one run card per campaign run — the canonical
+-- JSON record of what produced this database (command, environment,
+-- resolved parameters, input and table digests, cache stats).  Where
+-- campaign_meta stores the inputs a resume needs verbatim, run_cards
+-- stores the observation of each run that wrote here, so the database
+-- is a self-describing reproducibility bundle.
+CREATE TABLE IF NOT EXISTS run_cards (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    created TEXT NOT NULL,
+    card TEXT NOT NULL
+);
 CREATE INDEX IF NOT EXISTS idx_state_metrics_trial
     ON state_metrics (trial_id);
 CREATE INDEX IF NOT EXISTS idx_trials_sweep
@@ -487,7 +498,8 @@ class ResultsDatabase:
         surface the determinism tests diff (tracing must never change
         what lands in the observation tables)."""
         if table not in ("trials", "host_cpu", "state_metrics", "spans",
-                         "failures", "planner_decisions", "remediations"):
+                         "failures", "planner_decisions", "remediations",
+                         "run_cards"):
             raise ResultsError(f"unknown table {table!r}")
         if not self.has_table(table):
             return []
@@ -653,6 +665,41 @@ class ResultsDatabase:
                 "WHERE resolution = ? ORDER BY host",
                 (QUARANTINED,)).fetchall()
         return {host: cause for host, cause in rows}
+
+    # -- run cards (the provenance plane) ----------------------------------
+
+    def insert_run_card(self, card):
+        """Append one run card (a JSON-ready dict) to ``run_cards``.
+
+        The stored text is the canonical serialized form (sorted keys),
+        so equal cards store equal bytes.  Returns the card's row id.
+        """
+        from repro.provenance import canonical_json
+
+        created = card.get("created", "")
+        with self._lock:
+            cursor = self._db.execute(
+                "INSERT INTO run_cards (created, card) VALUES (?, ?)",
+                (created, canonical_json(card)))
+            self._db.commit()
+            return cursor.lastrowid
+
+    def run_cards(self):
+        """Every stored run card as a dict, oldest first.  A database
+        that predates the provenance plane reads as an empty list."""
+        if not self.has_table("run_cards"):
+            return []
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT card FROM run_cards ORDER BY id").fetchall()
+        return [json.loads(card) for (card,) in rows]
+
+    def run_card_count(self):
+        if not self.has_table("run_cards"):
+            return 0
+        with self._lock:
+            return self._db.execute(
+                "SELECT COUNT(*) FROM run_cards").fetchone()[0]
 
     # -- campaign meta (checkpoint/resume) ---------------------------------
 
@@ -823,6 +870,17 @@ class ResultsDatabase:
                             "experiment_name, detail, score, accepted) "
                             "VALUES (?,?,?,?,?,?,?,?,?)",
                             (row[0] + round_base,) + tuple(row[1:]))
+                if shard.has_table("run_cards"):
+                    # Provenance travels with the rows: the merged
+                    # database records every shard's run card, oldest
+                    # first, so "what produced these trials" survives
+                    # the merge.
+                    for created, card in src.execute(
+                            "SELECT created, card FROM run_cards "
+                            "ORDER BY id").fetchall():
+                        self._db.execute(
+                            "INSERT INTO run_cards (created, card) "
+                            "VALUES (?, ?)", (created, card))
             except Exception:
                 self._db.rollback()
                 raise

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.errors import ClusterError, CommandError
 from repro.shellvm.environment import ExitScript
-from repro.vcluster.archives import parse_archive
+from repro.vcluster.archives import extraction_plan
 from repro.vcluster.filesystem import normalize
 
 REGISTRY = {}
@@ -233,12 +233,11 @@ def _tar(interp, env, argv):
     if not env.host.fs.is_file(archive_path):
         return 1, f"tar: no such archive: {archive}\n"
     try:
-        members = parse_archive(env.host.fs.read(archive_path))
+        plan = extraction_plan(env.host.fs.read(archive_path), dest)
     except ClusterError as error:
         return 1, f"tar: {error}\n"
     env.host.fs.mkdir(dest, parents=True)
-    for member, content in members.items():
-        env.host.fs.write(dest.rstrip("/") + "/" + member, content)
+    env.host.fs.write_many(plan)
     return 0, ""
 
 

@@ -16,10 +16,13 @@ class ExitScript(Exception):
 class ShellEnvironment:
     """Variables, positional parameters, cwd and host for one script."""
 
+    __slots__ = ("host", "variables", "positional", "cwd", "script",
+                 "errexit")
+
     def __init__(self, host, variables=None, positional=(), cwd="/",
                  script="<script>"):
         self.host = host
-        self.variables = dict(variables or {})
+        self.variables = dict(variables) if variables else {}
         self.positional = tuple(positional)
         self.cwd = cwd
         self.script = script
@@ -57,6 +60,19 @@ class ShellEnvironment:
         )
         child.errexit = self.errexit
         return child
+
+
+def errexit_failure(status, line, env):
+    """The :class:`ShellError` a ``set -e`` abort raises.
+
+    Shared by the tree-walking interpreter and the closure compiler so
+    both engines report errexit failures identically: the *executing*
+    script path (``env.script``) plus the failing statement's line.
+    """
+    return ShellError(
+        f"command failed with status {status} under set -e",
+        line=line, script=env.script,
+    )
 
 
 def expand_word(parts, env):

@@ -9,15 +9,17 @@ fails, exactly as on a physical cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from typing import NamedTuple
 
-from repro.errors import CommandError, ShellError
+from repro.errors import ClusterError, CommandError, ShellError
 from repro.faults.injector import NULL_INJECTOR
 from repro.obs.tracer import as_tracer
 from repro.shellvm.builtins import REGISTRY
 from repro.shellvm.environment import (
     ExitScript,
     ShellEnvironment,
+    errexit_failure,
     expand_single,
     expand_word,
 )
@@ -33,13 +35,35 @@ from repro.vcluster.filesystem import normalize
 _MAX_SCRIPT_DEPTH = 32
 
 
-@dataclass
-class LogEntry:
-    """One executed command, for verification and audit."""
+class LogEntry(NamedTuple):
+    """One executed command, for verification and audit.
+
+    A named tuple rather than a dataclass: one is appended per command
+    executed, which makes construction cost part of every script's
+    critical path under either engine.
+    """
 
     host: str
     command: str
     status: int
+
+
+# Imported below LogEntry on purpose: the compiler needs LogEntry (its
+# compiled commands append to the same audit log), so the circular
+# import resolves as long as the class exists before compiler loads.
+from repro.shellvm.compiler import compile_text  # noqa: E402
+
+
+def engine_mode():
+    """Which execution engine ``REPRO_SHELLVM`` selects.
+
+    ``interp`` (or ``interpreter``) keeps the original tree-walker as
+    the oracle; anything else — including unset — takes the compiled
+    closure form.  Read at interpreter construction, so flipping the
+    variable affects the next trial, never a script mid-flight.
+    """
+    value = os.environ.get("REPRO_SHELLVM", "compiled").strip().lower()
+    return "interp" if value in ("interp", "interpreter") else "compiled"
 
 
 class ShellInterpreter:
@@ -52,6 +76,7 @@ class ShellInterpreter:
         self.log = []
         self.slept_seconds = 0.0
         self._depth = 0
+        self.engine = engine_mode()
 
     # -- public entry points ----------------------------------------------
 
@@ -64,9 +89,11 @@ class ShellInterpreter:
         the trace report comes from.
         """
         full = normalize(path, parent_env.cwd if parent_env else "/")
-        if not host.fs.is_file(full):
-            raise ShellError(f"no such script: {full}", script=full)
-        text = host.fs.read(full)
+        try:
+            text = host.fs.read(full)
+        except ClusterError:
+            raise ShellError(f"no such script: {full}", script=full) \
+                from None
         if parent_env is not None:
             env = parent_env.child(script=full, positional=tuple(args))
             env.host = host
@@ -76,21 +103,50 @@ class ShellInterpreter:
         # Fault point: a ``daemon-kill`` armed for this trial strikes
         # between scripts — the first script that starts while a
         # matching daemon is alive somewhere on the network sees it
-        # die mid-deployment.
-        self.faults.fire("shell.script", network=self.network,
-                         host=host, path=full)
+        # die mid-deployment.  (Guarded: fault-free campaigns run one
+        # script per generated line, and even building the context
+        # kwargs for a no-op injector was visible at that rate.)
+        if self.faults is not NULL_INJECTOR:
+            self.faults.fire("shell.script", network=self.network,
+                             host=host, path=full)
         with self.tracer.span("script", path=full, host=host.name,
-                              depth=self._depth):
-            status, output = self._run_parsed(parse(text, script=full), env)
-            self.tracer.annotate(status=status)
+                              depth=self._depth) as span:
+            if self.engine == "compiled":
+                status, output = self._run_compiled(
+                    compile_text(text, full), env)
+            else:
+                status, output = self._run_parsed(
+                    parse(text, script=full), env)
+            span.annotate(status=status)
         return status, output
 
     def run_text_on(self, host, text, script="<inline>", variables=None):
         """Run inline shell *text* on *host*; returns (status, output)."""
         env = ShellEnvironment(host=host, variables=variables, script=script)
+        if self.engine == "compiled":
+            return self._run_compiled(compile_text(text, script), env)
         return self._run_parsed(parse(text, script=script), env)
 
     # -- execution core ----------------------------------------------------
+
+    def _run_compiled(self, program, env):
+        """Run a compiled *program* (one closure per script) under the
+        same depth accounting and ``exit`` semantics as the tree-walk."""
+        if self._depth >= _MAX_SCRIPT_DEPTH:
+            raise ShellError(
+                f"script nesting deeper than {_MAX_SCRIPT_DEPTH} "
+                f"(recursive generation bug?)", script=env.script
+            )
+        self._depth += 1
+        output = []
+        status = 0
+        try:
+            status = program(self, env, output)
+        except ExitScript as exit_request:
+            status = exit_request.status
+        finally:
+            self._depth -= 1
+        return status, "".join(output)
 
     def _run_parsed(self, script, env):
         if self._depth >= _MAX_SCRIPT_DEPTH:
@@ -105,11 +161,8 @@ class ShellInterpreter:
             for statement in script.statements:
                 status = self._execute(statement, env, output)
                 if env.errexit and status != 0:
-                    raise ShellError(
-                        f"command failed with status {status} under set -e",
-                        line=getattr(statement, "line", None),
-                        script=script.source,
-                    )
+                    raise errexit_failure(
+                        status, getattr(statement, "line", None), env)
         except ExitScript as exit_request:
             status = exit_request.status
         finally:
@@ -155,10 +208,8 @@ class ShellInterpreter:
         for statement in body:
             status = self._execute(statement, env, output)
             if env.errexit and status != 0:
-                raise ShellError(
-                    f"command failed with status {status} under set -e",
-                    line=getattr(statement, "line", None), script=env.script,
-                )
+                raise errexit_failure(
+                    status, getattr(statement, "line", None), env)
         return status
 
     def _execute_for(self, node, env, output):
@@ -171,11 +222,8 @@ class ShellInterpreter:
             for statement in node.body:
                 status = self._execute(statement, env, output)
                 if env.errexit and status != 0:
-                    raise ShellError(
-                        f"command failed with status {status} under set -e",
-                        line=getattr(statement, "line", None),
-                        script=env.script,
-                    )
+                    raise errexit_failure(
+                        status, getattr(statement, "line", None), env)
         return status
 
     def _execute_simple(self, node, env, output):
@@ -187,12 +235,17 @@ class ShellInterpreter:
             argv.extend(expand_word(word, env))
         if not argv:
             return 0
+        diagnostic = None
         try:
             status, command_output = self._dispatch(argv, env, node)
         except CommandError as error:
-            status, command_output = 127, f"{error}\n"
-        self.log.append(LogEntry(host=env.host.name,
-                                 command=" ".join(argv), status=status))
+            # Dispatch failures model stderr: the diagnostic belongs to
+            # the captured output stream, never to a ``>``-redirected
+            # file (which is still created/truncated, as bash performs
+            # the redirect before command lookup).
+            status, command_output = 127, ""
+            diagnostic = f"{error}\n"
+        self.log.append(LogEntry(env.host.name, " ".join(argv), status))
         if node.redirect is not None:
             target = expand_single(node.redirect.target, env,
                                    what="redirect target")
@@ -200,6 +253,8 @@ class ShellInterpreter:
                               append=node.redirect.append)
         else:
             output.append(command_output)
+        if diagnostic is not None:
+            output.append(diagnostic)
         return status
 
     def _dispatch(self, argv, env, node):

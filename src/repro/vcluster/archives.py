@@ -52,8 +52,21 @@ def _build_archive(package):
     return "\n".join(lines) + "\n"
 
 
+_PARSE_CACHE = hotpath.MemoCache("vcluster.unarchive", capacity=256)
+
+
 def parse_archive(text):
-    """Parse archive text back to ``{member_path: content}``."""
+    """Parse archive text back to ``{member_path: content}``.
+
+    Memoized on the archive text: every host of a tier extracts the
+    same package tarball, so a deployment parses each archive once.
+    Callers must treat the returned dict as immutable (the ``tar``
+    builtin only iterates it).
+    """
+    return _PARSE_CACHE.get(text, lambda: _parse_archive(text))
+
+
+def _parse_archive(text):
     lines = text.split("\n")
     if not lines or not lines[0].startswith(MAGIC):
         raise ClusterError("not a repro tarball (bad magic)")
@@ -80,6 +93,29 @@ def parse_archive(text):
     if not members:
         raise ClusterError("tarball has no members")
     return members
+
+
+_PLAN_CACHE = hotpath.MemoCache("vcluster.extract", capacity=512)
+
+
+def extraction_plan(text, dest):
+    """Memoized ``((absolute path, content), ...)`` for extracting the
+    archive *text* under directory *dest*.
+
+    Every host of a tier extracts the same tarball to the same
+    destination on every trial, so the per-member path arithmetic is
+    done once and the ``tar`` builtin reduces to a bulk write.
+    """
+    return _PLAN_CACHE.get((text, dest),
+                           lambda: _extraction_plan(text, dest))
+
+
+def _extraction_plan(text, dest):
+    from repro.vcluster.filesystem import normalize
+    members = parse_archive(text)
+    prefix = dest.rstrip("/") + "/"
+    return tuple((normalize(prefix + member), content)
+                 for member, content in members.items())
 
 
 def archive_package_name(text):

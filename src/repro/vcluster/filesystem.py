@@ -16,6 +16,11 @@ from repro.errors import ClusterError
 
 def normalize(path, cwd="/"):
     """Resolve *path* against *cwd* into a normalized absolute path."""
+    if path.startswith("/") and "//" not in path and "/." not in path \
+            and (not path.endswith("/") or path == "/"):
+        # Already normal — the common case by far: deployment scripts
+        # use absolute paths, and compiled programs pre-normalize.
+        return path
     if not path:
         raise ClusterError("empty path")
     if not path.startswith("/"):
@@ -131,7 +136,9 @@ class VirtualFileSystem:
             raise ClusterError(f"file exists: {path}")
         if path in self._dirs:
             return
-        parent = posixpath.dirname(path)
+        # posixpath.dirname, inlined: paths are normalized here, so the
+        # parent is everything before the last slash (or the root).
+        parent = path.rpartition("/")[0] or "/"
         if parent not in self._dirs:
             if not parents:
                 raise ClusterError(f"no such directory: {parent}")
@@ -152,13 +159,42 @@ class VirtualFileSystem:
                 f"{self._stalled_owner}: disk degraded; write of "
                 f"{len(content)} bytes to {path} stalled"
             )
-        parent = posixpath.dirname(path)
+        parent = path.rpartition("/")[0] or "/"
         if parent not in self._dirs:
             self.mkdir(parent, parents=True)
         self._mtime += 1
         if append and path in self._files:
             content = self._files[path][0] + content
         self._files[path] = (content, self._mtime)
+
+    def write_many(self, items):
+        """Write many ``(path, content)`` pairs in order.
+
+        Semantically identical to calling :meth:`write` once per pair
+        (same per-file mtime, same parent auto-creation, same stall
+        behaviour at the same pair), but with the per-call ceremony
+        hoisted out of the loop.  Paths must already be normalized
+        absolute paths and contents must be ``str`` — archive
+        extraction and bundle installation, the two bulk writers, both
+        pre-normalize their plans.
+        """
+        files = self._files
+        dirs = self._dirs
+        stalled = self._stalled_owner
+        for path, content in items:
+            if path in dirs:
+                raise ClusterError(f"is a directory: {path}")
+            if stalled is not None \
+                    and len(content) >= self.STALL_THRESHOLD_BYTES:
+                raise ClusterError(
+                    f"{stalled}: disk degraded; write of "
+                    f"{len(content)} bytes to {path} stalled"
+                )
+            parent = path.rpartition("/")[0] or "/"
+            if parent not in dirs:
+                self.mkdir(parent, parents=True)
+            self._mtime += 1
+            files[path] = (content, self._mtime)
 
     def remove(self, path, recursive=False):
         path = normalize(path)

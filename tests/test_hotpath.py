@@ -104,6 +104,45 @@ class TestMemoCache:
         assert cache.snapshot_stats()["entries"] <= 2
         assert cache.get(99, lambda: "fresh") == "fresh"
 
+    def test_overflow_evicts_oldest_entry_only(self):
+        # Regression: overflow must evict FIFO, never flush the table —
+        # a flush would cold-start every concurrent tenant the moment
+        # one campaign overflows.
+        cache = hotpath.MemoCache("test.fifo", capacity=3)
+        for key in ("a", "b", "c"):
+            cache.get(key, lambda k=key: k.upper())
+        cache.get("d", lambda: "D")          # evicts "a", keeps b/c
+        built = []
+        for key in ("b", "c", "d"):
+            cache.get(key, lambda: built.append(key))
+        assert built == []                   # survivors still served
+        cache.get("a", lambda: built.append("a"))
+        assert built == ["a"]                # the oldest was the victim
+
+    def test_concurrent_same_key_reads_are_consistent(self):
+        # Regression: reads take the table lock, so racing threads see
+        # either a miss (and build) or the stored object — never a
+        # torn/partial entry.  Every returned value must be correct.
+        import threading
+
+        cache = hotpath.MemoCache("test.race", capacity=64)
+        results = []
+
+        def probe():
+            for i in range(200):
+                results.append(cache.get(i % 8, lambda k=i % 8: k * 10))
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.snapshot_stats()
+        assert stats["hits"] + stats["misses"] == 8 * 200
+        assert set(results) == {k * 10 for k in range(8)}
+        assert all(cache.get(k, lambda: "wrong") == k * 10
+                   for k in range(8))
+
 
 # ---------------------------------------------------------------------------
 # Tenant plane: shared tables, per-campaign attribution and switches
