@@ -13,6 +13,9 @@ its signatures are the package's compatibility surface:
 - :func:`heal_campaign` — closed-loop auto-remediation of a diagnosed
   campaign (detect -> propose -> verify -> apply, ``repro heal``).
 - :func:`reproduce_figure` — regenerate one paper figure/table.
+- :func:`list_scenarios` / :func:`run_scenario` — the declarative
+  scenario matrix: consolidation x arrival pattern x expected ranges
+  (``repro scenarios list|run``).
 - :func:`open_results` — open (or create) an observation database.
 - :func:`trace_report` — render the flight-recorder report of a run.
 - :func:`serve_campaigns` / :func:`campaign_client` — the campaign
@@ -276,6 +279,57 @@ def reproduce_figure(figure_id, *, scale=None, jobs=1, tracer=None,
     return figure
 
 
+def list_scenarios():
+    """The scenario matrix, in table order (``repro scenarios list``).
+
+    Each entry is a :class:`~repro.scenarios.Scenario` — topology,
+    consolidation ratio, arrival pattern, workload ladder, and the
+    expected-range assertions its runs are checked against.
+    """
+    from repro.scenarios import list_scenarios as _list
+
+    return _list()
+
+
+def run_scenario(name, *, database=None, node_count=36, jobs=1,
+                 backend=None, tracer=None, on_result=None,
+                 on_progress=None, resume=False, fidelity=DES,
+                 check=True):
+    """Run one scenario of the matrix (``repro scenarios run <name>``).
+
+    Compiles the named scenario row to TBL text (scenario identity,
+    consolidation ratio, and arrival pattern are plain TBL settings),
+    runs it through :func:`run_campaign`, then checks the row's
+    expected ranges against the stored trials.  Returns a
+    :class:`~repro.scenarios.ScenarioOutcome` whose ``report`` is the
+    campaign report and whose ``failures`` list any missed range
+    (``check=False`` skips the verdicts).  Unknown names raise
+    :class:`~repro.errors.ScenarioError`.
+    """
+    from repro.scenarios import (
+        check_expectations,
+        compile_scenario,
+        get_scenario,
+        ScenarioOutcome,
+    )
+
+    scenario = get_scenario(name)
+    tbl_text = compile_scenario(scenario)
+    database = _as_database(database, create=True)
+    report = run_campaign(tbl_text, database=database,
+                          node_count=node_count, jobs=jobs,
+                          backend=backend, tracer=tracer,
+                          on_result=on_result, on_progress=on_progress,
+                          tbl_source=f"<scenario {name}>",
+                          resume=resume, fidelity=fidelity)
+    failures = []
+    if check:
+        failures = check_expectations(
+            scenario, report.database.query(scenario=name))
+    return ScenarioOutcome(scenario=scenario, report=report,
+                           failures=failures)
+
+
 def open_results(path=None, *, create=True):
     """Open an observation database (``None`` -> in-memory).
 
@@ -351,6 +405,7 @@ __all__ = [
     "campaign_client",
     "check_fidelity",
     "heal_campaign",
+    "list_scenarios",
     "open_results",
     "plan_campaign",
     "reproduce_figure",
@@ -358,6 +413,7 @@ __all__ = [
     "run_adaptive",
     "run_campaign",
     "run_experiment",
+    "run_scenario",
     "serve_campaigns",
     "solve",
     "trace_report",

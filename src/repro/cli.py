@@ -37,6 +37,9 @@ Commands::
     figure    --id ID [--scale F] [--jobs N] [--trace] [--db FILE]
               [--fidelity des|analytic] [--out DIR]
                                                  (figure1..8, table1..7)
+    scenarios list
+    scenarios run NAME [--db FILE] [--jobs N|auto] [--nodes N]
+              [--fidelity F] [--resume] [--no-check] [--trace] [--quiet]
     trace     DB [--experiment NAME] [--limit N]
     card      DB [--verify]
     catalog   [--platforms] [--software]
@@ -276,6 +279,26 @@ def build_parser():
                       help="recompute the table digests and fail if the "
                            "database no longer matches the card")
     card.set_defaults(handler=cmd_card)
+
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="the declarative scenario matrix: consolidation x arrivals")
+    scenario_actions = scenarios.add_subparsers(metavar="action")
+    scenarios_list = scenario_actions.add_parser(
+        "list", help="show every scenario and its expected ranges")
+    scenarios_list.set_defaults(handler=cmd_scenarios_list)
+    scenarios_run = scenario_actions.add_parser(
+        "run", parents=[db, jobs, output, fidelity],
+        help="compile one scenario to TBL, run it, check its ranges")
+    scenarios_run.add_argument("name", help="scenario name (see: repro "
+                                            "scenarios list)")
+    scenarios_run.add_argument("--nodes", type=int, default=36,
+                               help="virtual cluster size (default 36)")
+    scenarios_run.add_argument("--resume", action="store_true",
+                               help="skip trials already stored in --db")
+    scenarios_run.add_argument("--no-check", action="store_true",
+                               help="skip the expected-range assertions")
+    scenarios_run.set_defaults(handler=cmd_scenarios_run)
 
     catalog = commands.add_parser(
         "catalog", help="print the hardware/software catalogs")
@@ -881,6 +904,45 @@ def cmd_card(args):
             print("table digests verified: database matches the card",
                   file=sys.stderr)
     return 0
+
+
+def cmd_scenarios_list(args):
+    from repro.api import list_scenarios
+
+    for scenario in list_scenarios():
+        shape = scenario.topology
+        if scenario.consolidation > 1:
+            shape += f" @{scenario.consolidation}x"
+        arrival = "closed-loop" if scenario.arrival is None \
+            else scenario.arrival["kind"]
+        expects = ", ".join(f"{key}={value}" for key, value
+                            in sorted(scenario.expects.items())) or "-"
+        print(f"{scenario.name:20} {shape:12} {arrival:12} {expects}")
+        print(f"{'':20} {scenario.description}")
+    return 0
+
+
+def cmd_scenarios_run(args):
+    from repro.api import open_results, run_scenario
+    from repro.obs import Tracer
+
+    _resolve_jobs(args, node_count=args.nodes)
+    with open_results(args.db) as database:
+        outcome = run_scenario(args.name, database=database,
+                               node_count=args.nodes, jobs=args.jobs,
+                               tracer=Tracer() if args.trace else None,
+                               on_result=_trial_progress(args),
+                               resume=args.resume,
+                               fidelity=args.fidelity,
+                               check=not args.no_check)
+        _print_report(outcome.report)
+        if not args.no_check:
+            print(outcome.describe())
+    print(f"observations stored in {args.db}")
+    if args.trace:
+        print(f"lifecycle spans recorded; inspect with: "
+              f"repro trace {args.db}")
+    return 0 if outcome.ok else 1
 
 
 def cmd_catalog(args):

@@ -38,6 +38,53 @@ def detect_bottleneck(result, threshold=SATURATION_CPU_PERCENT):
     return max(saturated, key=saturated.get)
 
 
+def colocation_of(result):
+    """``{vm host: (physical, [cotenants])}`` parsed back out of a
+    trial's observation rows.
+
+    Consolidated trials record one synthetic ``host_cpu`` row per
+    tenant, named ``<physical>/<member>`` with tier ``physical`` (see
+    the runner's ``_surface_colocation``) — membership rides the
+    observation tables, so attribution works on a loaded database with
+    no access to the cluster that ran the trial.  Dedicated trials
+    return ``{}``.
+    """
+    members = {}                      # physical -> [member, ...]
+    for host, tier in sorted(result.tier_of_host.items()):
+        if tier != "physical" or "/" not in host:
+            continue
+        physical, member = host.split("/", 1)
+        members.setdefault(physical, []).append(member)
+    placement = {}
+    for physical, tenants in members.items():
+        for member in tenants:
+            placement[member] = (
+                physical, [m for m in tenants if m != member])
+    return placement
+
+
+def interference_attribution(result, threshold=SATURATION_CPU_PERCENT):
+    """Saturated hosts whose pressure is (partly) a cotenant's fault.
+
+    Returns ``[{host, physical, cotenants, cpu}, ...]`` for every
+    consolidated host at or above *threshold* — the scenario plane's
+    answer to "is this tier slow, or is its neighbour loud?".
+    """
+    placement = colocation_of(result)
+    attributions = []
+    for host, (physical, cotenants) in placement.items():
+        cpu = result.host_cpu.get(host)
+        if cpu is None or cpu < threshold or not cotenants:
+            continue
+        attributions.append({
+            "host": host,
+            "physical": physical,
+            "cotenants": cotenants,
+            "cpu": cpu,
+        })
+    return attributions
+
+
 def slo_violated(result, slo):
     """SLO check on a trial: response time or error budget exceeded.
 
@@ -63,7 +110,7 @@ def diagnose(result, slo, threshold=SATURATION_CPU_PERCENT):
     """
     bottleneck = detect_bottleneck(result, threshold)
     violated = slo_violated(result, slo)
-    return {
+    verdict = {
         "topology": result.topology_label,
         "workload": result.workload,
         "status": result.status,
@@ -73,6 +120,10 @@ def diagnose(result, slo, threshold=SATURATION_CPU_PERCENT):
         "response_time_ms": result.response_time_ms(),
         "error_ratio": result.metrics.error_ratio,
     }
+    interference = interference_attribution(result, threshold)
+    if interference:
+        verdict["interference"] = interference
+    return verdict
 
 
 def bottleneck_progression(results, slo, threshold=SATURATION_CPU_PERCENT):

@@ -51,10 +51,12 @@ from repro.experiments.scheduler import (
 )
 from repro.results.database import ResultsDatabase
 from repro.sim import ANALYTIC, AUTO, DES, check_fidelity
+from repro.sim.analytic import require_analytic_support
 from repro.spec.mof import load_resource_model, render_resource_mof
 from repro.spec.tbl import parse as parse_tbl
 from repro.spec.validation import validate
 from repro.vcluster import VirtualCluster
+from repro.workloads.arrivals import analytic_supported
 
 #: Trials buffered before the write-behind store flushes them to the
 #: database in one transaction (one commit, one fsync when file-backed).
@@ -394,6 +396,13 @@ class ObservationCampaign:
         report = CampaignReport(warnings=list(self.validation_warnings),
                                 database=self.database)
         experiments = self.state.select_experiments(experiment_names)
+        if fidelity == ANALYTIC:
+            # Fail before any trial runs: a time-varying arrival makes
+            # the whole grid DES-only, and the typed refusal belongs to
+            # the campaign, not to whichever task hits it first.
+            for experiment in experiments:
+                require_analytic_support(
+                    getattr(experiment, "arrival", None))
         report.experiments.extend(e.name for e in experiments)
         tasks = self.state.enumerate_plan(experiments, fidelity=fidelity)
         jobs = self._resolve_jobs(jobs, trial_count=len(tasks))
@@ -572,6 +581,21 @@ class ObservationCampaign:
                                 database=self.database)
         experiment = self.state.select_experiment(experiment_name)
         report.experiments.append(experiment.name)
+        if fidelity == AUTO and not analytic_supported(
+                getattr(experiment, "arrival", None)):
+            # Time-varying arrivals are DES-only: the tiered
+            # composition's analytic exploration pass cannot model
+            # them, so "auto" degrades to a pure-DES exploration
+            # rather than crashing mid-campaign.
+            if isinstance(policy, str):
+                fidelity = DES
+                if on_progress is not None:
+                    on_progress(
+                        f"[{experiment.name}] arrival "
+                        f"{experiment.arrival.kind!r} is DES-only; "
+                        f"fidelity auto degrades to des")
+            else:
+                require_analytic_support(experiment.arrival)
         if fidelity == AUTO and isinstance(policy, str):
             # "auto" is the tiered composition: explore analytically,
             # confirm at the knee with DES.
@@ -608,7 +632,8 @@ class ObservationCampaign:
             for result in db.query(experiment_name=experiment.name):
                 done[(experiment.name, result.topology_label,
                       result.workload, result.write_ratio,
-                      result.seed, result.fidelity)] = result
+                      result.seed, result.fidelity,
+                      result.scenario)] = result
         store, flush_tail = self._ingest(report, replace=replace,
                                          on_result=on_result,
                                          on_progress=on_progress,

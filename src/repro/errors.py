@@ -95,6 +95,21 @@ class WorkloadError(ReproError):
     """A benchmark workload definition is invalid (bad matrix, bad mix)."""
 
 
+class AnalyticUnsupported(SimulationError):
+    """The analytic tier cannot model this trial — DES only.
+
+    Raised for workload regimes the fluid solver has no operating-point
+    equation for (bursty/flash-crowd open-loop arrivals).  Typed so
+    ``fidelity=auto`` callers can catch it and degrade to DES cleanly
+    instead of pattern-matching a message.
+    """
+
+
+class ScenarioError(ReproError):
+    """A scenario-table entry is malformed or references an unknown
+    scenario name."""
+
+
 class MonitoringError(ReproError):
     """Monitor output could not be produced or parsed."""
 

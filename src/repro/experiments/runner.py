@@ -69,6 +69,8 @@ from repro.monitoring import (
 from repro.monitoring.metrics import TrialMetrics, summarize_records
 from repro.obs.tracer import as_tracer, merge_span_exports, worker_name
 from repro.sim import ANALYTIC, DES, NTierSimulation, analytic
+from repro.vcluster.host import plan_colocation
+from repro.workloads.arrivals import request_rate
 
 
 def analytic_metrics(solved, experiment):
@@ -104,6 +106,8 @@ def analytic_metrics(solved, experiment):
         p50_response_s=quantile(0.50),
         p90_response_s=quantile(0.90),
         p99_response_s=quantile(0.99),
+        backlog=int(round(
+            getattr(solved, "backlog_rate", 0.0) * duration)),
     )
 
 
@@ -287,11 +291,17 @@ class ExperimentRunner:
                 if experiment.db_node_type is not None:
                     tier_node_types["db"] = self.cluster.platform.node_type(
                         experiment.db_node_type).name
+                ratio = getattr(experiment, "consolidation_ratio", 1)
                 with tracer.span("allocate",
                                  wait=self.wait_for_nodes) as alloc_span:
                     allocation = self.cluster.allocate(
                         topology, tier_node_types=tier_node_types,
-                        wait=self.wait_for_nodes)
+                        wait=self.wait_for_nodes,
+                        consolidation_ratio=ratio)
+                    if allocation.physical_hosts:
+                        tracer.annotate(
+                            consolidation=ratio,
+                            physical_hosts=len(allocation.physical_hosts))
                     tracer.annotate(nodes=sorted(
                         {allocation.client.name}
                         | {h.name for h in allocation.all_server_hosts()}))
@@ -451,15 +461,34 @@ class ExperimentRunner:
                 if experiment.db_node_type is not None:
                     tier_node_types["db"] = self.cluster.platform.node_type(
                         experiment.db_node_type).name
+                arrival = getattr(experiment, "arrival", None)
+                analytic.require_analytic_support(arrival)
+                ratio = getattr(experiment, "consolidation_ratio", 1)
                 with tracer.span("simulate"):
                     preview = self.cluster.preview_allocation(
                         topology, tier_node_types=tier_node_types)
+                    # The DES allocator consolidates hosts in
+                    # all_server_hosts() (web, app, db) order; the
+                    # preview flattened the same way yields the
+                    # identical packing, so both tiers model the same
+                    # interference.
+                    names = [name for tier in ("web", "app", "db")
+                             for name, _node in preview.get(tier, ())]
+                    colocation = plan_colocation(names, ratio)
                     model = analytic.ntier_model(
                         experiment.benchmark, preview, write_ratio,
                         think_time=experiment.think_time,
                         timeout=experiment.timeout,
-                        app_server=experiment.app_server)
-                    solved = analytic.solve_model(model, workload)
+                        app_server=experiment.app_server,
+                        colocation=colocation)
+                    if arrival is not None:
+                        rate = request_rate(arrival, workload,
+                                            experiment.think_time)
+                        solved = analytic.solve_open(model, rate)
+                        tracer.annotate(arrival=arrival.kind,
+                                        rate=round(rate, 6))
+                    else:
+                        solved = analytic.solve_model(model, workload)
                     tracer.annotate(iterations=solved.iterations,
                                     converged=solved.converged)
                 with tracer.span("analyze"):
@@ -474,6 +503,11 @@ class ExperimentRunner:
                                     for tier, hosts in preview.items()
                                     for name, _node in hosts}
                     tier_of_host[self.cluster.client.name] = "client"
+                    for member, placed in colocation.items():
+                        if member in host_cpu:
+                            key = f"{placed.physical}/{member}"
+                            host_cpu[key] = host_cpu[member]
+                            tier_of_host[key] = "physical"
                 status = COMPLETED
                 if metrics.error_ratio > experiment.slo.error_ratio:
                     status = DNF
@@ -499,6 +533,7 @@ class ExperimentRunner:
             tier_of_host=tier_of_host,
             machine_count=topology.machine_count(),
             fidelity=ANALYTIC,
+            scenario=getattr(experiment, "scenario", ""),
         )
         result.spans = merge_span_exports(exports)
         return result
@@ -563,6 +598,8 @@ class ExperimentRunner:
             self.engine.cleanup_failed(bundle, allocation)
             raise
         self._phase = "simulate"
+        window = measurement_window(experiment.trial)
+        open_loop = getattr(experiment, "arrival", None) is not None
         with tracer.span("simulate"):
             harness = NTierSimulation(system, tracer=tracer)
             emitters = attach_monitors(harness)
@@ -572,14 +609,18 @@ class ExperimentRunner:
                 emitter.flush()
             # The driver writes its per-request log where
             # driver.properties said it would; collect.sh ships it to
-            # the control host.
-            system.client_host.fs.write(system.driver.log_path,
-                                        render_request_log(records))
+            # the control host.  Open-loop trials stamp the backlog
+            # trailer (in-flight requests are invisible to the parsed
+            # log); closed-loop logs stay byte-identical to pre-
+            # scenario runs.
+            system.client_host.fs.write(
+                system.driver.log_path,
+                render_request_log(records,
+                                   window=window if open_loop else None))
             tracer.annotate(requests=len(records),
                             sim_events=harness.sim.events_processed,
                             monitors=len(emitters))
         control = allocation.control
-        window = measurement_window(experiment.trial)
         try:
             self._phase = "collect"
             with tracer.span("collect"):
@@ -603,6 +644,8 @@ class ExperimentRunner:
                 host_cpu = {host: series.mean("cpu", window)
                             for host, series in sys_series.items()}
                 tier_of_host = self._tier_map(system)
+                self._surface_colocation(allocation.physical_hosts,
+                                         host_cpu, tier_of_host)
             self._phase = "teardown"
             with tracer.span("teardown"):
                 self.engine.teardown(deployment)
@@ -643,7 +686,23 @@ class ExperimentRunner:
             config_lines=bundle.config_line_total(),
             generated_files=bundle.file_count(),
             machine_count=allocation.machine_count(),
+            scenario=getattr(experiment, "scenario", ""),
         )
+
+    @staticmethod
+    def _surface_colocation(physical_hosts, host_cpu, tier_of_host):
+        """Mirror each consolidated tenant's CPU under its physical
+        host (``phys-0/node-3`` rows, tier ``physical``) so the
+        bottleneck report can attribute a tenant's saturation to its
+        cotenants.  Dedicated trials add no rows — their observation
+        tables stay byte-identical to pre-scenario runs.
+        """
+        for physical in physical_hosts:
+            for member in physical.tenant_names():
+                if member in host_cpu:
+                    key = f"{physical.name}/{member}"
+                    host_cpu[key] = host_cpu[member]
+                    tier_of_host[key] = "physical"
 
     @staticmethod
     def _tier_map(system):

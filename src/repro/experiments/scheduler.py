@@ -60,7 +60,8 @@ class TrialTask:
     def key(self):
         """The trial's identity — the results database's UNIQUE key."""
         return (self.experiment.name, self.topology.label(), self.workload,
-                self.write_ratio, self.seed, self.fidelity)
+                self.write_ratio, self.seed, self.fidelity,
+                getattr(self.experiment, "scenario", ""))
 
 
 def enumerate_tasks(experiment, start_index=0, fidelity="des"):

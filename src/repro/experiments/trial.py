@@ -83,6 +83,11 @@ class TrialResult:
     #: simulation or the "analytic" fluid fast path); part of the
     #: trial's identity so a tiered exploration can hold both.
     fidelity: str = "des"
+    #: scenario-matrix entry this trial belongs to ("" for plain
+    #: sweeps); part of the trial's identity so one database can hold
+    #: the same operating point under different consolidation/arrival
+    #: regimes side by side.
+    scenario: str = ""
 
     @property
     def completed(self):
@@ -167,4 +172,5 @@ def failed_result(experiment, topology, workload, write_ratio, seed,
         machine_count=machine_count,
         attempts=attempts,
         failures=list(failures),
+        scenario=getattr(experiment, "scenario", ""),
     )

@@ -11,8 +11,9 @@ artifact, exactly as in the paper.
 
 from __future__ import annotations
 
-from repro.errors import DeployError, GenerationError
+from repro.errors import DeployError, GenerationError, WorkloadError
 from repro.generator.configfiles import parse_properties, render_properties
+from repro.workloads.arrivals import ArrivalSpec
 
 DRIVER_PATH = "/opt/driver"
 DRIVER_CONFIG = DRIVER_PATH + "/driver.properties"
@@ -57,6 +58,20 @@ def render_driver_properties(experiment, topology, workload, write_ratio,
         ("driver.target.port", target_port),
         ("driver.log", f"{DRIVER_LOG_DIR}/requests.log"),
     ]
+    arrival = getattr(experiment, "arrival", None)
+    if arrival is not None:
+        # Open-loop arrivals ride the deployed artifact like every
+        # other sweep parameter, so the simulation is driven by what
+        # was actually deployed.
+        pairs.append(("driver.arrival", arrival.kind))
+        if arrival.rate is not None:
+            pairs.append(("driver.arrival.rate", f"{arrival.rate:g}"))
+        pairs.append(("driver.arrival.amplitude", f"{arrival.amplitude:g}"))
+        pairs.append(("driver.arrival.period", f"{arrival.period:g}"))
+        pairs.append(("driver.arrival.burst", f"{arrival.burst:g}"))
+        pairs.append(("driver.arrival.duty", f"{arrival.duty:g}"))
+        pairs.append(("driver.arrival.at", f"{arrival.at:g}"))
+        pairs.append(("driver.arrival.session", arrival.session_length))
     return render_properties(pairs, header="emulated-client driver")
 
 
@@ -65,7 +80,7 @@ class DriverParameters:
 
     def __init__(self, benchmark, mix, users, write_ratio, think_time,
                  timeout, warmup, run, cooldown, seed, topology_label,
-                 target_host, target_port, log_path):
+                 target_host, target_port, log_path, arrival=None):
         self.benchmark = benchmark
         self.mix = mix
         self.users = users
@@ -80,6 +95,8 @@ class DriverParameters:
         self.target_host = target_host
         self.target_port = target_port
         self.log_path = log_path
+        #: ArrivalSpec for open-loop trials; None keeps the closed loop.
+        self.arrival = arrival
 
 
 def parse_driver_properties(text):
@@ -96,6 +113,29 @@ def parse_driver_properties(text):
                 f"driver.properties bad value for {key!r}: {values[key]!r}"
             )
 
+    arrival = None
+    if "driver.arrival" in values:
+        params = {"kind": values["driver.arrival"]}
+        for key, convert in (("rate", float), ("amplitude", float),
+                             ("period", float), ("burst", float),
+                             ("duty", float), ("at", float)):
+            raw = values.get(f"driver.arrival.{key}")
+            if raw is not None:
+                try:
+                    params[key] = convert(raw)
+                except ValueError:
+                    raise DeployError(
+                        f"driver.properties bad value for "
+                        f"driver.arrival.{key}: {raw!r}"
+                    ) from None
+        if "driver.arrival.session" in values:
+            params["session_length"] = require("driver.arrival.session", int)
+        try:
+            arrival = ArrivalSpec(**params)
+        except WorkloadError as error:
+            raise DeployError(
+                f"driver.properties carries a bad arrival spec: {error}"
+            ) from None
     return DriverParameters(
         benchmark=require("driver.benchmark"),
         mix=require("driver.mix"),
@@ -111,4 +151,5 @@ def parse_driver_properties(text):
         target_host=require("driver.target.host"),
         target_port=require("driver.target.port", int),
         log_path=require("driver.log"),
+        arrival=arrival,
     )

@@ -10,7 +10,7 @@ records or a parsed log into trial metrics.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import MonitoringError
 from repro.sim.ntier import OK, REJECTED, TIMEOUT
@@ -30,6 +30,11 @@ class TrialMetrics:
     p50_response_s: float
     p90_response_s: float
     p99_response_s: float
+    #: Open-loop queue growth: requests that arrived inside the window
+    #: but had not left by its end.  Bounded by the population for
+    #: closed-loop trials; grows without bound when an open-loop
+    #: arrival process outruns the system.
+    backlog: int = 0
 
     @property
     def total(self):
@@ -53,6 +58,21 @@ def _percentile(sorted_values, fraction):
     index = min(len(sorted_values) - 1,
                 max(0, math.ceil(fraction * len(sorted_values)) - 1))
     return sorted_values[index]
+
+
+def backlog_size(records, window):
+    """Queue growth over *window*: arrivals minus departures, floored
+    at zero.  In-flight records (NaN finish) count as arrivals that
+    never departed, which is exactly the open-loop overload signal."""
+    start, end = window
+    issued = finished = 0
+    for record in records:
+        if start <= record.issued_at <= end:
+            issued += 1
+        done = record.finished_at
+        if done == done and start <= done <= end:
+            finished += 1
+    return max(0, issued - finished)
 
 
 def summarize_records(records, window):
@@ -92,6 +112,7 @@ def summarize_records(records, window):
         p50_response_s=_percentile(ok_times, 0.50),
         p90_response_s=_percentile(ok_times, 0.90),
         p99_response_s=_percentile(ok_times, 0.99),
+        backlog=backlog_size(records, window),
     )
 
 
@@ -131,8 +152,14 @@ def summarize_by_state(records, window):
 LOG_HEADER = "#requests issued_at state status response_ms"
 
 
-def render_request_log(records):
-    """Render per-request driver log lines from simulation records."""
+def render_request_log(records, window=None):
+    """Render per-request driver log lines from simulation records.
+
+    With *window*, a ``#backlog N`` trailer records the queue growth
+    over the measurement window — the only observation that in-flight
+    records (which the per-line body necessarily omits) contribute, so
+    it must be stamped at render time while they are still visible.
+    """
     lines = [LOG_HEADER]
     for record in records:
         finished = record.finished_at
@@ -143,6 +170,8 @@ def render_request_log(records):
             f"{record.issued_at:.4f} {record.state} {record.status} "
             f"{response_ms:.2f}"
         )
+    if window is not None:
+        lines.append(f"#backlog {backlog_size(records, window)}")
     return "\n".join(lines) + "\n"
 
 
@@ -166,8 +195,8 @@ def parse_request_log(text):
     requests = []
     for line in lines[1:]:
         line = line.strip()
-        if not line:
-            continue
+        if not line or line.startswith("#"):
+            continue                  # trailer comments (e.g. #backlog)
         parts = line.split()
         if len(parts) != 4:
             raise MonitoringError(f"malformed log line: {line!r}")
@@ -195,10 +224,33 @@ class _RecordView:
         return self.finished_at - self.issued_at
 
 
+def parse_log_backlog(text):
+    """The ``#backlog N`` trailer of a request log, or ``None`` when
+    the log predates the open-loop plane."""
+    for line in text.splitlines():
+        if line.startswith("#backlog "):
+            try:
+                return int(line.split()[1])
+            except (IndexError, ValueError):
+                raise MonitoringError(
+                    f"malformed backlog trailer: {line!r}"
+                ) from None
+    return None
+
+
 def summarize_log(text, window):
-    """Summarize a collected request log over *window*."""
+    """Summarize a collected request log over *window*.
+
+    The backlog comes from the log's own trailer when present — the
+    rendered body omits in-flight requests, so recomputing from parsed
+    lines alone would undercount open-loop queue growth.
+    """
     requests = parse_request_log(text)
-    return summarize_records([_RecordView(r) for r in requests], window)
+    metrics = summarize_records([_RecordView(r) for r in requests], window)
+    recorded = parse_log_backlog(text)
+    if recorded is not None and recorded != metrics.backlog:
+        metrics = replace(metrics, backlog=recorded)
+    return metrics
 
 
 def summarize_log_by_state(text, window):

@@ -27,9 +27,15 @@ def phase_durations(spans):
 
 
 def trial_label(info):
-    return (f"{info['experiment_name']} {info['topology']} "
-            f"u={info['workload']} wr={info['write_ratio']:.0%} "
-            f"s{info['seed']}")
+    label = (f"{info['experiment_name']} {info['topology']} "
+             f"u={info['workload']} wr={info['write_ratio']:.0%} "
+             f"s{info['seed']}")
+    # Scenario identity joins the label only when set, so plain-sweep
+    # (and pre-scenario) traces render exactly as before.
+    scenario = info.get("scenario")
+    if scenario:
+        label += f" [{scenario}]"
+    return label
 
 
 def render_phase_breakdown(traced, limit=None):
@@ -211,6 +217,78 @@ def render_planner_decisions(database, limit=40):
     return "\n".join(out)
 
 
+def render_scenarios(database, limit=20):
+    """Scenario-matrix accounting: one row per scenario in the trials
+    table, with open-loop backlog and DNF counts.
+
+    Returns ``None`` when every trial is a plain sweep point (the
+    section only appears for scenario runs).  A trials table written by
+    a pre-scenario tool carries no ``scenario`` column at all; like the
+    planner-decision guard, that renders as an explicit note rather
+    than an error, so ``repro trace`` keeps working on old files.
+    """
+    if not database.has_column("trials", "scenario"):
+        return ("no scenario identity recorded (database predates the "
+                "scenario plane)")
+    by_scenario = {}
+    for result in database.query():
+        if not result.scenario:
+            continue
+        stats = by_scenario.setdefault(
+            result.scenario, {"trials": 0, "dnf": 0, "backlog": 0})
+        stats["trials"] += 1
+        if not result.completed:
+            stats["dnf"] += 1
+        stats["backlog"] = max(stats["backlog"],
+                               getattr(result.metrics, "backlog", 0))
+    if not by_scenario:
+        return None
+    name_width = max([len(name) for name in by_scenario]
+                     + [len("scenario")])
+    rows = [f"{'scenario':<{name_width}} {'trials':>7} {'dnf':>5} "
+            f"{'max backlog':>12}",
+            "-" * (name_width + 27)]
+    for name in sorted(by_scenario)[:limit]:
+        stats = by_scenario[name]
+        rows.append(f"{name:<{name_width}} {stats['trials']:>7} "
+                    f"{stats['dnf']:>5} {stats['backlog']:>12}")
+    if len(by_scenario) > limit:
+        rows.append(f"... and {len(by_scenario) - limit} more scenarios")
+    return "\n".join(rows)
+
+
+def render_interference(database, limit=20):
+    """Colocated-tenant saturation: which saturated hosts share a
+    physical machine, and with whom.
+
+    Built from the synthetic ``physical``-tier ``host_cpu`` rows the
+    runner records for consolidated trials; returns ``None`` when no
+    trial recorded any (dedicated runs, or old databases).
+    """
+    from repro.core.bottleneck import interference_attribution
+
+    rows = []
+    for result in database.query():
+        for found in interference_attribution(result):
+            rows.append((
+                f"{result.experiment_name} {result.topology_label} "
+                f"u={result.workload}",
+                found["host"], found["physical"],
+                ",".join(found["cotenants"]), found["cpu"]))
+    if not rows:
+        return None
+    label_width = max([len(r[0]) for r in rows] + [len("trial")])
+    out = [f"{'trial':<{label_width}} {'host':<10} {'physical':<10} "
+           f"{'cotenants':<20} {'cpu %':>6}",
+           "-" * (label_width + 50)]
+    for label, host, physical, cotenants, cpu in rows[:limit]:
+        out.append(f"{label:<{label_width}} {host:<10} {physical:<10} "
+                   f"{cotenants:<20} {cpu:>6.1f}")
+    if len(rows) > limit:
+        out.append(f"... and {len(rows) - limit} more saturated tenants")
+    return "\n".join(out)
+
+
 def render_cache_stats(database):
     """Hot-path cache effectiveness, from the run's persisted counters.
 
@@ -278,6 +356,12 @@ def render_trace_report(database, experiment_name=None, limit=20):
     decisions = render_planner_decisions(database)
     if decisions is not None:
         sections.extend(["", "Planner decisions", decisions])
+    scenarios = render_scenarios(database)
+    if scenarios is not None:
+        sections.extend(["", "Scenarios", scenarios])
+    interference = render_interference(database)
+    if interference is not None:
+        sections.extend(["", "Colocation interference", interference])
     caches = render_cache_stats(database)
     if caches is not None:
         sections.extend(["", "Hot-path caches", caches])

@@ -94,6 +94,10 @@ def build_run_card(*, report, state, engine, jobs, fidelity,
             "jobs": jobs,
             "fidelity": fidelity,
             "experiments": sorted(report.by_experiment),
+            "scenarios": sorted({
+                experiment.scenario
+                for experiment in state.spec.experiments
+                if getattr(experiment, "scenario", "")}),
             "fault_plan": state.fault_plan is not None,
             "retry_policy": state.retry_policy is not None,
         },

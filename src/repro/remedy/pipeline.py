@@ -210,7 +210,7 @@ def heal_campaign(database, *, jobs=1, budget=None, rounds=None,
     for stored in database.query():
         done[(stored.experiment_name, stored.topology_label,
               stored.workload, stored.write_ratio, stored.seed,
-              stored.fidelity)] = stored
+              stored.fidelity, stored.scenario)] = stored
 
     def execute(tasks, plan, retry):
         """Run *tasks* under a candidate configuration, reusing stored
@@ -234,7 +234,7 @@ def heal_campaign(database, *, jobs=1, budget=None, rounds=None,
             database.insert(result, replace=True)
             done[(result.experiment_name, result.topology_label,
                   result.workload, result.write_ratio, result.seed,
-                  result.fidelity)] = result
+                  result.fidelity, result.scenario)] = result
             report.trials += 1
             if on_trial is not None:
                 on_trial(result)

@@ -19,11 +19,13 @@ from repro.faults.retry import GAVE_UP, QUARANTINED
 from repro.monitoring.metrics import TrialMetrics
 from repro.obs.tracer import SpanRecord
 
-# The trials table's own DDL is split out because the fidelity-tier
-# migration must recreate it verbatim (SQLite cannot ALTER a UNIQUE
-# constraint in place).  ``fidelity`` is deliberately the LAST column so
-# a migrated pre-tier database and a freshly created one share the same
-# column order — dump_rows comparisons stay meaningful across both.
+# The trials table's own DDL is split out because schema migrations
+# must recreate it verbatim (SQLite cannot ALTER a UNIQUE constraint in
+# place).  Columns added after the seed schema (``fidelity``, then the
+# scenario plane's ``backlog``/``scenario``) are deliberately the LAST
+# columns, in the order their planes landed, so a migrated older
+# database and a freshly created one share the same column order —
+# dump_rows comparisons stay meaningful across both.
 _TRIALS_TABLE = """
 CREATE TABLE IF NOT EXISTS trials (
     id INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -51,10 +53,19 @@ CREATE TABLE IF NOT EXISTS trials (
     generated_files INTEGER NOT NULL,
     machine_count INTEGER NOT NULL,
     fidelity TEXT NOT NULL DEFAULT 'des',
+    backlog INTEGER NOT NULL DEFAULT 0,
+    scenario TEXT NOT NULL DEFAULT '',
     UNIQUE (experiment_name, topology, workload, write_ratio, seed,
-            fidelity)
+            fidelity, scenario)
 )
 """
+
+#: Columns appended to ``trials`` after the seed schema, in landing
+#: order, with the SQL literal a migrated row takes.  A database from
+#: any earlier era is missing a *suffix* of this list — the migration
+#: appends exactly the missing defaults.
+_TRIAL_SUFFIX = (("fidelity", "'des'"), ("backlog", "0"),
+                 ("scenario", "''"))
 
 _SCHEMA = _TRIALS_TABLE + """;
 CREATE TABLE IF NOT EXISTS host_cpu (
@@ -188,21 +199,30 @@ class ResultsDatabase:
                 self._conn.execute(f"PRAGMA table_info({table})")]
 
     def _migrate(self):
-        """Bring a pre-fidelity-tier database file up to this schema.
+        """Bring an older database file up to this schema in place.
 
         ``CREATE TABLE IF NOT EXISTS`` is a no-op on an existing file,
         so an old database reaches here with its old shape.  The
         decision log just grows a defaulted column; ``trials`` must be
         rebuilt because its UNIQUE key changes — the rename/copy dance
         preserves every row id, so child-table references stay valid.
-        Every pre-existing trial was a DES observation by construction.
+        Post-seed columns only ever append (:data:`_TRIAL_SUFFIX`), so
+        whatever era the file comes from, the missing columns are a
+        suffix and one ``SELECT *, <defaults>`` copy fills them: every
+        pre-fidelity trial was a DES observation and every pre-scenario
+        trial was a plain (closed-loop, dedicated-host) sweep point by
+        construction.
         """
         if "fidelity" not in self._column_names("planner_decisions"):
             self._conn.execute(
                 "ALTER TABLE planner_decisions ADD COLUMN fidelity "
                 "TEXT NOT NULL DEFAULT 'des'")
             self._conn.commit()
-        if "fidelity" not in self._column_names("trials"):
+        present = self._column_names("trials")
+        missing = [(name, default) for name, default in _TRIAL_SUFFIX
+                   if name not in present]
+        if missing:
+            defaults = ", ".join(default for _name, default in missing)
             # legacy_alter_table keeps the child tables' REFERENCES
             # pointing at "trials" through the rename, so they bind to
             # the rebuilt table rather than following trials_legacy.
@@ -213,8 +233,8 @@ class ResultsDatabase:
                     "ALTER TABLE trials RENAME TO trials_legacy")
                 self._conn.execute(_TRIALS_TABLE)
                 self._conn.execute(
-                    "INSERT INTO trials SELECT *, 'des' "
-                    "FROM trials_legacy")
+                    f"INSERT INTO trials SELECT *, {defaults} "
+                    f"FROM trials_legacy")
                 self._conn.execute("DROP TABLE trials_legacy")
                 # The rename carried the trials indexes off to the
                 # legacy table and the drop took them with it.
@@ -281,10 +301,11 @@ class ResultsDatabase:
             row = self._db.execute(
                 "SELECT id FROM trials WHERE experiment_name = ? AND "
                 "topology = ? AND workload = ? AND write_ratio = ? AND "
-                "seed = ? AND fidelity = ?",
+                "seed = ? AND fidelity = ? AND scenario = ?",
                 (result.experiment_name, result.topology_label,
                  result.workload, result.write_ratio, result.seed,
-                 getattr(result, "fidelity", "des")),
+                 getattr(result, "fidelity", "des"),
+                 getattr(result, "scenario", "")),
             ).fetchone()
             if row is not None:
                 old_id = row[0]
@@ -303,8 +324,10 @@ class ResultsDatabase:
                     duration_s, throughput, mean_response_s,
                     p50_response_s, p90_response_s, p99_response_s,
                     collected_bytes, script_lines, config_lines,
-                    generated_files, machine_count, fidelity
-                ) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)""",
+                    generated_files, machine_count, fidelity, backlog,
+                    scenario
+                ) VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,
+                          ?,?,?,?)""",
                 (
                     result.experiment_name, result.benchmark,
                     result.platform, result.topology_label,
@@ -318,6 +341,8 @@ class ResultsDatabase:
                     result.config_lines, result.generated_files,
                     result.machine_count,
                     getattr(result, "fidelity", "des"),
+                    getattr(metrics, "backlog", 0),
+                    getattr(result, "scenario", ""),
                 ),
             )
         except sqlite3.IntegrityError as error:
@@ -417,8 +442,12 @@ class ResultsDatabase:
 
     def query(self, experiment_name=None, benchmark=None, topology=None,
               workload=None, write_ratio=None, status=None,
-              fidelity=None):
-        """Fetch trials matching all given filters, as TrialResults."""
+              fidelity=None, scenario=None):
+        """Fetch trials matching all given filters, as TrialResults.
+
+        ``scenario=""`` selects plain (non-scenario) sweep trials;
+        ``scenario=None`` (the default) applies no scenario filter.
+        """
         clauses = []
         params = []
         for column, value in (
@@ -427,7 +456,8 @@ class ResultsDatabase:
                 ("topology", topology),
                 ("workload", workload),
                 ("status", status),
-                ("fidelity", fidelity)):
+                ("fidelity", fidelity),
+                ("scenario", scenario)):
             if value is not None:
                 clauses.append(f"{column} = ?")
                 params.append(value)
@@ -490,7 +520,8 @@ class ResultsDatabase:
         with self._lock:
             rows = self._db.execute(
                 "SELECT experiment_name, topology, workload, write_ratio, "
-                "seed, fidelity FROM trials ORDER BY id").fetchall()
+                "seed, fidelity, scenario FROM trials ORDER BY id"
+            ).fetchall()
         return [tuple(row) for row in rows]
 
     def dump_rows(self, table):
@@ -527,6 +558,17 @@ class ResultsDatabase:
                 "SELECT 1 FROM sqlite_master WHERE type = 'table' "
                 "AND name = ?", (name,)).fetchone()
         return row is not None
+
+    def has_column(self, table, column):
+        """Whether *table* carries *column* in this database file.
+
+        The column-level sibling of :meth:`has_table`: reports reading
+        a file written by an older tool (a pre-scenario ``trials``
+        table, say) check here and degrade with an explicit note
+        instead of catching ``OperationalError``.
+        """
+        with self._lock:
+            return column in self._column_names(table)
 
     def insert_decisions(self, rows):
         """Store planner-decision tuples (in :attr:`_DECISION_COLUMNS`
@@ -762,19 +804,19 @@ class ResultsDatabase:
             rows = self._db.execute(
                 f"""SELECT t.id, t.experiment_name, t.topology,
                            t.workload, t.write_ratio, t.seed, t.status,
-                           t.fidelity
+                           t.fidelity, t.scenario
                     FROM trials t
                     WHERE EXISTS (SELECT 1 FROM spans s
                                   WHERE s.trial_id = t.id) {clause}
                     ORDER BY t.id""", params).fetchall()
         traced = []
         for (trial_id, experiment, topology, workload, write_ratio, seed,
-                status, fidelity) in rows:
+                status, fidelity, scenario) in rows:
             info = {
                 "trial_id": trial_id, "experiment_name": experiment,
                 "topology": topology, "workload": workload,
                 "write_ratio": write_ratio, "seed": seed, "status": status,
-                "fidelity": fidelity,
+                "fidelity": fidelity, "scenario": scenario,
             }
             traced.append((info, self.spans_for(trial_id)))
         return traced
@@ -787,7 +829,8 @@ class ResultsDatabase:
         "timeouts", "rejections", "duration_s", "throughput",
         "mean_response_s", "p50_response_s", "p90_response_s",
         "p99_response_s", "collected_bytes", "script_lines", "config_lines",
-        "generated_files", "machine_count", "fidelity",
+        "generated_files", "machine_count", "fidelity", "backlog",
+        "scenario",
     )
 
     _CHILD_COLUMNS = {
@@ -908,6 +951,7 @@ class ResultsDatabase:
             p50_response_s=row["p50_response_s"],
             p90_response_s=row["p90_response_s"],
             p99_response_s=row["p99_response_s"],
+            backlog=row.get("backlog", 0),
         )
         cpu_rows = self._db.execute(
             "SELECT host, tier, cpu_percent FROM host_cpu "
@@ -949,6 +993,7 @@ class ResultsDatabase:
             attempts=attempts,
             failures=failures,
             fidelity=row["fidelity"],
+            scenario=row.get("scenario", ""),
         )
 
 

@@ -1,0 +1,50 @@
+"""The scenario plane: a declarative matrix of operating conditions.
+
+``repro scenarios list`` shows the matrix; ``repro scenarios run
+<name>`` compiles one row to TBL text, runs it through the ordinary
+campaign plane, and checks the row's expected ranges against the
+stored observations.  See :mod:`repro.scenarios.table` for the data —
+adding a scenario is one table entry, no code.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScenarioError
+from repro.scenarios.check import (
+    ScenarioOutcome,
+    check_expectations,
+    measured_knee,
+    scenario_slo,
+)
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.model import KNOWN_EXPECTATIONS, Scenario
+from repro.scenarios.table import SCENARIOS
+
+
+def list_scenarios():
+    """Every scenario in the matrix, in table order."""
+    return [Scenario.from_dict(entry) for entry in SCENARIOS]
+
+
+def get_scenario(name):
+    """The named scenario; unknown names raise :class:`ScenarioError`."""
+    for entry in SCENARIOS:
+        if entry["name"] == name:
+            return Scenario.from_dict(entry)
+    known = ", ".join(entry["name"] for entry in SCENARIOS)
+    raise ScenarioError(f"unknown scenario {name!r}; known: {known}")
+
+
+__all__ = [
+    "KNOWN_EXPECTATIONS",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioOutcome",
+    "check_expectations",
+    "compile_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "measured_knee",
+    "scenario_slo",
+]

@@ -1,0 +1,49 @@
+"""Compile a Scenario into the campaign plane's native input: TBL text.
+
+The scenario knobs (``scenario``/``consolidation``/``arrival``) are
+first-class TBL settings, so compilation is a rendering step, not a new
+execution path: the emitted text goes through the same parser, campaign
+runner, resume checkpoint, and service wire as a hand-written spec.
+That is what makes scenario identity survive kill+resume and daemon
+submission for free — the TBL text *is* the scenario.
+"""
+
+from __future__ import annotations
+
+from repro.spec.tbl import parse as parse_tbl
+from repro.spec.tbl.writer import _render_arrival
+
+
+def compile_scenario(scenario):
+    """TBL text for one :class:`~repro.scenarios.Scenario`.
+
+    The output always parses (it is validated here before being
+    returned) and round-trips the scenario's identity: the experiment
+    carries ``scenario "<name>";`` so every stored trial row, run card,
+    and trace report records which matrix row produced it.
+    """
+    lines = [
+        "benchmark rubis;",
+        "platform emulab;",
+        "",
+        f'experiment "{scenario.name}" {{',
+        f"    topology {scenario.topology};",
+        f"    workload {', '.join(str(w) for w in scenario.workloads)};",
+        f"    write_ratio {scenario.write_ratio * 100:g}%;",
+        f"    think_time {scenario.think_time:g}s;",
+        f"    trial {{ warmup {scenario.warmup:g}s; "
+        f"run {scenario.run:g}s; cooldown {scenario.cooldown:g}s; }}",
+        f"    slo {{ response_time {scenario.slo_response_ms:g}ms; "
+        f"error_ratio {scenario.slo_error_ratio * 100:g}%; }}",
+        f"    seed {scenario.seed};",
+        f'    scenario "{scenario.name}";',
+    ]
+    if scenario.consolidation > 1:
+        lines.append(f"    consolidation {scenario.consolidation};")
+    arrival = scenario.arrival_spec()
+    if arrival is not None:
+        lines.extend(_render_arrival(arrival))
+    lines.append("}")
+    text = "\n".join(lines) + "\n"
+    parse_tbl(text, source=f"<scenario {scenario.name}>")
+    return text

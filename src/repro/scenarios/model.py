@@ -1,0 +1,101 @@
+"""The Scenario record: one named operating condition, declaratively.
+
+A scenario fixes everything the paper's sweep axes do not: how servers
+are consolidated onto physical hosts, what arrival process offers the
+load (closed loop when ``arrival`` is ``None``), which workload ladder
+and mix to sweep, and — crucially — what the operator *expects* the
+observation to show, as checkable ranges.  Adding a scenario to the
+plane is a data edit in :mod:`repro.scenarios.table`; no code changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScenarioError, WorkloadError
+from repro.workloads.arrivals import ArrivalSpec
+
+#: Expectation keys :func:`repro.scenarios.check.check_expectations`
+#: understands; anything else in a table entry is a typo caught at
+#: import time, not a silently-ignored assertion.
+KNOWN_EXPECTATIONS = (
+    "knee_min",          # measured SLO knee (users) is at least this
+    "knee_max",          # ... and at most this
+    "slo_violation",     # True: some trial must violate; False: none may
+    "max_backlog_min",   # peak open-loop backlog reaches at least this
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One row of the scenario matrix.
+
+    ``arrival`` is the plain-dict form of an
+    :class:`~repro.workloads.arrivals.ArrivalSpec` (``None`` keeps the
+    paper's closed-loop driver); ``expects`` maps
+    :data:`KNOWN_EXPECTATIONS` keys to the asserted ranges.
+    """
+
+    name: str
+    description: str
+    topology: str = "1-1-1"
+    consolidation: int = 1
+    arrival: dict = None
+    workloads: tuple = (50, 100, 150, 200, 250)
+    write_ratio: float = 0.15
+    think_time: float = 7.0
+    warmup: float = 30.0
+    run: float = 120.0
+    cooldown: float = 10.0
+    slo_response_ms: float = 2000.0
+    slo_error_ratio: float = 0.10
+    seed: int = 7
+    expects: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ScenarioError("scenario needs a non-empty name")
+        if self.consolidation < 1:
+            raise ScenarioError(
+                f"{self.name}: consolidation must be >= 1, "
+                f"got {self.consolidation}")
+        if not self.workloads:
+            raise ScenarioError(f"{self.name}: empty workload ladder")
+        for workload in self.workloads:
+            if not isinstance(workload, int) or workload < 1:
+                raise ScenarioError(
+                    f"{self.name}: workloads must be positive integers, "
+                    f"got {workload!r}")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ScenarioError(
+                f"{self.name}: write_ratio outside [0, 1]: "
+                f"{self.write_ratio}")
+        if self.arrival is not None:
+            try:
+                ArrivalSpec.from_dict(self.arrival)
+            except WorkloadError as error:
+                raise ScenarioError(f"{self.name}: {error}") from None
+        unknown = set(self.expects) - set(KNOWN_EXPECTATIONS)
+        if unknown:
+            raise ScenarioError(
+                f"{self.name}: unknown expectation(s) {sorted(unknown)}; "
+                f"known: {list(KNOWN_EXPECTATIONS)}")
+
+    def arrival_spec(self):
+        """The validated :class:`ArrivalSpec`, or ``None`` (closed loop)."""
+        if self.arrival is None:
+            return None
+        return ArrivalSpec.from_dict(self.arrival)
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build from a plain table entry; unknown keys are errors."""
+        data = dict(data)
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ScenarioError(
+                f"scenario {data.get('name', '?')!r}: unknown field(s) "
+                f"{sorted(unknown)}")
+        if "workloads" in data:
+            data["workloads"] = tuple(data["workloads"])
+        return cls(**data)

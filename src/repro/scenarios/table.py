@@ -1,0 +1,73 @@
+"""The scenario matrix — the data, nothing else.
+
+Every entry is a plain dict matching :class:`repro.scenarios.Scenario`;
+adding a scenario means adding one entry here (and nothing anywhere
+else).  The expected ranges are calibrated against the deterministic
+simulator at the recorded seed: they are assertions the CI smoke job
+and ``repro scenarios run`` check after every run, so a change that
+moves a knee or stops a flash crowd from backlogging fails loudly.
+
+The first two entries are the scenario plane's headline observation:
+the *same* 1-1-1 topology under the *same* closed-loop ladder sustains
+the full 240-user rung dedicated but breaks its 500 ms objective at 200
+when every server shares a physical host with a cotenant — the
+interference-shifted knee of the virtualized-consolidation studies in
+PAPERS.md.
+"""
+
+from __future__ import annotations
+
+SCENARIOS = (
+    {
+        "name": "dedicated-baseline",
+        "description": "closed-loop 1-1-1 ladder, one server per "
+                       "physical host (the paper's default placement)",
+        "topology": "1-1-1",
+        "workloads": (40, 80, 120, 160, 200, 240),
+        "slo_response_ms": 500.0,
+        "expects": {"knee_min": 240},
+    },
+    {
+        "name": "consolidated-2x",
+        "description": "the same ladder with two servers per physical "
+                       "host; cotenant interference shifts the knee left",
+        "topology": "1-1-1",
+        "consolidation": 2,
+        "workloads": (40, 80, 120, 160, 200, 240),
+        "slo_response_ms": 500.0,
+        "expects": {"knee_min": 160, "knee_max": 200},
+    },
+    {
+        "name": "diurnal-open-loop",
+        "description": "open-loop diurnal sinusoid at a rate the system "
+                       "sustains; no backlog, no SLO violation",
+        "topology": "1-1-1",
+        "arrival": {"kind": "diurnal", "amplitude": 0.4, "period": 60.0,
+                    "session_length": 2},
+        "workloads": (60,),
+        "expects": {"slo_violation": False},
+    },
+    {
+        "name": "flash-crowd-slo",
+        "description": "open-loop flash crowd (6x step) over an "
+                       "otherwise comfortable rate; the crowd outruns "
+                       "capacity, queues grow, the SLO breaks",
+        "topology": "1-1-1",
+        "arrival": {"kind": "flash", "at": 0.6, "duty": 0.4,
+                    "burst": 6.0},
+        "workloads": (120,),
+        "expects": {"slo_violation": True, "max_backlog_min": 100},
+    },
+    {
+        "name": "consolidated-burst",
+        "description": "MMPP-style bursty arrivals on a 2x-consolidated "
+                       "host: interference and burstiness compound",
+        "topology": "1-1-1",
+        "consolidation": 2,
+        "arrival": {"kind": "bursty", "period": 40.0, "burst": 3.0,
+                    "duty": 0.25},
+        "workloads": (80,),
+        "slo_response_ms": 400.0,
+        "expects": {"slo_violation": True},
+    },
+)

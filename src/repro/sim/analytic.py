@@ -35,7 +35,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.errors import SimulationError
+from repro.errors import AnalyticUnsupported, SimulationError
 from repro.sim.ntier import DEFAULT_HOP_LATENCY
 from repro.spec.catalog import stack_for
 from repro.workloads.calibration import (
@@ -103,6 +103,11 @@ class AnalyticResult:
     rejection_ratio: float = 0.0
     goodput: float = 0.0
     completed_response_time: float = 0.0
+    #: Open-loop only: arrivals/second the system cannot absorb (queue
+    #: growth rate).  Zero for stable operating points and all closed
+    #: solves; the runner multiplies by the run window to project the
+    #: DES backlog count.
+    backlog_rate: float = 0.0
     bottleneck_name: str = field(default="", repr=False)
 
     def bottleneck(self):
@@ -236,6 +241,114 @@ def solve_model(model, users):
     )
 
 
+def require_analytic_support(arrival):
+    """Typed "DES-only" rejection for time-varying arrival processes.
+
+    ``fidelity=auto`` catches :class:`~repro.errors.AnalyticUnsupported`
+    and degrades to the DES tier; ``fidelity=analytic`` surfaces it to
+    the caller as an explicit refusal rather than a silently-wrong
+    steady-state answer.
+    """
+    from repro.workloads.arrivals import analytic_supported
+
+    if not analytic_supported(arrival):
+        raise AnalyticUnsupported(
+            f"arrival kind {arrival.kind!r} is time-varying; the "
+            f"analytic tier only solves constant-rate open loops — "
+            f"this trial is DES-only"
+        )
+
+
+#: Open-loop utilization clamp: an unstable operating point (rho >= 1)
+#: is reported at this utilization so response times stay finite and
+#: deterministic while the surplus arrival rate lands in backlog_rate.
+OPEN_RHO_CAP = 0.999
+
+
+def solve_open(model, rate):
+    """Operating-point solve for a constant-rate open-loop arrival flow.
+
+    Each station is treated as an M/M/c-ish queue at offered load
+    ``rho_k = rate * D_k``: residence ``D_k / (1 - rho_k)`` while
+    stable.  When the offered rate exceeds the bottleneck's capacity
+    the queue grows without bound; the solve reports throughput capped
+    at the bottleneck rate, the surplus as ``backlog_rate``, and the
+    response time at the :data:`OPEN_RHO_CAP` clamp (finite, huge, and
+    the same for every caller — determinism over realism).
+
+    Only constant-rate arrivals are analytically tractable here; the
+    time-varying kinds (diurnal, bursty, flash) must raise
+    :class:`~repro.errors.AnalyticUnsupported` *before* reaching this
+    function — see :func:`repro.workloads.arrivals.analytic_supported`.
+    """
+    stations = tuple(model.stations)
+    _validate(stations, model.think_time, users=0)
+    if rate <= 0:
+        raise SimulationError(f"arrival rate must be positive: {rate}")
+    if model.replicas < 1:
+        raise SimulationError(
+            f"replicas must be >= 1, got {model.replicas}")
+    names = [s.name for s in stations]
+    effective = [s.effective_demand() for s in stations]
+    write_effective = [s.write_demand / s.servers for s in stations]
+    h_k = _harmonic(model.replicas)
+    overcount = (model.replicas - h_k) / model.replicas
+    d_max = max(effective)
+    if d_max <= 0:
+        raise SimulationError("all stations have zero demand")
+    capacity_rate = 1.0 / d_max
+    served = min(rate, capacity_rate)
+    backlog_rate = max(0.0, rate - capacity_rate)
+    offered = [rate * d for d in effective]
+    rho = [min(r, OPEN_RHO_CAP) for r in offered]
+    residence = [d / (1.0 - r) for d, r in zip(effective, rho)]
+    correction = overcount * sum(
+        w / (1.0 - r) for w, r in zip(write_effective, rho))
+    response = sum(residence) - correction + model.delay
+    queue = [r / (1.0 - r) for r in rho]
+    utilization = [min(r, 1.0) for r in offered]
+
+    timeout_ratio = 0.0
+    completed_response = response
+    if model.timeout is not None and model.timeout > 0 and response > 0:
+        timeout_ratio = math.exp(-model.timeout / response)
+        if 1.0 - timeout_ratio < 1e-12:
+            completed_response = model.timeout / 2.0
+        else:
+            completed_response = (
+                response
+                - model.timeout * timeout_ratio / (1.0 - timeout_ratio))
+
+    overflow = sum(max(0.0, q - s.capacity)
+                   for q, s in zip(queue, stations)
+                   if math.isfinite(s.capacity))
+    in_system = max(served * response, 1e-12)
+    rejection_ratio = min(0.95, max(0.0, overflow / in_system))
+    if rate > 0:
+        # Arrivals beyond capacity are load the system refuses or
+        # abandons; fold the surplus into the rejection channel so the
+        # error ratio reflects the overload.
+        rejection_ratio = min(
+            0.95, max(rejection_ratio, backlog_rate / rate))
+
+    goodput = served * max(0.0, 1.0 - timeout_ratio - rejection_ratio)
+    return AnalyticResult(
+        users=0,
+        throughput=served,
+        response_time=response,
+        station_queue=dict(zip(names, queue)),
+        station_utilization=dict(zip(names, utilization)),
+        station_residence=dict(zip(names, residence)),
+        iterations=1,
+        converged=backlog_rate == 0.0,
+        timeout_ratio=timeout_ratio,
+        rejection_ratio=rejection_ratio,
+        goodput=goodput,
+        completed_response_time=completed_response,
+        backlog_rate=backlog_rate,
+    )
+
+
 def solve_stations(stations, think_time, users):
     """AMVA over plain station sequences (the ``mva.solve`` shape).
 
@@ -267,14 +380,20 @@ def saturation_users(model):
 
 def ntier_model(benchmark, tier_hosts, write_ratio, *, think_time=None,
                 timeout=None, app_server=None,
-                hop_latency=DEFAULT_HOP_LATENCY):
+                hop_latency=DEFAULT_HOP_LATENCY, colocation=None):
     """Build the analytic model for one deployed n-tier configuration.
 
     *tier_hosts* maps tier -> ``[(host_name, NodeType), ...]`` — the
     allocation preview (:meth:`VirtualCluster.preview_allocation`), so
     station names match the host names the simulator would report and
     the analytic host-CPU channel lines up with the DES one.
+
+    *colocation* maps host name -> :class:`repro.vcluster.host.Colocation`
+    (from :func:`~repro.vcluster.host.plan_colocation` over the same
+    preview names, in allocation order) — consolidated hosts lose CPU to
+    steal and stretch disk service times exactly as the DES stations do.
     """
+    colocation = colocation or {}
     calibration = get_calibration(benchmark)
     stack = stack_for(benchmark, app_server=app_server)
     webs = list(tier_hosts.get("web") or ())
@@ -289,8 +408,13 @@ def ntier_model(benchmark, tier_hosts, write_ratio, *, think_time=None,
     db_pkg = stack["db"][0]
     replicas = len(dbs)
     stations = []
+    def steal(name):
+        placed = colocation.get(name)
+        return 1.0 - placed.cpu_steal if placed is not None else 1.0
+
     for name, node in webs:
         speed = node.speed_factor(REFERENCE_GHZ) / web_pkg.efficiency
+        speed *= steal(name)
         stations.append(AnalyticStation(
             name=name,
             demand=(calibration.web_s / speed) / len(webs),
@@ -300,6 +424,7 @@ def ntier_model(benchmark, tier_hosts, write_ratio, *, think_time=None,
         ))
     for name, node in apps:
         speed = node.speed_factor(REFERENCE_GHZ) / app_pkg.efficiency
+        speed *= steal(name)
         stations.append(AnalyticStation(
             name=name,
             demand=(calibration.app_mean(write_ratio) / speed) / len(apps),
@@ -309,7 +434,11 @@ def ntier_model(benchmark, tier_hosts, write_ratio, *, think_time=None,
         ))
     for name, node in dbs:
         speed = node.speed_factor(REFERENCE_GHZ) / db_pkg.efficiency
+        speed *= steal(name)
         disk_speed = disk_speed_factor(node)
+        placed = colocation.get(name)
+        if placed is not None:
+            disk_speed /= placed.disk_contention
         stations.append(AnalyticStation(
             name=name,
             demand=calibration.db_backend_mean(write_ratio,

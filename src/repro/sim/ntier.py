@@ -1,10 +1,18 @@
-"""Closed-loop n-tier simulation over a deployed system.
+"""N-tier simulation over a deployed system: closed- or open-loop.
 
 Builds one processor-sharing station per deployed server host (speed
 from the node's hardware, worker pools from the deployed config files),
-then drives it with the emulated-client population the Mulini-generated
-driver.properties describes: N users in think/request cycles walking the
-benchmark's Markov chain.
+then drives it with the workload the Mulini-generated driver.properties
+describes.  Closed loop (the paper's regime): N users in think/request
+cycles walking the benchmark's Markov chain.  Open loop (the scenario
+plane): sessions arrive from a seeded arrival process — constant,
+diurnal, bursty or flash-crowd — each walking the same Markov chain for
+a fixed number of interactions, whether or not the system keeps up.
+
+Hosts consolidated onto shared physical machines carry a
+``Colocation`` stamp; their stations run at ``speed * (1 - cpu_steal)``
+and their disks at ``speed / disk_contention``, which is how
+virtualized-server interference shifts the knee.
 
 Request path (RUBiS): client -> web (Apache) -> app (Tomcat+EJB) ->
 database.  Reads visit one C-JDBC backend (round-robin); writes execute
@@ -16,6 +24,7 @@ behind Table 7's missing squares.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from repro.deprecation import absorb_positional
@@ -128,12 +137,23 @@ class NTierSimulation:
         self._build_stations()
         self._user_states = {}
         self._started = False
+        #: Open-loop state; populated by start() when the deployed
+        #: driver carries an arrival spec.
+        self.arrival = getattr(self.driver, "arrival", None)
+        self._arrivals = None
+        self._session_counter = itertools.count()
+        self._session_remaining = {}
+        self._horizon = (self.driver.warmup + self.driver.run
+                         + self.driver.cooldown)
 
     # -- station construction ------------------------------------------------
 
     def _station_for(self, host, concurrency, queue_limit, efficiency=1.0):
         node = host.node_type
         speed = node.speed_factor(REFERENCE_GHZ) / efficiency
+        colocation = getattr(host, "colocation", None)
+        if colocation is not None:
+            speed *= (1.0 - colocation.cpu_steal)
         station = ProcessorSharingStation(
             self.sim, name=host.name, cores=node.cpu_count, speed=speed,
             concurrency_limit=concurrency, queue_limit=queue_limit,
@@ -156,9 +176,13 @@ class NTierSimulation:
         for backend in self.system.db_backends:
             cpu = self._station_for(backend.host, backend.max_connections,
                                     backend.max_connections * 4)
+            disk_speed = disk_speed_factor(backend.host.node_type)
+            colocation = getattr(backend.host, "colocation", None)
+            if colocation is not None:
+                disk_speed /= colocation.disk_contention
             disk = ProcessorSharingStation(
                 self.sim, name=f"{backend.host.name}:disk", cores=1,
-                speed=disk_speed_factor(backend.host.node_type),
+                speed=disk_speed,
             )
             self.disk_by_host[backend.host.name] = disk
             db_backends.append(DbBackendStations(cpu=cpu, disk=disk))
@@ -172,10 +196,14 @@ class NTierSimulation:
     # -- client population -----------------------------------------------------
 
     def start(self):
-        """Release the user population (staggered over one think time)."""
+        """Release the workload: a closed-loop population, or an
+        open-loop arrival process when the driver carries one."""
         if self._started:
             raise SimulationError("simulation already started")
         self._started = True
+        if self.arrival is not None:
+            self._start_open_loop()
+            return
         users = self.driver.users
         for user in range(users):
             self._user_states[user] = self.model.initial_state
@@ -183,6 +211,35 @@ class NTierSimulation:
             # interval, not all in the same instant.
             offset = self.rng.uniform("rampup", 0.0, self.driver.think_time)
             self.sim.schedule(offset, self._make_issuer(user))
+
+    def _start_open_loop(self):
+        """Schedule the first session arrival; each arrival schedules
+        the next, so the whole trace is consumed in event order from
+        the dedicated arrival streams."""
+        from repro.workloads.arrivals import ArrivalProcess, request_rate
+
+        base = request_rate(self.arrival, self.driver.users,
+                            self.driver.think_time)
+        # Pattern timing (flash onset, diurnal phase) spans the
+        # measured portion of the trial; arrivals keep coming through
+        # cooldown so the backlog observation is honest.
+        span = self.driver.warmup + self.driver.run
+        self._arrivals = ArrivalProcess(self.arrival, base_rate=base,
+                                        streams=self.rng, span=span)
+        first = self._arrivals.next_after(0.0)
+        if first < self._horizon:
+            self.sim.schedule_at(first, self._arrive)
+
+    def _arrive(self):
+        """One session arrives: issue its first interaction and book
+        the next arrival."""
+        user = next(self._session_counter)
+        self._user_states[user] = self.model.initial_state
+        self._session_remaining[user] = self.arrival.session_length
+        self._make_issuer(user)()
+        upcoming = self._arrivals.next_after(self.sim.now)
+        if upcoming < self._horizon:
+            self.sim.schedule_at(upcoming, self._arrive)
 
     def run(self, duration=None):
         """Run the trial; returns the request records."""
@@ -221,6 +278,15 @@ class NTierSimulation:
         return state
 
     def _think_then_reissue(self, user):
+        if self.arrival is not None:
+            remaining = self._session_remaining.get(user, 0) - 1
+            if remaining <= 0:
+                # Session over: open-loop users leave instead of
+                # cycling forever.
+                self._session_remaining.pop(user, None)
+                self._user_states.pop(user, None)
+                return
+            self._session_remaining[user] = remaining
         think = self.rng.exponential("think", self.driver.think_time)
         self.sim.schedule(think, self._make_issuer(user))
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import TblError
+from repro.workloads.arrivals import ArrivalSpec
 
 #: Trial timing defaults per benchmark, from Section III.B.
 DEFAULT_TRIAL_PHASES = {
@@ -120,6 +121,16 @@ class ExperimentDef:
     #: bars.
     repetitions: int = 1
     db_node_type: str = None
+    #: Tier instances packed per physical host (1 = dedicated, the
+    #: paper's regime); >1 consolidates and buys deterministic CPU-steal
+    #: and disk-contention interference (see repro.vcluster.host).
+    consolidation_ratio: int = 1
+    #: Open-loop arrival pattern; ``None`` keeps the closed-loop
+    #: think-time population.
+    arrival: ArrivalSpec = None
+    #: Scenario identity this experiment was compiled from ("" for
+    #: plain sweeps); part of the trial key alongside fidelity.
+    scenario: str = ""
 
     def __post_init__(self):
         if not self.topologies:
@@ -144,6 +155,13 @@ class ExperimentDef:
             raise TblError("client timeout must be positive")
         if self.repetitions < 1:
             raise TblError("repetitions must be at least 1")
+        if self.consolidation_ratio < 1:
+            raise TblError("consolidation ratio must be at least 1")
+        if self.arrival is not None \
+                and not isinstance(self.arrival, ArrivalSpec):
+            raise TblError(
+                f"arrival must be an ArrivalSpec, got {self.arrival!r}"
+            )
 
     def points(self):
         """Yield every (topology, workload, write_ratio) sweep point."""

@@ -18,7 +18,8 @@ KEYWORDS = frozenset({
     "workload", "write_ratio", "think_time", "timeout", "seed", "trial",
     "warmup", "run", "cooldown", "slo", "response_time", "error_ratio",
     "monitor", "interval", "metrics", "to", "step", "by", "db_node_type",
-    "repetitions",
+    "repetitions", "scenario", "consolidation", "arrival", "rate",
+    "amplitude", "period", "burst", "duty", "at", "session",
 })
 
 PUNCTUATION = "{};,"

@@ -25,8 +25,9 @@ scale-out family (Section V.B).
 
 from __future__ import annotations
 
-from repro.errors import TblError
+from repro.errors import TblError, WorkloadError
 from repro.spec.lexing import TokenStream
+from repro.workloads.arrivals import ArrivalSpec
 from repro.spec.tbl.ast import (
     ExperimentDef,
     MonitorSpec,
@@ -96,6 +97,9 @@ def _parse_experiment(tokens, headers):
         "trial": None,
         "slo": ServiceLevelObjective(),
         "monitor": MonitorSpec(),
+        "consolidation_ratio": 1,
+        "arrival": None,
+        "scenario": "",
     }
     while not tokens.check("punct", "}"):
         _parse_setting(tokens, settings)
@@ -121,6 +125,9 @@ def _parse_experiment(tokens, headers):
         seed=settings["seed"],
         repetitions=settings["repetitions"],
         db_node_type=settings["db_node_type"],
+        consolidation_ratio=settings["consolidation_ratio"],
+        arrival=settings["arrival"],
+        scenario=settings["scenario"],
     )
 
 
@@ -161,6 +168,19 @@ def _parse_setting(tokens, settings):
     elif keyword == "db_node_type":
         settings["db_node_type"] = _expect_name(tokens).lower()
         tokens.expect("punct", ";")
+    elif keyword == "scenario":
+        settings["scenario"] = tokens.expect("string").value
+        tokens.expect("punct", ";")
+    elif keyword == "consolidation":
+        value = tokens.expect("number").value
+        if not isinstance(value, int) or value < 1:
+            tokens.error(
+                f"consolidation must be a positive integer, got {value!r}"
+            )
+        settings["consolidation_ratio"] = value
+        tokens.expect("punct", ";")
+    elif keyword == "arrival":
+        settings["arrival"] = _parse_arrival(tokens)
     elif keyword == "trial":
         settings["trial"] = _parse_trial(tokens)
     elif keyword == "slo":
@@ -224,6 +244,42 @@ def _parse_duration(tokens):
     if token is not None and token.kind == "number":
         return float(tokens.next().value)
     tokens.error("expected a duration (e.g. 300s, 1500ms)")
+
+
+def _parse_arrival(tokens):
+    """``arrival KIND;`` or ``arrival KIND { param value; ... }``."""
+    kind = _expect_name(tokens).lower()
+    params = {"kind": kind}
+    if tokens.accept("punct", "{"):
+        while not tokens.check("punct", "}"):
+            token = tokens.next()
+            if token.kind != "keyword":
+                tokens.error(
+                    f"expected an arrival setting, got {token.value!r}",
+                    token,
+                )
+            key = token.value
+            if key in ("rate", "amplitude", "burst", "duty", "at"):
+                params[key] = float(_parse_scalar(tokens))
+            elif key == "period":
+                params["period"] = _parse_duration(tokens)
+            elif key == "session":
+                value = tokens.expect("number").value
+                if not isinstance(value, int):
+                    tokens.error(
+                        f"session length must be an integer, got {value!r}"
+                    )
+                params["session_length"] = value
+            else:
+                tokens.error(f"unknown arrival setting {key!r}", token)
+            tokens.expect("punct", ";")
+        tokens.expect("punct", "}")
+    else:
+        tokens.expect("punct", ";")
+    try:
+        return ArrivalSpec(**params)
+    except WorkloadError as error:
+        tokens.error(str(error))
 
 
 def _parse_trial(tokens):

@@ -44,6 +44,28 @@ def _format_duration(seconds):
     return f"{seconds:g}s"
 
 
+def _render_arrival(arrival):
+    """Render an ArrivalSpec; only non-default parameters are emitted."""
+    params = arrival.to_dict()
+    kind = params.pop("kind")
+    if not params:
+        return [f"    arrival {kind};"]
+    lines = [f"    arrival {kind} {{"]
+    for key in ("rate", "amplitude", "period", "burst", "duty", "at",
+                "session_length"):
+        if key not in params:
+            continue
+        value = params[key]
+        if key == "period":
+            lines.append(f"        period {_format_duration(value)};")
+        elif key == "session_length":
+            lines.append(f"        session {value};")
+        else:
+            lines.append(f"        {key} {_format_one(value)};")
+    lines.append("    }")
+    return lines
+
+
 def render_tbl(benchmark, platform, experiments, app_server=None):
     """Render a TBL document.
 
@@ -93,6 +115,15 @@ def _render_experiment(experiment):
         lines.append(f"    seed {experiment['seed']};")
     if experiment.get("repetitions", 1) > 1:
         lines.append(f"    repetitions {experiment['repetitions']};")
+    if experiment.get("scenario"):
+        lines.append(f'    scenario "{experiment["scenario"]}";')
+    if experiment.get("consolidation_ratio", 1) > 1:
+        lines.append(
+            f"    consolidation {experiment['consolidation_ratio']};"
+        )
+    arrival = experiment.get("arrival")
+    if arrival is not None:
+        lines.extend(_render_arrival(arrival))
     trial = experiment.get("trial")
     if trial is not None:
         lines.append("    trial {")

@@ -18,7 +18,7 @@ from repro.errors import AllocationError, ClusterError
 from repro.faults.injector import NULL_INJECTOR
 from repro.spec import catalog
 from repro.vcluster.archives import build_archive
-from repro.vcluster.host import VirtualHost
+from repro.vcluster.host import VirtualHost, consolidate
 from repro.vcluster.network import VirtualNetwork
 
 CONTROL_HOST = "control"
@@ -28,10 +28,13 @@ CLIENT_HOST = "client"
 class Allocation:
     """Hosts assigned to one experiment, by role."""
 
-    def __init__(self, control, client, tier_hosts):
+    def __init__(self, control, client, tier_hosts, physical_hosts=None):
         self.control = control
         self.client = client
         self.tier_hosts = tier_hosts      # tier -> [VirtualHost]
+        #: PhysicalHost groupings when the allocation is consolidated;
+        #: empty for dedicated allocations.
+        self.physical_hosts = list(physical_hosts or [])
 
     def host_for(self, tier, index):
         """Host running the *index*-th (1-based) server of *tier*."""
@@ -167,13 +170,19 @@ class VirtualCluster:
     # -- allocation ------------------------------------------------------
 
     def allocate(self, topology, tier_node_types=None, wait=False,
-                 timeout=None):
+                 timeout=None, consolidation_ratio=1):
         """Allocate hosts for *topology*; returns an :class:`Allocation`.
 
         *tier_node_types* optionally maps tier -> node type name.  Raises
         :class:`AllocationError` (leaving the pool untouched) when the
         request cannot be satisfied — the paper notes experiment scale was
         limited by available nodes (Section III.C).
+
+        With ``consolidation_ratio > 1`` the allocated tier instances
+        are packed, in allocation order, onto shared physical hosts
+        (*ratio* tenants each); every packed host gets a deterministic
+        :class:`~repro.vcluster.host.Colocation` stamp carrying the
+        CPU-steal/disk-contention interference the simulation applies.
 
         With ``wait=True`` a request that the cluster could satisfy but
         cannot *right now* (nodes held by concurrent trials) blocks
@@ -190,6 +199,11 @@ class VirtualCluster:
                 try:
                     allocation = self._allocate_now(topology,
                                                     tier_node_types)
+                    if consolidation_ratio > 1:
+                        allocation.physical_hosts = consolidate(
+                            allocation.all_server_hosts(),
+                            consolidation_ratio,
+                        )
                     self.faults.fire(
                         "vcluster.allocated", cluster=self,
                         hosts=allocation.all_server_hosts())

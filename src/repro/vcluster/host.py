@@ -10,6 +10,142 @@ from repro.vcluster.filesystem import VirtualFileSystem
 
 _STANDARD_DIRS = ("/opt", "/var/log", "/tmp", "/etc", "/usr/local/bin")
 
+# -- virtualization interference model -----------------------------------
+#
+# Consolidating tier instances onto shared physical machines buys
+# deterministic interference: each *additional* tenant on a physical
+# host steals a fixed fraction of every tenant's CPU (hypervisor
+# scheduling overhead + cache pressure) and stretches disk service
+# times (shared spindle/queue).  The model is a static function of the
+# tenant count — not of instantaneous load — so the DES and analytic
+# fidelity tiers apply identical adjustments and campaign results stay
+# a pure function of the specification.
+
+#: CPU fraction stolen per additional colocated tenant.
+CPU_STEAL_PER_TENANT = 0.12
+#: Ceiling on total CPU steal however many tenants share a host.
+CPU_STEAL_CAP = 0.45
+#: Disk service-time stretch per additional colocated tenant.
+DISK_CONTENTION_PER_TENANT = 0.35
+
+
+def cpu_steal(tenant_count):
+    """Fraction of CPU stolen from each tenant by its cotenants."""
+    if tenant_count < 1:
+        raise ClusterError(f"tenant count must be >= 1: {tenant_count}")
+    return min(CPU_STEAL_CAP, CPU_STEAL_PER_TENANT * (tenant_count - 1))
+
+
+def disk_contention(tenant_count):
+    """Multiplier on disk service times under shared storage."""
+    if tenant_count < 1:
+        raise ClusterError(f"tenant count must be >= 1: {tenant_count}")
+    return 1.0 + DISK_CONTENTION_PER_TENANT * (tenant_count - 1)
+
+
+@dataclass(frozen=True)
+class Colocation:
+    """One tenant's view of the physical host it shares.
+
+    Stamped onto every consolidated :class:`VirtualHost` by the
+    allocator; the simulation reads ``cpu_steal``/``disk_contention``
+    when building stations, and the runner surfaces ``physical``/
+    ``tenants`` into ``host_cpu`` so the bottleneck report can
+    attribute saturation to a colocated tenant.
+    """
+
+    physical: str
+    tenants: tuple                  # every VM name on this physical host
+    cpu_steal: float
+    disk_contention: float
+
+    @property
+    def tenant_count(self):
+        return len(self.tenants)
+
+    def cotenants(self, host_name):
+        return tuple(name for name in self.tenants if name != host_name)
+
+
+def plan_colocation(host_names, consolidation_ratio):
+    """``{vm name: Colocation}`` packing *host_names* (allocation order)
+    onto physical hosts in chunks of *consolidation_ratio*.
+
+    A pure function of its arguments, so the analytic fidelity tier can
+    derive the identical packing from ``preview_allocation`` names that
+    the DES allocator stamps onto live hosts.
+    """
+    if consolidation_ratio < 1:
+        raise ClusterError(
+            f"consolidation ratio must be >= 1: {consolidation_ratio}"
+        )
+    plan = {}
+    if consolidation_ratio == 1:
+        return plan
+    names = list(host_names)
+    for start in range(0, len(names), consolidation_ratio):
+        group = tuple(names[start:start + consolidation_ratio])
+        colocation = Colocation(
+            physical=f"phys-{start // consolidation_ratio}",
+            tenants=group,
+            cpu_steal=cpu_steal(len(group)),
+            disk_contention=disk_contention(len(group)),
+        )
+        for name in group:
+            plan[name] = colocation
+    return plan
+
+
+class PhysicalHost:
+    """A physical machine hosting one or more consolidated tenants.
+
+    Construction stamps the shared :class:`Colocation` record onto every
+    tenant, which is how the interference model reaches the simulation:
+    stations read ``host.colocation`` when computing speeds.
+    """
+
+    def __init__(self, name, tenants, colocation=None):
+        if not tenants:
+            raise ClusterError(f"physical host {name!r} needs tenants")
+        self.name = name
+        self.tenants = list(tenants)
+        self.colocation = colocation or Colocation(
+            physical=name,
+            tenants=tuple(tenant.name for tenant in self.tenants),
+            cpu_steal=cpu_steal(len(self.tenants)),
+            disk_contention=disk_contention(len(self.tenants)),
+        )
+        for tenant in self.tenants:
+            tenant.colocation = self.colocation
+
+    def tenant_names(self):
+        return tuple(tenant.name for tenant in self.tenants)
+
+    def __repr__(self):
+        return (f"PhysicalHost({self.name}, "
+                f"tenants={list(self.tenant_names())})")
+
+
+def consolidate(hosts, consolidation_ratio):
+    """Pack live *hosts* (allocation order) onto physical hosts.
+
+    Returns the :class:`PhysicalHost` list; every grouped host gets its
+    ``colocation`` stamped.  Uses the same packing as
+    :func:`plan_colocation`, which keeps DES and analytic trials on
+    identical interference footing.
+    """
+    plan = plan_colocation([host.name for host in hosts],
+                           consolidation_ratio)
+    if not plan:
+        return []
+    groups = {}
+    for host in hosts:
+        colocation = plan[host.name]
+        groups.setdefault(colocation.physical, ([], colocation))[0] \
+            .append(host)
+    return [PhysicalHost(name, members, colocation=colocation)
+            for name, (members, colocation) in groups.items()]
+
 
 @dataclass
 class Process:
@@ -59,6 +195,9 @@ class VirtualHost:
         self.crashed = False
         self.crash_reason = None
         self.degradations = set()     # {"disk", "nic"} -- see degrade()
+        #: Colocation record when consolidated onto a shared physical
+        #: host; None for dedicated hosts (the paper's regime).
+        self.colocation = None
         for directory in _STANDARD_DIRS:
             self.fs.mkdir(directory)
 

@@ -2,6 +2,12 @@
 
 from repro.errors import WorkloadError
 from repro.workloads import rubbos, rubis, tpcapp
+from repro.workloads.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    ArrivalSpec,
+    arrival_trace,
+)
 from repro.workloads.calibration import (
     CALIBRATIONS,
     RUBBOS,
@@ -36,6 +42,10 @@ def build_model(benchmark, write_ratio, mix=None):
 
 
 __all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "arrival_trace",
     "CALIBRATIONS",
     "RUBBOS",
     "RUBIS",

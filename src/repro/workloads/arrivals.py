@@ -1,0 +1,222 @@
+"""Open-loop arrival processes for session-driven workloads.
+
+The paper's closed-loop driver keeps a fixed population of users in a
+request/think cycle, so offered load can never exceed what the system
+sustains.  Production traffic is open loop: sessions arrive whether or
+not the system keeps up ("Characterizing Workload of Web Applications
+on Virtualized Servers", PAPERS.md).  This module defines the seeded
+arrival-process family — constant rate, diurnal sinusoid, MMPP-style
+bursty, flash-crowd step — that drives session arrivals through the
+existing :class:`~repro.workloads.interactions.TransitionMatrix` mixes.
+
+Every draw comes from named :class:`~repro.sim.rng.RandomStreams`
+streams (``arrivals`` for the thinned Poisson gaps, ``arrival-mod``
+for the bursty modulation chain), so a trace is a pure function of
+``(spec, base_rate, seed)`` — identical across worker counts and
+resume cut points, which is what the scenario plane's byte-identity
+contract rests on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+CONSTANT = "constant"
+DIURNAL = "diurnal"
+BURSTY = "bursty"
+FLASH = "flash"
+
+ARRIVAL_KINDS = (CONSTANT, DIURNAL, BURSTY, FLASH)
+
+#: Stream names — one for the thinned gap/acceptance draws, one for the
+#: bursty modulation chain, one for session state walks.
+ARRIVAL_STREAM = "arrivals"
+MODULATION_STREAM = "arrival-mod"
+SESSION_STREAM = "session"
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One open-loop arrival pattern, declaratively.
+
+    ``rate`` is the base request arrival rate in requests/second; when
+    ``None`` the driver derives it from the sweep's workload axis as
+    ``users / think_time`` — the offered load an equally sized
+    closed-loop population would present below saturation, which keeps
+    open-loop knees comparable to closed-loop ones on the same ladder.
+    """
+
+    kind: str = CONSTANT
+    rate: float = None
+    #: Diurnal: relative amplitude of the sinusoid, in [0, 1].
+    amplitude: float = 0.5
+    #: Diurnal period / bursty mean cycle length, seconds.
+    period: float = 120.0
+    #: Bursty/flash: rate multiplier while the burst or crowd is on.
+    burst: float = 4.0
+    #: Bursty: fraction of a cycle spent in the burst state.
+    #: Flash: crowd duration as a fraction of warmup+run.
+    duty: float = 0.2
+    #: Flash: step onset as a fraction of warmup+run.
+    at: float = 0.5
+    #: Interactions per session (think time between them); the session
+    #: arrival rate is the request rate divided by this.
+    session_length: int = 1
+
+    def __post_init__(self):
+        if self.kind not in ARRIVAL_KINDS:
+            raise WorkloadError(
+                f"unknown arrival kind {self.kind!r}; "
+                f"known: {list(ARRIVAL_KINDS)}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise WorkloadError(f"arrival rate must be positive: {self.rate}")
+        if not 0 <= self.amplitude <= 1:
+            raise WorkloadError(
+                f"diurnal amplitude outside [0, 1]: {self.amplitude}"
+            )
+        if self.period <= 0:
+            raise WorkloadError(f"arrival period must be positive: {self.period}")
+        if self.burst < 1:
+            raise WorkloadError(f"burst factor must be >= 1: {self.burst}")
+        if not 0 < self.duty < 1:
+            raise WorkloadError(f"duty fraction outside (0, 1): {self.duty}")
+        if not 0 <= self.at <= 1:
+            raise WorkloadError(f"flash onset outside [0, 1]: {self.at}")
+        if self.session_length < 1:
+            raise WorkloadError(
+                f"session length must be >= 1: {self.session_length}"
+            )
+
+    def to_dict(self):
+        """JSON-ready form (scenario tables, run cards)."""
+        out = {"kind": self.kind}
+        for field_name in ("rate", "amplitude", "period", "burst", "duty",
+                           "at", "session_length"):
+            value = getattr(self, field_name)
+            default = type(self).__dataclass_fields__[field_name].default
+            if value != default:
+                out[field_name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise WorkloadError(
+                f"unknown arrival parameters: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+def analytic_supported(spec):
+    """Whether the analytic tier has an operating-point solve for *spec*.
+
+    ``None`` (closed loop) and constant-rate open loop solve as fluid
+    fixed points; time-varying patterns (diurnal/bursty/flash) are
+    DES-only and raise :class:`~repro.errors.AnalyticUnsupported`
+    upstream.
+    """
+    return spec is None or spec.kind == CONSTANT
+
+
+def request_rate(spec, workload, think_time):
+    """The base request arrival rate for one sweep point."""
+    if spec.rate is not None:
+        return spec.rate
+    if think_time <= 0:
+        raise WorkloadError(f"think time must be positive: {think_time}")
+    return workload / think_time
+
+
+class ArrivalProcess:
+    """Lazy, seeded arrival-time generator for one trial.
+
+    Non-homogeneous patterns use thinning: candidate gaps are drawn
+    from a Poisson process at the pattern's peak rate and accepted with
+    probability ``rate_at(t) / peak``.  The bursty pattern modulates
+    between a normal and a burst state with exponential sojourns drawn
+    from a dedicated stream, advanced lazily as time moves forward.
+    """
+
+    def __init__(self, spec, *, base_rate, streams, span):
+        if base_rate <= 0:
+            raise WorkloadError(f"base rate must be positive: {base_rate}")
+        if span <= 0:
+            raise WorkloadError(f"arrival span must be positive: {span}")
+        self.spec = spec
+        self.rate = spec.rate if spec.rate is not None else base_rate
+        self.session_rate = self.rate / spec.session_length
+        self.streams = streams
+        self.span = span
+        self._in_burst = False
+        self._next_switch = 0.0
+        if spec.kind == BURSTY:
+            self._next_switch = streams.exponential(
+                MODULATION_STREAM, spec.period * (1.0 - spec.duty)
+            )
+
+    @property
+    def peak_rate(self):
+        spec = self.spec
+        if spec.kind == DIURNAL:
+            return self.session_rate * (1.0 + spec.amplitude)
+        if spec.kind in (BURSTY, FLASH):
+            return self.session_rate * spec.burst
+        return self.session_rate
+
+    def rate_at(self, t):
+        """Instantaneous session arrival rate at simulated time *t*."""
+        spec = self.spec
+        base = self.session_rate
+        if spec.kind == CONSTANT:
+            return base
+        if spec.kind == DIURNAL:
+            return base * (1.0 + spec.amplitude
+                           * math.sin(2.0 * math.pi * t / spec.period))
+        if spec.kind == FLASH:
+            onset = spec.at * self.span
+            if onset <= t < onset + spec.duty * self.span:
+                return base * spec.burst
+            return base
+        # Bursty: advance the modulation chain lazily up to t.
+        while t >= self._next_switch:
+            self._in_burst = not self._in_burst
+            mean = (spec.period * spec.duty if self._in_burst
+                    else spec.period * (1.0 - spec.duty))
+            self._next_switch += self.streams.exponential(
+                MODULATION_STREAM, mean
+            )
+        return base * spec.burst if self._in_burst else base
+
+    def next_after(self, t):
+        """The next session arrival time strictly after *t*."""
+        peak = self.peak_rate
+        stream = self.streams.stream(ARRIVAL_STREAM)
+        while True:
+            t += self.streams.exponential(ARRIVAL_STREAM, 1.0 / peak)
+            if stream.random() * peak <= self.rate_at(t):
+                return t
+
+
+def arrival_trace(spec, *, base_rate, seed, span, limit=100_000):
+    """Every arrival time in ``[0, span)`` — a pure function of its
+    arguments, used by the determinism property tests."""
+    from repro.sim.rng import RandomStreams
+
+    process = ArrivalProcess(spec, base_rate=base_rate,
+                             streams=RandomStreams(seed), span=span)
+    times = []
+    t = process.next_after(0.0)
+    while t < span:
+        times.append(t)
+        if len(times) > limit:
+            raise WorkloadError(
+                f"arrival trace exceeded {limit} arrivals in {span}s"
+            )
+        t = process.next_after(t)
+    return times

@@ -57,10 +57,10 @@ class TestTaskEnumeration:
         assert [t.index for t in tasks] == list(range(8))
         # points() iterates topologies outer, workloads inner; each
         # point repeats under seed, seed+1 before the next point.
-        assert tasks[0].key() == ("sched", "1-1-1", 100, 0.15, 42, "des")
-        assert tasks[1].key() == ("sched", "1-1-1", 100, 0.15, 43, "des")
-        assert tasks[2].key() == ("sched", "1-1-1", 200, 0.15, 42, "des")
-        assert tasks[4].key() == ("sched", "1-2-1", 100, 0.15, 42, "des")
+        assert tasks[0].key() == ("sched", "1-1-1", 100, 0.15, 42, "des", "")
+        assert tasks[1].key() == ("sched", "1-1-1", 100, 0.15, 43, "des", "")
+        assert tasks[2].key() == ("sched", "1-1-1", 200, 0.15, 42, "des", "")
+        assert tasks[4].key() == ("sched", "1-2-1", 100, 0.15, 42, "des", "")
         assert len({t.key() for t in tasks}) == 8
 
     def test_start_index_offsets_across_experiments(self):

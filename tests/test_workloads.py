@@ -6,12 +6,14 @@ from hypothesis import strategies as st
 
 from repro.errors import WorkloadError
 from repro.workloads import (
+    Interaction,
     RUBBOS,
     RUBIS,
     TransitionMatrix,
     build_model,
     get_calibration,
     mix_for_write_ratio,
+    normalized_demands,
     rubbos,
     rubis,
 )
@@ -224,3 +226,73 @@ def test_rubis_demands_positive_property(ratio):
         demand = model.demand(name)
         assert demand.app_s > 0
         assert demand.db_s > 0
+
+
+class TestMixBoundaries:
+    """Edge cases of mix construction: the exact endpoints of the
+    write-ratio axis and degenerate single-interaction catalogs."""
+
+    READ = Interaction(name="browse", is_write=False, popularity=3.0)
+    READ2 = Interaction(name="view", is_write=False, popularity=1.0)
+    WRITE = Interaction(name="bid", is_write=True, popularity=2.0)
+
+    def test_ratio_zero_puts_no_mass_on_writes(self):
+        catalog = (self.READ, self.READ2, self.WRITE)
+        mix = mix_for_write_ratio(catalog, 0.0)
+        assert sum(mix) == pytest.approx(1.0)
+        assert mix[2] == 0.0
+        # Read mass splits by popularity: 3:1.
+        assert mix[0] == pytest.approx(0.75)
+        assert mix[1] == pytest.approx(0.25)
+
+    def test_ratio_one_puts_all_mass_on_writes(self):
+        catalog = (self.READ, self.WRITE)
+        mix = mix_for_write_ratio(catalog, 1.0)
+        assert mix == [0.0, 1.0]
+
+    def test_single_read_interaction_at_ratio_zero(self):
+        assert mix_for_write_ratio((self.READ,), 0.0) == [1.0]
+
+    def test_single_write_interaction_at_ratio_one(self):
+        assert mix_for_write_ratio((self.WRITE,), 1.0) == [1.0]
+
+    def test_ratio_zero_without_reads_is_rejected(self):
+        with pytest.raises(WorkloadError, match="no read"):
+            mix_for_write_ratio((self.WRITE,), 0.0)
+
+    def test_positive_ratio_without_writes_is_rejected(self):
+        with pytest.raises(WorkloadError, match="no write"):
+            mix_for_write_ratio((self.READ,), 0.5)
+
+
+class TestNormalizedDemandBoundaries:
+    READ = Interaction(name="browse", is_write=False,
+                       app_weight=2.0, db_weight=0.5)
+    WRITE = Interaction(name="bid", is_write=True,
+                        app_weight=1.0, db_weight=4.0)
+
+    def _demands(self, catalog, mix):
+        return normalized_demands(
+            catalog, mix, web_s=0.001, app_read_s=0.010,
+            app_write_s=0.006, db_read_s=0.004, db_write_s=0.020)
+
+    def test_single_interaction_mix_hits_targets_exactly(self):
+        demands = self._demands((self.READ,), [1.0])
+        demand = demands["browse"]
+        assert demand.app_s == pytest.approx(0.010)
+        assert demand.db_s == pytest.approx(0.004)
+        assert demand.web_s == pytest.approx(0.001)
+
+    def test_zero_mass_class_falls_back_to_the_target(self):
+        # At write_ratio 0 the write class has no mix mass; its
+        # members still get well-defined (target) demands rather than
+        # a division by zero.
+        demands = self._demands((self.READ, self.WRITE), [1.0, 0.0])
+        assert demands["bid"].app_s == pytest.approx(0.006)
+        assert demands["bid"].db_s == pytest.approx(0.020)
+
+    def test_mix_weighted_class_mean_is_exact_at_ratio_one(self):
+        demands = self._demands((self.READ, self.WRITE), [0.0, 1.0])
+        assert demands["bid"].app_s == pytest.approx(0.006)
+        assert demands["bid"].db_s == pytest.approx(0.020)
+        assert demands["browse"].app_s == pytest.approx(0.010)
